@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation A1 (DESIGN.md §4): segment size for offload batching.
+ * Larger segments amortize capsule/ack overhead and compress better
+ * but hold retention (and its flash holds) longer before release.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "compress/datagen.hh"
+#include "core/rssd_device.hh"
+
+using namespace rssd;
+
+int
+main()
+{
+    bench::banner("A1: offload segment-size ablation",
+                  "Sweep pages per sealed segment; fixed 10 GbE "
+                  "link, typical content.");
+
+    std::printf("\n%9s | %9s | %10s | %12s | %13s\n", "seg pages",
+                "segments", "compress", "wire ovh %", "mean hold");
+    std::printf("----------+-----------+------------+--------------+"
+                "--------------\n");
+
+    for (const std::uint32_t seg_pages :
+         {16u, 64u, 256u, 1024u, 4096u}) {
+        core::RssdConfig cfg = core::RssdConfig::forTests();
+        cfg.ftl.geometry.blocksPerPlane = 64;
+        cfg.segmentPages = seg_pages;
+        cfg.pumpThreshold = seg_pages;
+
+        VirtualClock clock;
+        core::RssdDevice dev(cfg, clock);
+        compress::DataGenerator gen(5, 0.55);
+
+        // Steady overwrite stream; track how long holds live.
+        Summary hold_ages;
+        const int kOps = 9000;
+        Tick last = 0;
+        for (int i = 0; i < kOps; i++) {
+            dev.writePage(i % 128, gen.page(dev.pageSize()));
+            const Tick age =
+                dev.retention().oldestAge(clock.now());
+            hold_ages.add(static_cast<double>(age));
+            last = clock.now();
+        }
+        (void)last;
+        dev.drainOffload();
+
+        const auto &off = dev.offload().stats();
+        const auto &net = dev.transport().stats();
+        const double wire_overhead =
+            (static_cast<double>(net.bytesSent) -
+             static_cast<double>(off.bytesSealed)) /
+            static_cast<double>(off.bytesSealed) * 100.0;
+
+        std::printf("%9u | %9llu | %10.2f | %12.2f | %13s\n",
+                    seg_pages,
+                    static_cast<unsigned long long>(
+                        off.segmentsAccepted),
+                    off.compressionRatio(), wire_overhead,
+                    formatTime(static_cast<Tick>(hold_ages.mean()))
+                        .c_str());
+    }
+
+    std::printf("\nShape check: capsule/header overhead falls with "
+                "segment size while\nthe mean retention-hold age "
+                "rises — the paper's choice of a few hundred\npages "
+                "per segment sits at the knee.\n");
+    return 0;
+}

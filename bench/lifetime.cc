@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces the paper's lifetime claim: "minimal impact on device
+ * lifetime" (EXPERIMENTS.md §P2).
+ *
+ * Device lifetime is governed by write amplification (extra program/
+ * erase work beyond host writes) and erase-count spread. RSSD's
+ * retention holds make GC relocate held pages, which *could* inflate
+ * WAF — this bench shows the offload path keeps holds short-lived
+ * and WAF close to the baseline.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "core/rssd_device.hh"
+#include "nvme/local_ssd.hh"
+#include "workload/generator.hh"
+
+using namespace rssd;
+
+int
+main()
+{
+    bench::banner("P2: device lifetime impact (WAF, wear)",
+                  "High-churn replay on a small, mostly full device "
+                  "(worst case for GC), LocalSSD vs RSSD.");
+
+    // Small device + big working set = heavy GC pressure.
+    ftl::FtlConfig ftl_cfg;
+    ftl_cfg.geometry = flash::testGeometry();
+    ftl_cfg.opFraction = 0.12;
+
+    core::RssdConfig rssd_cfg = core::RssdConfig::forTests();
+    rssd_cfg.segmentPages = 64;
+    rssd_cfg.pumpThreshold = 128;
+
+    std::printf("\n%-13s | %9s %9s | %10s %10s | %11s\n", "trace",
+                "base WAF", "rssd WAF", "base wear", "rssd wear",
+                "held moves");
+    std::printf("--------------+---------------------+--------------"
+                "---------+------------\n");
+
+    for (const workload::TraceProfile &profile :
+         workload::paperTraces()) {
+        workload::ReplayOptions opts;
+        opts.maxRequests = 60000;
+
+        VirtualClock c_base;
+        nvme::LocalSsd base(ftl_cfg, c_base);
+        workload::TraceGenerator g1(profile, base.capacityPages(),
+                                    555);
+        workload::replay(base, c_base, g1, opts);
+
+        VirtualClock c_rssd;
+        core::RssdDevice rssd(rssd_cfg, c_rssd);
+        workload::TraceGenerator g2(profile, rssd.capacityPages(),
+                                    555);
+        workload::replay(rssd, c_rssd, g2, opts);
+
+        std::printf(
+            "%-13s | %9.3f %9.3f | %7u max %7u max | %11llu\n",
+            profile.name.c_str(), base.ftl().stats().waf(),
+            rssd.ftl().stats().waf(),
+            base.ftl().nand().maxEraseCount(),
+            rssd.ftl().nand().maxEraseCount(),
+            static_cast<unsigned long long>(
+                rssd.ftl().stats().gcHeldMoves));
+    }
+
+    std::printf("\nShape check: RSSD's WAF tracks the baseline "
+                "closely because retained\npages are offloaded (and "
+                "their holds released) before GC has to keep\n"
+                "copying them — the 'held moves' column stays small "
+                "relative to churn.\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the device-side engines the
+ * RSSD controller depends on: SHA-256 (hash chain), HMAC, ChaCha20
+ * (segment encryption), CRC32C (capsule checksums), LZ compression
+ * (offload path) and entropy estimation (detection).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compress/datagen.hh"
+#include "compress/lz.hh"
+#include "crypto/chacha20.hh"
+#include "crypto/crc32.hh"
+#include "crypto/entropy.hh"
+#include "crypto/sha256.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace rssd;
+
+std::vector<std::uint8_t>
+randomBuffer(std::size_t size)
+{
+    Rng rng(size);
+    std::vector<std::uint8_t> buf(size);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.next());
+    return buf;
+}
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    const auto buf = randomBuffer(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crypto::Sha256::hash(buf.data(), buf.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * buf.size());
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void
+BM_HmacSha256(benchmark::State &state)
+{
+    const auto buf = randomBuffer(state.range(0));
+    const std::uint8_t key[32] = {1, 2, 3};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::hmacSha256(
+            key, sizeof(key), buf.data(), buf.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * buf.size());
+}
+BENCHMARK(BM_HmacSha256)->Arg(65536);
+
+void
+BM_ChaCha20(benchmark::State &state)
+{
+    auto buf = randomBuffer(state.range(0));
+    const auto key = crypto::ChaCha20::deriveKey("bench");
+    std::uint64_t nonce = 0;
+    for (auto _ : state) {
+        crypto::ChaCha20 c(
+            key, crypto::ChaCha20::nonceFromSequence(nonce++));
+        c.apply(buf);
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * buf.size());
+}
+BENCHMARK(BM_ChaCha20)->Arg(4096)->Arg(1 << 20);
+
+void
+BM_Crc32c(benchmark::State &state)
+{
+    const auto buf = randomBuffer(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crypto::crc32c(buf));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * buf.size());
+}
+BENCHMARK(BM_Crc32c)->Arg(65536);
+
+void
+BM_LzCompress(benchmark::State &state)
+{
+    compress::DataGenerator gen(1, state.range(1) / 100.0);
+    const auto buf = gen.page(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compress::lzCompress(buf));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * buf.size());
+}
+BENCHMARK(BM_LzCompress)
+    ->Args({65536, 0})
+    ->Args({65536, 55})
+    ->Args({65536, 90});
+
+void
+BM_LzDecompress(benchmark::State &state)
+{
+    compress::DataGenerator gen(1, 0.55);
+    const auto buf = gen.page(65536);
+    const auto packed = compress::lzCompress(buf);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            compress::lzDecompress(packed, buf.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * buf.size());
+}
+BENCHMARK(BM_LzDecompress);
+
+void
+BM_Entropy(benchmark::State &state)
+{
+    const auto buf = randomBuffer(4096);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crypto::shannonEntropy(buf.data(), buf.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * buf.size());
+}
+BENCHMARK(BM_Entropy);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Table 1 of the paper: every defense vs. the three
+ * Ransomware 2.0 attacks (plus the classic baseline attack), with
+ * measured recovery fractions, the paper's recovery glyph, and
+ * forensics availability. See EXPERIMENTS.md §T1.
+ */
+
+#include <cstdio>
+
+#include "baseline/table1.hh"
+#include "bench/bench_common.hh"
+
+using namespace rssd;
+using namespace rssd::baseline;
+
+namespace {
+
+const char *
+glyph(RecoveryClass c)
+{
+    switch (c) {
+      case RecoveryClass::Unrecoverable: return "O";   // empty circle
+      case RecoveryClass::PartiallyRecoverable: return "D"; // half
+      case RecoveryClass::Recoverable: return "@";     // full circle
+    }
+    return "?";
+}
+
+const char *
+mark(bool defended)
+{
+    return defended ? "Y" : "x";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Table 1: comparison with state-of-the-art approaches",
+        "Defend columns: Y = attack fully defeated (>=99% of victim\n"
+        "data intact after recovery), x = not. Recovery: @ = "
+        "recoverable,\nD = partially recoverable, O = unrecoverable "
+        "(mean over attacks).");
+
+    Table1Params params;
+    params.victimPages = 96;
+    params.timingBenignOps = 24;
+
+    std::printf("\n%-14s | %-7s %-7s %-7s | %-8s | %-9s |"
+                " recovered fraction per attack\n",
+                "Defense", "GC", "Timing", "Trim", "Recovery",
+                "Forensics");
+    std::printf("%-14s | %-7s %-7s %-7s | %-8s | %-9s |"
+                " classic / gc / timing / trim\n",
+                "", "", "", "", "", "");
+    std::printf("---------------+-------------------------+--------"
+                "--+-----------+------------------------------\n");
+
+    for (const Table1Row &row : runTable1(params)) {
+        std::printf(
+            "%-14s | %-7s %-7s %-7s | %-8s | %-9s | %.2f / %.2f / "
+            "%.2f / %.2f\n",
+            row.defense.c_str(),
+            mark(row.cell(AttackKind::Gc).defended),
+            mark(row.cell(AttackKind::Timing).defended),
+            mark(row.cell(AttackKind::Trimming).defended),
+            glyph(row.recovery), row.forensics ? "yes" : "no",
+            row.cell(AttackKind::Classic).recovered,
+            row.cell(AttackKind::Gc).recovered,
+            row.cell(AttackKind::Timing).recovered,
+            row.cell(AttackKind::Trimming).recovered);
+    }
+
+    std::printf(
+        "\nPaper's Table 1 (for comparison): RSSD is the only row "
+        "with Y Y Y,\nfull recovery and forensics; FlashGuard/TimeSSD "
+        "defend GC only;\nCloudBackup defends timing only; software "
+        "defenses defend nothing.\nSee EXPERIMENTS.md for the two "
+        "cells where our harsher parameters\ndiffer from the paper's "
+        "qualitative judgment (TimeSSD GC).\n");
+    return 0;
+}

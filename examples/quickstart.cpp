@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: create an RSSD, do ordinary I/O, watch the
+ * ransomware-aware machinery work underneath.
+ *
+ *   build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/recovery.hh"
+#include "core/rssd_device.hh"
+#include "sim/stats.hh"
+
+using namespace rssd;
+
+int
+main()
+{
+    // 1. Configure and create the device. forTests() gives a small
+    //    16 MiB SSD with an in-process remote store behind a
+    //    simulated 10 GbE NVMe-oE link.
+    core::RssdConfig config = core::RssdConfig::forTests();
+    VirtualClock clock;
+    core::RssdDevice ssd(config, clock);
+
+    std::printf("RSSD ready: %llu logical pages x %u B, remote "
+                "budget %s\n",
+                static_cast<unsigned long long>(ssd.capacityPages()),
+                ssd.pageSize(),
+                formatBytes(config.remote.capacityBytes).c_str());
+
+    // 2. Ordinary host I/O through the block interface.
+    std::vector<std::uint8_t> hello(ssd.pageSize(), 0);
+    const char *msg = "hello, ransomware-aware world";
+    std::copy(msg, msg + 29, hello.begin());
+
+    ssd.writePage(0, hello);
+    const nvme::Completion read = ssd.readPage(0);
+    std::printf("read back: \"%.29s\" (latency %s)\n",
+                reinterpret_cast<const char *>(read.data.data()),
+                formatTime(read.latency()).c_str());
+
+    // 3. Overwrite and trim — on a normal SSD both would eventually
+    //    destroy the old data. RSSD retains every version.
+    std::vector<std::uint8_t> v2(ssd.pageSize(), 0xEE);
+    ssd.writePage(0, v2);
+    ssd.trimPage(0);
+
+    std::printf("after overwrite+trim: %zu versions retained, "
+                "%llu ops logged, log chain verified: %s\n",
+                ssd.retention().size(),
+                static_cast<unsigned long long>(
+                    ssd.opLog().totalAppended()),
+                ssd.opLog().verifyHeldChain() ? "yes" : "NO");
+
+    // 4. Force the offload path: retained versions + log entries are
+    //    compressed, encrypted, and shipped to the remote store.
+    ssd.drainOffload();
+    const auto &off = ssd.offload().stats();
+    std::printf("offloaded %llu pages in %llu segments "
+                "(%.2fx compression); remote store verified: %s\n",
+                static_cast<unsigned long long>(off.pagesOffloaded),
+                static_cast<unsigned long long>(off.segmentsAccepted),
+                off.compressionRatio(),
+                ssd.backupStore().verifyFullChain() ? "yes" : "NO");
+
+    // 5. The whole history is still recoverable: ask for LBA 0 as it
+    //    was after the first write (log sequence 1 = after entry 0).
+    core::DeviceHistory history(ssd);
+    core::RecoveryEngine recovery(history);
+    const core::RecoveryReport report = recovery.recoverToLogSeq(1);
+    const nvme::Completion restored = ssd.readPage(0);
+    std::printf("rolled back to logSeq 1: \"%.29s\" (recovery %s, "
+                "%llu page restored)\n",
+                reinterpret_cast<const char *>(restored.data.data()),
+                report.ok() ? "ok" : "FAILED",
+                static_cast<unsigned long long>(report.pagesRestored));
+    return 0;
+}

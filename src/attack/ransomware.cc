@@ -1,0 +1,209 @@
+#include "attack/ransomware.hh"
+
+#include <algorithm>
+
+#include "compress/datagen.hh"
+#include "sim/logging.hh"
+
+namespace rssd::attack {
+
+Ransomware::Ransomware(const AttackConfig &config)
+    : config_(config),
+      key_(crypto::ChaCha20::deriveKey(config.attackerKeySeed)),
+      rng_(config.rngSeed)
+{
+}
+
+std::vector<std::uint8_t>
+Ransomware::encryptPage(const std::vector<std::uint8_t> &plain,
+                        Lpa lpa) const
+{
+    std::vector<std::uint8_t> cipher = plain;
+    crypto::ChaCha20 c(key_, crypto::ChaCha20::nonceFromSequence(lpa));
+    c.apply(cipher);
+    return cipher;
+}
+
+void
+Ransomware::encryptInPlace(nvme::BlockDevice &device, Lpa lpa,
+                           AttackReport &report) const
+{
+    const nvme::Completion read = device.readPage(lpa);
+    if (!read.ok())
+        return;
+    const nvme::Completion write =
+        device.writePage(lpa, encryptPage(read.data, lpa));
+    if (write.ok())
+        report.pagesEncrypted++;
+    else
+        report.writeErrors++;
+}
+
+// ---------------------------------------------------------------------
+// ClassicRansomware
+// ---------------------------------------------------------------------
+
+AttackReport
+ClassicRansomware::run(nvme::BlockDevice &device, VirtualClock &clock,
+                       const VictimDataset &victim)
+{
+    AttackReport report;
+    report.attack = name();
+    report.startedAt = clock.now();
+    for (std::uint32_t i = 0; i < victim.pages(); i++)
+        encryptInPlace(device, victim.firstLpa() + i, report);
+    report.finishedAt = clock.now();
+    return report;
+}
+
+// ---------------------------------------------------------------------
+// GcAttack
+// ---------------------------------------------------------------------
+
+GcAttack::GcAttack(const Params &params, const AttackConfig &config)
+    : Ransomware(config), params_(params)
+{
+}
+
+AttackReport
+GcAttack::run(nvme::BlockDevice &device, VirtualClock &clock,
+              const VictimDataset &victim)
+{
+    AttackReport report;
+    report.attack = name();
+    report.startedAt = clock.now();
+
+    // Phase 1: encrypt the victims (creates retained stale pages on
+    // defended devices).
+    for (std::uint32_t i = 0; i < victim.pages(); i++)
+        encryptInPlace(device, victim.firstLpa() + i, report);
+
+    // Phase 2: flood. Overwrite a large LBA span with incompressible
+    // junk, several times device capacity, forcing GC to hunt for
+    // garbage. On a conventional defense, the retained victim
+    // plaintext is exactly the garbage GC erases.
+    const std::uint64_t capacity = device.capacityPages();
+    const std::uint64_t span = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(capacity) *
+               params_.floodSpanFraction));
+    const std::uint64_t flood_pages = static_cast<std::uint64_t>(
+        static_cast<double>(capacity) *
+        params_.floodCapacityMultiple);
+    const Lpa flood_base = capacity - span;
+
+    compress::DataGenerator junkgen(rng_.next(), 0.0);
+    const std::uint32_t page_size = device.pageSize();
+    for (std::uint64_t i = 0; i < flood_pages; i++) {
+        const Lpa lpa = flood_base + (i % span);
+        const nvme::Completion comp =
+            device.writePage(lpa, junkgen.page(page_size));
+        if (comp.ok())
+            report.junkPagesWritten++;
+        else
+            report.writeErrors++;
+    }
+
+    report.finishedAt = clock.now();
+    return report;
+}
+
+// ---------------------------------------------------------------------
+// TimingAttack
+// ---------------------------------------------------------------------
+
+TimingAttack::TimingAttack(const Params &params,
+                           const AttackConfig &config)
+    : Ransomware(config), params_(params)
+{
+}
+
+AttackReport
+TimingAttack::run(nvme::BlockDevice &device, VirtualClock &clock,
+                  const VictimDataset &victim)
+{
+    AttackReport report;
+    report.attack = name();
+    report.startedAt = clock.now();
+
+    const std::uint64_t capacity = device.capacityPages();
+    const std::uint64_t benign_span = std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(
+                static_cast<double>(capacity) *
+                params_.benignSpanFraction));
+    const Lpa benign_base =
+        std::min<Lpa>(victim.firstLpa() + victim.pages(),
+                      capacity - benign_span);
+
+    compress::DataGenerator benigngen(rng_.next(), 0.7);
+    const std::uint32_t page_size = device.pageSize();
+
+    for (std::uint32_t i = 0; i < victim.pages(); i++) {
+        // Encrypt one page...
+        encryptInPlace(device, victim.firstLpa() + i, report);
+
+        // ...then hide behind benign-looking traffic and real time.
+        for (std::uint32_t b = 0; b < params_.benignOpsPerEncrypt;
+             b++) {
+            const Lpa lpa = benign_base + rng_.below(benign_span);
+            if (rng_.chance(0.6)) {
+                device.readPage(lpa);
+            } else {
+                device.writePage(lpa, benigngen.page(page_size));
+            }
+            report.benignOpsIssued++;
+        }
+        clock.advance(params_.encryptionInterval);
+    }
+
+    report.finishedAt = clock.now();
+    return report;
+}
+
+// ---------------------------------------------------------------------
+// TrimmingAttack
+// ---------------------------------------------------------------------
+
+TrimmingAttack::TrimmingAttack(const Params &params,
+                               const AttackConfig &config)
+    : Ransomware(config), params_(params)
+{
+}
+
+AttackReport
+TrimmingAttack::run(nvme::BlockDevice &device, VirtualClock &clock,
+                    const VictimDataset &victim)
+{
+    AttackReport report;
+    report.attack = name();
+    report.startedAt = clock.now();
+
+    const std::uint64_t capacity = device.capacityPages();
+    Lpa drop_site = static_cast<Lpa>(
+        static_cast<double>(capacity) * params_.dropSiteFraction);
+    panicIf(drop_site + victim.pages() > capacity,
+            "trimming attack: drop site out of range");
+
+    for (std::uint32_t i = 0; i < victim.pages(); i++) {
+        const Lpa lpa = victim.firstLpa() + i;
+        const nvme::Completion read = device.readPage(lpa);
+        if (!read.ok())
+            continue;
+        // Ciphertext copy lands elsewhere (the ransom hostage)...
+        const nvme::Completion write = device.writePage(
+            drop_site + i, encryptPage(read.data, lpa));
+        if (write.ok())
+            report.pagesEncrypted++;
+        else
+            report.writeErrors++;
+        // ...and the original is trimmed away.
+        const nvme::Completion trim = device.trimPage(lpa);
+        if (trim.ok())
+            report.pagesTrimmed++;
+    }
+
+    report.finishedAt = clock.now();
+    return report;
+}
+
+} // namespace rssd::attack

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Ransomware attack models (paper §3, "Ransomware 2.0").
+ *
+ * Every attack drives the device strictly through the host block
+ * interface — the same trust boundary real ransomware has after
+ * privilege escalation. Encryption is real (ChaCha20 with an
+ * attacker-held key), so content entropy statistics match genuine
+ * ciphertext.
+ *
+ * Models:
+ *  - ClassicRansomware: read -> encrypt -> overwrite, fast.
+ *  - GcAttack: classic, then floods the device with junk writes to
+ *    force garbage collection to erase retained victim data.
+ *  - TimingAttack: classic spread over hours, diluted with benign
+ *    I/O so windowed detectors never trip.
+ *  - TrimmingAttack: writes ciphertext to fresh LBAs and TRIMs the
+ *    originals, physically erasing them on a conventional SSD.
+ */
+
+#ifndef RSSD_ATTACK_RANSOMWARE_HH
+#define RSSD_ATTACK_RANSOMWARE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "attack/victim.hh"
+#include "crypto/chacha20.hh"
+#include "nvme/command.hh"
+#include "sim/clock.hh"
+#include "sim/rng.hh"
+
+namespace rssd::attack {
+
+/** What an attack did (experiment ground truth). */
+struct AttackReport
+{
+    std::string attack;
+    std::uint64_t pagesEncrypted = 0;
+    std::uint64_t pagesTrimmed = 0;
+    std::uint64_t junkPagesWritten = 0;
+    std::uint64_t benignOpsIssued = 0;
+    std::uint64_t writeErrors = 0;
+    Tick startedAt = 0;
+    Tick finishedAt = 0;
+};
+
+/** Common knobs. */
+struct AttackConfig
+{
+    std::string attackerKeySeed = "r4ns0m-key";
+    std::uint64_t rngSeed = 0xA77AC4;
+};
+
+/** Base class: owns the attacker cipher and helpers. */
+class Ransomware
+{
+  public:
+    explicit Ransomware(const AttackConfig &config = AttackConfig());
+    virtual ~Ransomware() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Execute the attack against @p device, encrypting @p victim.
+     * @p clock is the experiment clock (attacks pace themselves).
+     */
+    virtual AttackReport run(nvme::BlockDevice &device,
+                             VirtualClock &clock,
+                             const VictimDataset &victim) = 0;
+
+  protected:
+    /** Encrypt one page's plaintext with the attacker key. */
+    std::vector<std::uint8_t>
+    encryptPage(const std::vector<std::uint8_t> &plain, Lpa lpa) const;
+
+    /** read->encrypt->overwrite one victim page. */
+    void encryptInPlace(nvme::BlockDevice &device, Lpa lpa,
+                        AttackReport &report) const;
+
+    AttackConfig config_;
+    crypto::Key256 key_;
+    mutable Rng rng_;
+};
+
+/** Fast in-place encryptor (the pre-SSD-era baseline ransomware). */
+class ClassicRansomware : public Ransomware
+{
+  public:
+    using Ransomware::Ransomware;
+    const char *name() const override { return "classic"; }
+    AttackReport run(nvme::BlockDevice &device, VirtualClock &clock,
+                     const VictimDataset &victim) override;
+};
+
+/** Classic + capacity flood to force GC to erase retained data. */
+class GcAttack : public Ransomware
+{
+  public:
+    struct Params
+    {
+        /** Junk written as a multiple of device capacity. */
+        double floodCapacityMultiple = 2.0;
+        /** LBA span used for flooding (fraction of device). */
+        double floodSpanFraction = 0.5;
+    };
+
+    GcAttack() : GcAttack(Params()) {}
+    explicit GcAttack(const Params &params,
+                      const AttackConfig &config = AttackConfig());
+    const char *name() const override { return "gc-attack"; }
+    AttackReport run(nvme::BlockDevice &device, VirtualClock &clock,
+                     const VictimDataset &victim) override;
+
+  private:
+    Params params_;
+};
+
+/** Slow encryptor hidden inside benign traffic. */
+class TimingAttack : public Ransomware
+{
+  public:
+    struct Params
+    {
+        /** Gap between victim-page encryptions. */
+        Tick encryptionInterval = 2 * units::SEC;
+        /** Benign ops issued between encryptions (dilution). */
+        std::uint32_t benignOpsPerEncrypt = 64;
+        /** LBA region used for benign cover traffic. */
+        double benignSpanFraction = 0.25;
+    };
+
+    TimingAttack() : TimingAttack(Params()) {}
+    explicit TimingAttack(const Params &params,
+                          const AttackConfig &config = AttackConfig());
+    const char *name() const override { return "timing-attack"; }
+    AttackReport run(nvme::BlockDevice &device, VirtualClock &clock,
+                     const VictimDataset &victim) override;
+
+  private:
+    Params params_;
+};
+
+/** Write ciphertext elsewhere, then TRIM the original pages. */
+class TrimmingAttack : public Ransomware
+{
+  public:
+    struct Params
+    {
+        /** Where the ciphertext copies land (fraction of device). */
+        double dropSiteFraction = 0.75;
+    };
+
+    TrimmingAttack() : TrimmingAttack(Params()) {}
+    explicit TrimmingAttack(const Params &params,
+                            const AttackConfig &config = AttackConfig());
+    const char *name() const override { return "trimming-attack"; }
+    AttackReport run(nvme::BlockDevice &device, VirtualClock &clock,
+                     const VictimDataset &victim) override;
+
+  private:
+    Params params_;
+};
+
+} // namespace rssd::attack
+
+#endif // RSSD_ATTACK_RANSOMWARE_HH

@@ -1,0 +1,55 @@
+#include "attack/victim.hh"
+
+#include "sim/logging.hh"
+
+namespace rssd::attack {
+
+VictimDataset::VictimDataset(Lpa first_lpa, std::uint32_t pages,
+                             double compressibility, std::uint64_t seed)
+    : first_(first_lpa),
+      count_(pages),
+      compressibility_(compressibility),
+      seed_(seed)
+{
+}
+
+void
+VictimDataset::populate(nvme::BlockDevice &device)
+{
+    compress::DataGenerator gen(seed_, compressibility_);
+    const std::uint32_t page_size = device.pageSize();
+    panicIf(first_ + count_ > device.capacityPages(),
+            "victim dataset exceeds device capacity");
+    for (std::uint32_t i = 0; i < count_; i++) {
+        const Lpa lpa = first_ + i;
+        std::vector<std::uint8_t> content = gen.page(page_size);
+        const nvme::Completion comp = device.writePage(lpa, content);
+        panicIf(!comp.ok(), "victim populate write failed");
+        plaintext_[lpa] = std::move(content);
+    }
+}
+
+const std::vector<std::uint8_t> &
+VictimDataset::plaintextOf(Lpa lpa) const
+{
+    const auto it = plaintext_.find(lpa);
+    panicIf(it == plaintext_.end(), "plaintextOf: not a victim page");
+    return it->second;
+}
+
+double
+VictimDataset::intactFraction(nvme::BlockDevice &device) const
+{
+    if (count_ == 0)
+        return 1.0;
+    std::uint32_t intact = 0;
+    for (std::uint32_t i = 0; i < count_; i++) {
+        const Lpa lpa = first_ + i;
+        const nvme::Completion comp = device.readPage(lpa);
+        if (comp.ok() && comp.data == plaintext_.at(lpa))
+            intact++;
+    }
+    return static_cast<double>(intact) / static_cast<double>(count_);
+}
+
+} // namespace rssd::attack

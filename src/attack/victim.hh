@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The victim dataset: user files on the device whose fate the
+ * Table 1 experiments measure.
+ *
+ * Populates a range of LBAs with realistic low-entropy content and
+ * remembers the plaintext out-of-band (the experimenter's ground
+ * truth, not something any defense can see). After an attack and a
+ * recovery attempt, verifyIntact() reads every victim page back and
+ * reports the surviving fraction.
+ */
+
+#ifndef RSSD_ATTACK_VICTIM_HH
+#define RSSD_ATTACK_VICTIM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/datagen.hh"
+#include "nvme/command.hh"
+#include "sim/rng.hh"
+
+namespace rssd::attack {
+
+using flash::Lpa;
+
+class VictimDataset
+{
+  public:
+    /**
+     * @param first_lpa        start of the victim range
+     * @param pages            number of victim pages
+     * @param compressibility  victim content redundancy (user data
+     *                         is compressible; ~0.7 gives ~4-5 bits
+     *                         per byte of entropy)
+     */
+    VictimDataset(Lpa first_lpa, std::uint32_t pages,
+                  double compressibility = 0.7,
+                  std::uint64_t seed = 0x51C71);
+
+    /** Write the dataset onto @p device. */
+    void populate(nvme::BlockDevice &device);
+
+    /** Ground-truth plaintext of a victim page. */
+    const std::vector<std::uint8_t> &plaintextOf(Lpa lpa) const;
+
+    /** Fraction of victim pages currently intact on @p device. */
+    double intactFraction(nvme::BlockDevice &device) const;
+
+    Lpa firstLpa() const { return first_; }
+    std::uint32_t pages() const { return count_; }
+
+  private:
+    Lpa first_;
+    std::uint32_t count_;
+    std::unordered_map<Lpa, std::vector<std::uint8_t>> plaintext_;
+    double compressibility_;
+    std::uint64_t seed_;
+};
+
+} // namespace rssd::attack
+
+#endif // RSSD_ATTACK_VICTIM_HH

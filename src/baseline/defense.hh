@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Defense interface used by the Table 1 experiment: every
+ * comparison system (software and hardware) is modelled as a wrapper
+ * around a block device, with hooks for the lifecycle the experiment
+ * drives:
+ *
+ *   construct -> populate victim -> onPrivilegeEscalation()
+ *             -> attack runs against device()
+ *             -> attemptRecovery(victim, attack_start)
+ *             -> measure victim.intactFraction(device())
+ *
+ * The models are *behavioural*: each reproduces the documented
+ * mechanism of the original system (detection windows, bounded
+ * shadow/backup space, firmware retention heuristics) at the level
+ * of fidelity the Table 1 comparison needs. See DESIGN.md §2.
+ */
+
+#ifndef RSSD_BASELINE_DEFENSE_HH
+#define RSSD_BASELINE_DEFENSE_HH
+
+#include <memory>
+#include <string>
+
+#include "attack/victim.hh"
+#include "nvme/command.hh"
+#include "sim/clock.hh"
+
+namespace rssd::baseline {
+
+/** Data-recovery classification, matching Table 1's glyphs. */
+enum class RecoveryClass : std::uint8_t {
+    Unrecoverable,        ///< paper glyph: empty circle
+    PartiallyRecoverable, ///< paper glyph: half circle
+    Recoverable,          ///< paper glyph: full circle
+};
+
+const char *recoveryClassName(RecoveryClass c);
+
+/** Classify a measured recovered fraction. */
+RecoveryClass classifyRecovery(double fraction);
+
+/** Did the defense "defend" the attack (preserve the data)? */
+inline bool
+defended(double recovered_fraction)
+{
+    return recovered_fraction >= 0.99;
+}
+
+class Defense
+{
+  public:
+    virtual ~Defense() = default;
+
+    virtual const char *name() const = 0;
+
+    /** The block device the attack (and victim I/O) runs against. */
+    virtual nvme::BlockDevice &device() = 0;
+
+    /**
+     * Ransomware 2.0 escalates to admin before attacking; software
+     * defenses lose their agents here, hardware ones don't care.
+     */
+    virtual void onPrivilegeEscalation() {}
+
+    /** Whether online detection tripped during the attack. */
+    virtual bool detectedAttack() const { return false; }
+
+    /**
+     * Attempt to restore the victim dataset to its pre-attack state.
+     * @param attack_start  simulated time the attack began (the
+     *        operator learns this from the incident, or — for RSSD —
+     *        from post-attack analysis).
+     */
+    virtual void attemptRecovery(const attack::VictimDataset &victim,
+                                 Tick attack_start) = 0;
+
+    /**
+     * Can this defense produce a *trusted* (tamper-evident,
+     * verifiable) history of the I/O operations for forensics?
+     */
+    virtual bool forensicsAvailable() const { return false; }
+};
+
+} // namespace rssd::baseline
+
+#endif // RSSD_BASELINE_DEFENSE_HH

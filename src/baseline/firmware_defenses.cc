@@ -1,0 +1,303 @@
+#include "baseline/firmware_defenses.hh"
+
+#include <algorithm>
+
+#include "crypto/entropy.hh"
+
+namespace rssd::baseline {
+
+// ---------------------------------------------------------------------
+// FirmwareDefenseBase
+// ---------------------------------------------------------------------
+
+FirmwareDefenseBase::FirmwareDefenseBase(const ftl::FtlConfig &config,
+                                         VirtualClock &clock,
+                                         const RetainParams &params)
+    : clock_(clock), ftl_(config, clock, this), retainParams_(params)
+{
+}
+
+std::uint64_t
+FirmwareDefenseBase::capacityPages() const
+{
+    return ftl_.logicalPages();
+}
+
+std::uint32_t
+FirmwareDefenseBase::pageSize() const
+{
+    return ftl_.config().geometry.pageSize;
+}
+
+ftl::RetainVerdict
+FirmwareDefenseBase::onInvalidate(flash::Lpa lpa, flash::Ppa old_ppa,
+                                  const flash::Oob &oob,
+                                  ftl::InvalidateCause cause, Tick now)
+{
+    expireHolds(now);
+    if (!shouldHold(lpa, inFlightEntropy_, cause, now))
+        return ftl::RetainVerdict::Discard;
+
+    while (held_.size() >= retainParams_.maxHeldPages)
+        dropOldestHold();
+
+    HeldVersion v;
+    v.lpa = lpa;
+    v.ppa = old_ppa;
+    v.writtenAt = oob.writeTick;
+    v.invalidatedAt = now;
+    held_.emplace(oob.seq, v);
+    heldByPpa_.emplace(old_ppa, oob.seq);
+    return ftl::RetainVerdict::Hold;
+}
+
+void
+FirmwareDefenseBase::onHeldRelocated(flash::Ppa from, flash::Ppa to)
+{
+    const auto it = heldByPpa_.find(from);
+    panicIf(it == heldByPpa_.end(),
+            "firmware defense: relocated untracked hold");
+    const std::uint64_t seq = it->second;
+    heldByPpa_.erase(it);
+    heldByPpa_.emplace(to, seq);
+    held_.at(seq).ppa = to;
+}
+
+void
+FirmwareDefenseBase::dropOldestHold()
+{
+    if (held_.empty())
+        return;
+    const auto it = held_.begin();
+    ftl_.releaseHeld(it->second.ppa);
+    heldByPpa_.erase(it->second.ppa);
+    held_.erase(it);
+}
+
+void
+FirmwareDefenseBase::expireHolds(Tick now)
+{
+    if (retainParams_.maxHoldAge == 0)
+        return;
+    while (!held_.empty()) {
+        const HeldVersion &oldest = held_.begin()->second;
+        if (now - oldest.invalidatedAt <= retainParams_.maxHoldAge)
+            break;
+        dropOldestHold();
+    }
+}
+
+nvme::Completion
+FirmwareDefenseBase::submit(const nvme::Command &cmd)
+{
+    observeCommand(cmd);
+    const std::uint32_t page_size = pageSize();
+    return nvme::executeOnFtl(
+        cmd, page_size, capacityPages(), clock_,
+        [this, &cmd, page_size](flash::Lpa lpa,
+                                const std::vector<std::uint8_t> &page) {
+            (void)cmd;
+            inFlightEntropy_ = page.empty()
+                ? detect::kNoEntropy
+                : static_cast<float>(crypto::shannonEntropy(
+                      page.data(), page.size()));
+            if (!allowWrite(lpa, inFlightEntropy_)) {
+                // Blocked by the in-controller defense: report
+                // success-without-effect is unrealistic, so surface
+                // it as a no-space style failure the attacker sees.
+                return ftl::IoResult{ftl::Status::NoSpace,
+                                     clock_.now()};
+            }
+            ftl::IoResult r = ftl_.write(lpa, page, clock_.now());
+            if (r.status == ftl::Status::NoSpace) {
+                // Local retention pressure: a real bounded-retention
+                // firmware sacrifices the oldest holds to keep the
+                // device writable.
+                while (r.status == ftl::Status::NoSpace &&
+                       !held_.empty()) {
+                    dropOldestHold();
+                    r = ftl_.write(lpa, page, clock_.now());
+                }
+            }
+            return r;
+        },
+        [this](flash::Lpa lpa, std::vector<std::uint8_t> &page) {
+            const ftl::IoResult r = ftl_.read(lpa, clock_.now());
+            if (r.status == ftl::Status::Ok)
+                page = ftl_.lastReadContent();
+            return r;
+        },
+        [this](flash::Lpa lpa) {
+            inFlightEntropy_ = detect::kNoEntropy;
+            return ftl_.trim(lpa, clock_.now());
+        });
+}
+
+void
+FirmwareDefenseBase::attemptRecovery(const attack::VictimDataset &victim,
+                                     Tick attack_start)
+{
+    // Restore, for each victim page, the retained version that was
+    // live when the attack began (written before, invalidated after).
+    std::unordered_map<flash::Lpa, const HeldVersion *> best;
+    for (const auto &[seq, v] : held_) {
+        if (v.writtenAt < attack_start &&
+            v.invalidatedAt >= attack_start) {
+            auto &slot = best[v.lpa];
+            if (!slot || v.writtenAt > slot->writtenAt)
+                slot = &v;
+        }
+    }
+    for (std::uint32_t i = 0; i < victim.pages(); i++) {
+        const flash::Lpa lpa = victim.firstLpa() + i;
+        const auto it = best.find(lpa);
+        if (it == best.end())
+            continue;
+        const std::vector<std::uint8_t> content =
+            ftl_.nand().content(it->second->ppa);
+        if (!content.empty())
+            writePage(lpa, content);
+    }
+}
+
+// ---------------------------------------------------------------------
+// FlashGuardLike
+// ---------------------------------------------------------------------
+
+FlashGuardLike::FlashGuardLike(const ftl::FtlConfig &config,
+                               VirtualClock &clock, const Params &params)
+    : FirmwareDefenseBase(config, clock, params.retain),
+      params_(params)
+{
+}
+
+void
+FlashGuardLike::observeCommand(const nvme::Command &cmd)
+{
+    if (cmd.op != nvme::Opcode::Read)
+        return;
+    for (std::uint32_t i = 0; i < cmd.npages; i++) {
+        const flash::Lpa lpa = cmd.lpa + i;
+        if (recentReads_.emplace(lpa, clock_.now()).second)
+            readOrder_.push_back(lpa);
+        else
+            recentReads_[lpa] = clock_.now();
+    }
+    while (recentReads_.size() > params_.maxTrackedReads &&
+           !readOrder_.empty()) {
+        recentReads_.erase(readOrder_.front());
+        readOrder_.pop_front();
+    }
+}
+
+bool
+FlashGuardLike::shouldHold(flash::Lpa lpa, float new_entropy,
+                           ftl::InvalidateCause cause, Tick now)
+{
+    if (cause != ftl::InvalidateCause::HostOverwrite)
+        return false; // FlashGuard predates the trimming attack
+    if (new_entropy < params_.highEntropy)
+        return false;
+    const auto it = recentReads_.find(lpa);
+    return it != recentReads_.end() &&
+           now - it->second <= params_.readWindow;
+}
+
+// ---------------------------------------------------------------------
+// TimeSsdLike
+// ---------------------------------------------------------------------
+
+TimeSsdLike::TimeSsdLike(const ftl::FtlConfig &config,
+                         VirtualClock &clock, const Params &params)
+    : FirmwareDefenseBase(config, clock, params.retain)
+{
+}
+
+bool
+TimeSsdLike::shouldHold(flash::Lpa lpa, float new_entropy,
+                        ftl::InvalidateCause cause, Tick now)
+{
+    (void)lpa; (void)new_entropy; (void)now;
+    // Retain all overwrites within the window; trims still discard.
+    return cause == ftl::InvalidateCause::HostOverwrite;
+}
+
+// ---------------------------------------------------------------------
+// DetectRollbackLike
+// ---------------------------------------------------------------------
+
+DetectRollbackLike::DetectRollbackLike(const ftl::FtlConfig &config,
+                                       VirtualClock &clock,
+                                       const Params &params)
+    : FirmwareDefenseBase(config, clock, params.retain),
+      params_(params),
+      detector_(params.detector)
+{
+}
+
+bool
+DetectRollbackLike::detectedAttack() const
+{
+    return detector_.alarmed();
+}
+
+bool
+DetectRollbackLike::shouldHold(flash::Lpa lpa, float new_entropy,
+                               ftl::InvalidateCause cause, Tick now)
+{
+    (void)lpa; (void)new_entropy; (void)now;
+    // Retain recent overwrites so a detection can roll them back;
+    // the small buffer + age bound does the forgetting.
+    return cause == ftl::InvalidateCause::HostOverwrite;
+}
+
+void
+DetectRollbackLike::observeCommand(const nvme::Command &cmd)
+{
+    const std::uint32_t page_size = pageSize();
+    for (std::uint32_t i = 0; i < cmd.npages; i++) {
+        const flash::Lpa lpa = cmd.lpa + i;
+        if (cmd.op == nvme::Opcode::Write) {
+            detect::IoEvent ev;
+            ev.kind = detect::EventKind::Write;
+            ev.lpa = lpa;
+            ev.timestamp = clock_.now();
+            ev.seq = eventSeq_++;
+            if (!cmd.data.empty()) {
+                ev.entropy = static_cast<float>(crypto::shannonEntropy(
+                    cmd.data.data() + std::size_t(i) * page_size,
+                    page_size));
+            }
+            const auto it = liveEntropy_.find(lpa);
+            ev.overwrite = it != liveEntropy_.end();
+            ev.prevEntropy =
+                ev.overwrite ? it->second : detect::kNoEntropy;
+            liveEntropy_[lpa] = ev.entropy;
+            detector_.observe(ev);
+        } else if (cmd.op == nvme::Opcode::Trim) {
+            liveEntropy_.erase(lpa);
+        }
+    }
+}
+
+bool
+DetectRollbackLike::allowWrite(flash::Lpa lpa, float entropy)
+{
+    (void)lpa;
+    if (!params_.blockOnDetect || !detector_.alarmed())
+        return true;
+    // RBlocker behaviour: once alarmed, block further high-entropy
+    // writes (suspected ciphertext).
+    return entropy < 7.0f;
+}
+
+void
+DetectRollbackLike::attemptRecovery(const attack::VictimDataset &victim,
+                                    Tick attack_start)
+{
+    if (!detector_.alarmed())
+        return; // rollback is detection-triggered
+    FirmwareDefenseBase::attemptRecovery(victim, attack_start);
+}
+
+} // namespace rssd::baseline

@@ -1,0 +1,53 @@
+#include "baseline/rssd_defense.hh"
+
+namespace rssd::baseline {
+
+RssdDefense::RssdDefense(const core::RssdConfig &config,
+                         VirtualClock &clock)
+    : device_(config, clock)
+{
+}
+
+bool
+RssdDefense::forensicsAvailable() const
+{
+    // The evidence chain must verify end to end: remote segments,
+    // the local tail, and the splice between them.
+    return device_.backupStore().verifyFullChain() &&
+           device_.opLog().verifyHeldChain();
+}
+
+void
+RssdDefense::attemptRecovery(const attack::VictimDataset &victim,
+                             Tick attack_start)
+{
+    (void)victim; // RSSD recovers the whole device, not just files.
+
+    // Make sure everything pending is on the remote store, then run
+    // the real post-attack pipeline.
+    device_.drainOffload();
+
+    core::DeviceHistory history(device_);
+    core::PostAttackAnalyzer analyzer(history);
+    analysis_ = analyzer.analyze();
+    analysisDetected_ = analysis_.finding.detected;
+
+    std::uint64_t target;
+    if (analysis_.finding.detected) {
+        target = analysis_.finding.recommendedRecoverySeq;
+    } else {
+        // Fall back to the operator-supplied incident time.
+        target = history.entries().size();
+        for (std::uint64_t i = 0; i < history.entries().size(); i++) {
+            if (history.entries()[i].timestamp >= attack_start) {
+                target = i;
+                break;
+            }
+        }
+    }
+
+    core::RecoveryEngine engine(history);
+    recovery_ = engine.recoverToLogSeq(target);
+}
+
+} // namespace rssd::baseline

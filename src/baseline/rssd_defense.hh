@@ -1,0 +1,61 @@
+/**
+ * @file
+ * RSSD as a Defense: the paper's system, driven through the same
+ * Table 1 harness as every baseline. Recovery is the real pipeline —
+ * fetch history from the remote store, verify the evidence chain,
+ * run offline analysis to locate the attack, and roll back to the
+ * recommended point.
+ */
+
+#ifndef RSSD_BASELINE_RSSD_DEFENSE_HH
+#define RSSD_BASELINE_RSSD_DEFENSE_HH
+
+#include <memory>
+
+#include "baseline/defense.hh"
+#include "core/analyzer.hh"
+#include "core/recovery.hh"
+#include "core/rssd_device.hh"
+
+namespace rssd::baseline {
+
+class RssdDefense : public Defense
+{
+  public:
+    RssdDefense(const core::RssdConfig &config, VirtualClock &clock);
+
+    const char *name() const override { return "RSSD"; }
+    nvme::BlockDevice &device() override { return device_; }
+
+    void attemptRecovery(const attack::VictimDataset &victim,
+                         Tick attack_start) override;
+
+    bool detectedAttack() const override { return analysisDetected_; }
+
+    /** RSSD's whole point: a verified, hash-chained history. */
+    bool forensicsAvailable() const override;
+
+    core::RssdDevice &rssd() { return device_; }
+
+    /** The last analysis report (valid after attemptRecovery). */
+    const core::AnalysisReport &lastAnalysis() const
+    {
+        return analysis_;
+    }
+
+    /** The last recovery report (valid after attemptRecovery). */
+    const core::RecoveryReport &lastRecovery() const
+    {
+        return recovery_;
+    }
+
+  private:
+    core::RssdDevice device_;
+    core::AnalysisReport analysis_;
+    core::RecoveryReport recovery_;
+    bool analysisDetected_ = false;
+};
+
+} // namespace rssd::baseline
+
+#endif // RSSD_BASELINE_RSSD_DEFENSE_HH

@@ -1,0 +1,349 @@
+#include "baseline/software_defenses.hh"
+
+#include <algorithm>
+
+#include "crypto/entropy.hh"
+
+namespace rssd::baseline {
+
+const char *
+recoveryClassName(RecoveryClass c)
+{
+    switch (c) {
+      case RecoveryClass::Unrecoverable: return "unrecoverable";
+      case RecoveryClass::PartiallyRecoverable: return "partial";
+      case RecoveryClass::Recoverable: return "recoverable";
+    }
+    return "?";
+}
+
+RecoveryClass
+classifyRecovery(double fraction)
+{
+    if (fraction >= 0.99)
+        return RecoveryClass::Recoverable;
+    if (fraction >= 0.10)
+        return RecoveryClass::PartiallyRecoverable;
+    return RecoveryClass::Unrecoverable;
+}
+
+namespace {
+
+/** Entropy of one page of a multi-page write payload. */
+float
+pageEntropy(const nvme::Command &cmd, std::uint32_t page,
+            std::uint32_t page_size)
+{
+    if (cmd.data.empty())
+        return detect::kNoEntropy;
+    return static_cast<float>(crypto::shannonEntropy(
+        cmd.data.data() + std::size_t(page) * page_size, page_size));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// HostShimDefense
+// ---------------------------------------------------------------------
+
+HostShimDefense::HostShimDefense(const ftl::FtlConfig &config,
+                                 VirtualClock &clock)
+    : clock_(clock), inner_(config, clock)
+{
+}
+
+nvme::Completion
+HostShimDefense::submit(const nvme::Command &cmd)
+{
+    if (agentAlive_)
+        onHostCommand(cmd);
+    return inner_.submit(cmd);
+}
+
+std::uint64_t
+HostShimDefense::capacityPages() const
+{
+    return inner_.capacityPages();
+}
+
+std::uint32_t
+HostShimDefense::pageSize() const
+{
+    return inner_.pageSize();
+}
+
+// ---------------------------------------------------------------------
+// SoftwareDetectorDefense
+// ---------------------------------------------------------------------
+
+SoftwareDetectorDefense::SoftwareDetectorDefense(
+    const ftl::FtlConfig &config, VirtualClock &clock)
+    : HostShimDefense(config, clock)
+{
+}
+
+bool
+SoftwareDetectorDefense::detectedAttack() const
+{
+    return entropyDetector_.alarmed() || patternDetector_.alarmed();
+}
+
+void
+SoftwareDetectorDefense::onHostCommand(const nvme::Command &cmd)
+{
+    const std::uint32_t page_size = pageSize();
+    for (std::uint32_t i = 0; i < cmd.npages; i++) {
+        const flash::Lpa lpa = cmd.lpa + i;
+        detect::IoEvent ev;
+        ev.lpa = lpa;
+        ev.timestamp = clock_.now();
+        ev.seq = eventSeq_++;
+        if (cmd.op == nvme::Opcode::Write) {
+            ev.kind = detect::EventKind::Write;
+            ev.entropy = pageEntropy(cmd, i, page_size);
+            const auto it = liveEntropy_.find(lpa);
+            ev.overwrite = it != liveEntropy_.end();
+            ev.prevEntropy =
+                ev.overwrite ? it->second : detect::kNoEntropy;
+            liveEntropy_[lpa] = ev.entropy;
+        } else if (cmd.op == nvme::Opcode::Read) {
+            ev.kind = detect::EventKind::Read;
+        } else if (cmd.op == nvme::Opcode::Trim) {
+            ev.kind = detect::EventKind::Trim;
+            liveEntropy_.erase(lpa);
+        } else {
+            continue;
+        }
+        entropyDetector_.observe(ev);
+        patternDetector_.observe(ev);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CloudBackupDefense
+// ---------------------------------------------------------------------
+
+CloudBackupDefense::CloudBackupDefense(const ftl::FtlConfig &config,
+                                       VirtualClock &clock,
+                                       const Params &params)
+    : HostShimDefense(config, clock), params_(params)
+{
+}
+
+void
+CloudBackupDefense::onHostCommand(const nvme::Command &cmd)
+{
+    const std::uint32_t page_size = pageSize();
+    for (std::uint32_t i = 0; i < cmd.npages; i++) {
+        const flash::Lpa lpa = cmd.lpa + i;
+        if (cmd.op == nvme::Opcode::Write && !cmd.data.empty()) {
+            dirty_[lpa].assign(
+                cmd.data.begin() + std::size_t(i) * page_size,
+                cmd.data.begin() + std::size_t(i + 1) * page_size);
+        } else if (cmd.op == nvme::Opcode::Trim) {
+            // Sync semantics: deletion propagates; the cloud "trash"
+            // does not keep trimmed files (bounded-trash model).
+            dirty_.erase(lpa);
+            const auto it = store_.find(lpa);
+            if (it != store_.end()) {
+                for (const Version &v : it->second)
+                    usedBytes_ -= v.content.size();
+                store_.erase(it);
+            }
+        }
+    }
+    if (++opsSinceSync_ >= params_.syncInterval) {
+        syncDirty();
+        opsSinceSync_ = 0;
+    }
+}
+
+void
+CloudBackupDefense::syncDirty()
+{
+    for (auto &[lpa, content] : dirty_) {
+        auto &versions = store_[lpa];
+        versions.push_back(Version{clock_.now(), std::move(content)});
+        usedBytes_ += versions.back().content.size();
+        evictionOrder_.emplace_back(lpa, versions.size() - 1);
+    }
+    dirty_.clear();
+    evictToBudget();
+}
+
+void
+CloudBackupDefense::evictToBudget()
+{
+    while (usedBytes_ > params_.budgetBytes &&
+           !evictionOrder_.empty()) {
+        const auto [lpa, idx] = evictionOrder_.front();
+        evictionOrder_.pop_front();
+        const auto it = store_.find(lpa);
+        if (it == store_.end() || idx >= it->second.size())
+            continue; // already dropped with a trim
+        Version &v = it->second[idx];
+        usedBytes_ -= v.content.size();
+        v.content.clear();
+        v.content.shrink_to_fit();
+    }
+}
+
+void
+CloudBackupDefense::attemptRecovery(const attack::VictimDataset &victim,
+                                    Tick attack_start)
+{
+    // Restore, for every victim page, the newest surviving version
+    // synced before the attack began.
+    for (std::uint32_t i = 0; i < victim.pages(); i++) {
+        const flash::Lpa lpa = victim.firstLpa() + i;
+        const auto it = store_.find(lpa);
+        if (it == store_.end())
+            continue;
+        const Version *best = nullptr;
+        for (const Version &v : it->second) {
+            if (v.syncedAt < attack_start && !v.content.empty())
+                best = &v;
+        }
+        if (best)
+            inner_.writePage(lpa, best->content);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ShieldFsDefense
+// ---------------------------------------------------------------------
+
+ShieldFsDefense::ShieldFsDefense(const ftl::FtlConfig &config,
+                                 VirtualClock &clock,
+                                 const Params &params)
+    : HostShimDefense(config, clock),
+      params_(params),
+      detector_(params.detector)
+{
+}
+
+bool
+ShieldFsDefense::detectedAttack() const
+{
+    return detector_.alarmed();
+}
+
+void
+ShieldFsDefense::onHostCommand(const nvme::Command &cmd)
+{
+    const std::uint32_t page_size = pageSize();
+    for (std::uint32_t i = 0; i < cmd.npages; i++) {
+        const flash::Lpa lpa = cmd.lpa + i;
+        if (cmd.op == nvme::Opcode::Write) {
+            // Shadow the previous content (first overwrite only:
+            // ShieldFS keeps the pre-malware copy). A write to a
+            // never-written LBA is file creation, not an overwrite —
+            // nothing to shadow.
+            if (!shadows_.count(lpa) && liveEntropy_.count(lpa)) {
+                const nvme::Completion prev = inner_.readPage(lpa);
+                if (prev.ok()) {
+                    shadows_.emplace(
+                        lpa, Shadow{clock_.now(), prev.data});
+                    shadowOrder_.push_back(lpa);
+                    shadowBytes_ += prev.data.size();
+                }
+            }
+            // Recycle oldest shadows past the budget.
+            while (shadowBytes_ > params_.shadowBudgetBytes &&
+                   !shadowOrder_.empty()) {
+                const flash::Lpa old = shadowOrder_.front();
+                shadowOrder_.pop_front();
+                const auto it = shadows_.find(old);
+                if (it != shadows_.end()) {
+                    shadowBytes_ -= it->second.content.size();
+                    shadows_.erase(it);
+                }
+            }
+
+            detect::IoEvent ev;
+            ev.kind = detect::EventKind::Write;
+            ev.lpa = lpa;
+            ev.timestamp = clock_.now();
+            ev.seq = eventSeq_++;
+            ev.entropy = pageEntropy(cmd, i, page_size);
+            const auto it = liveEntropy_.find(lpa);
+            ev.overwrite = it != liveEntropy_.end();
+            ev.prevEntropy =
+                ev.overwrite ? it->second : detect::kNoEntropy;
+            liveEntropy_[lpa] = ev.entropy;
+            detector_.observe(ev);
+        } else if (cmd.op == nvme::Opcode::Trim) {
+            // ShieldFS watches overwrites, not deletions: no shadow.
+            liveEntropy_.erase(lpa);
+        }
+    }
+}
+
+void
+ShieldFsDefense::attemptRecovery(const attack::VictimDataset &victim,
+                                 Tick attack_start)
+{
+    if (!detector_.alarmed())
+        return; // restoration is triggered by detection
+    for (std::uint32_t i = 0; i < victim.pages(); i++) {
+        const flash::Lpa lpa = victim.firstLpa() + i;
+        const auto it = shadows_.find(lpa);
+        if (it == shadows_.end())
+            continue;
+        if (it->second.takenAt >= attack_start &&
+            !it->second.content.empty()) {
+            inner_.writePage(lpa, it->second.content);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JournalingFsDefense
+// ---------------------------------------------------------------------
+
+JournalingFsDefense::JournalingFsDefense(const ftl::FtlConfig &config,
+                                         VirtualClock &clock,
+                                         const Params &params)
+    : HostShimDefense(config, clock), params_(params)
+{
+}
+
+void
+JournalingFsDefense::onHostCommand(const nvme::Command &cmd)
+{
+    if (cmd.op != nvme::Opcode::Write)
+        return;
+    for (std::uint32_t i = 0; i < cmd.npages; i++) {
+        const flash::Lpa lpa = cmd.lpa + i;
+        JournalRecord rec;
+        rec.lpa = lpa;
+        rec.at = clock_.now();
+        // Metadata-only journaling (the realistic default) never
+        // captures the data before-image — there is nothing to undo
+        // encryption with.
+        if (params_.dataJournaling) {
+            const nvme::Completion prev = inner_.readPage(lpa);
+            if (prev.ok())
+                rec.before = prev.data;
+        }
+        journal_.push_back(std::move(rec));
+        while (journal_.size() > params_.journalPages)
+            journal_.pop_front(); // ring wraparound
+    }
+}
+
+void
+JournalingFsDefense::attemptRecovery(const attack::VictimDataset &victim,
+                                     Tick attack_start)
+{
+    // Undo journal records newer than the attack start, newest first.
+    (void)victim;
+    for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+        if (it->at < attack_start)
+            break;
+        if (!it->before.empty())
+            inner_.writePage(it->lpa, it->before);
+    }
+}
+
+} // namespace rssd::baseline

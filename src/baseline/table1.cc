@@ -1,0 +1,184 @@
+#include "baseline/table1.hh"
+
+#include "attack/ransomware.hh"
+#include "baseline/firmware_defenses.hh"
+#include "baseline/rssd_defense.hh"
+#include "baseline/software_defenses.hh"
+#include "core/rssd_config.hh"
+
+namespace rssd::baseline {
+
+namespace {
+
+ftl::FtlConfig
+table1FtlConfig()
+{
+    ftl::FtlConfig cfg;
+    cfg.geometry = flash::testGeometry();
+    cfg.opFraction = 0.12;
+    cfg.gcLowWater = 2;
+    cfg.gcHighWater = 4;
+    return cfg;
+}
+
+std::unique_ptr<attack::Ransomware>
+makeAttack(AttackKind kind, const Table1Params &params)
+{
+    switch (kind) {
+      case AttackKind::Classic:
+        return std::make_unique<attack::ClassicRansomware>();
+      case AttackKind::Gc: {
+        attack::GcAttack::Params p;
+        p.floodCapacityMultiple = params.gcFloodMultiple;
+        p.floodSpanFraction = params.gcFloodSpan;
+        return std::make_unique<attack::GcAttack>(p);
+      }
+      case AttackKind::Timing: {
+        attack::TimingAttack::Params p;
+        p.encryptionInterval = params.timingInterval;
+        p.benignOpsPerEncrypt = params.timingBenignOps;
+        return std::make_unique<attack::TimingAttack>(p);
+      }
+      case AttackKind::Trimming:
+        return std::make_unique<attack::TrimmingAttack>();
+    }
+    panic("unknown attack kind");
+}
+
+} // namespace
+
+const char *
+attackKindName(AttackKind k)
+{
+    switch (k) {
+      case AttackKind::Classic: return "classic";
+      case AttackKind::Gc: return "gc";
+      case AttackKind::Timing: return "timing";
+      case AttackKind::Trimming: return "trimming";
+    }
+    return "?";
+}
+
+std::vector<std::pair<std::string, DefenseFactory>>
+table1Defenses()
+{
+    const ftl::FtlConfig ftl_cfg = table1FtlConfig();
+    std::vector<std::pair<std::string, DefenseFactory>> out;
+
+    out.emplace_back("LocalSSD", [ftl_cfg](VirtualClock &clock) {
+        return std::make_unique<PlainSsdDefense>(ftl_cfg, clock);
+    });
+    // UNVEIL and CryptoDrop share the host-detector model.
+    out.emplace_back("Unveil", [ftl_cfg](VirtualClock &clock) {
+        return std::make_unique<SoftwareDetectorDefense>(ftl_cfg,
+                                                         clock);
+    });
+    out.emplace_back("CryptoDrop", [ftl_cfg](VirtualClock &clock) {
+        return std::make_unique<SoftwareDetectorDefense>(ftl_cfg,
+                                                         clock);
+    });
+    out.emplace_back("CloudBackup", [ftl_cfg](VirtualClock &clock) {
+        CloudBackupDefense::Params p;
+        p.budgetBytes = 8 * units::MiB;
+        p.syncInterval = 64;
+        return std::make_unique<CloudBackupDefense>(ftl_cfg, clock, p);
+    });
+    out.emplace_back("ShieldFS", [ftl_cfg](VirtualClock &clock) {
+        return std::make_unique<ShieldFsDefense>(ftl_cfg, clock);
+    });
+    out.emplace_back("JFS", [ftl_cfg](VirtualClock &clock) {
+        return std::make_unique<JournalingFsDefense>(ftl_cfg, clock);
+    });
+    out.emplace_back("FlashGuard", [ftl_cfg](VirtualClock &clock) {
+        FlashGuardLike::Params p;
+        p.retain.maxHoldAge = 60 * units::SEC;
+        return std::make_unique<FlashGuardLike>(ftl_cfg, clock, p);
+    });
+    out.emplace_back("TimeSSD", [ftl_cfg](VirtualClock &clock) {
+        TimeSsdLike::Params p;
+        p.retain.maxHoldAge = 120 * units::SEC;
+        p.retain.maxHeldPages = 512;
+        return std::make_unique<TimeSsdLike>(ftl_cfg, clock, p);
+    });
+    out.emplace_back("SSDInsider", [ftl_cfg](VirtualClock &clock) {
+        return std::make_unique<DetectRollbackLike>(ftl_cfg, clock);
+    });
+    out.emplace_back("RBlocker", [ftl_cfg](VirtualClock &clock) {
+        DetectRollbackLike::Params p;
+        p.blockOnDetect = true;
+        p.displayName = "RBlocker";
+        return std::make_unique<DetectRollbackLike>(ftl_cfg, clock, p);
+    });
+    out.emplace_back("RSSD", [](VirtualClock &clock) {
+        return std::make_unique<RssdDefense>(
+            core::RssdConfig::forTests(), clock);
+    });
+    return out;
+}
+
+CellOutcome
+runCell(const DefenseFactory &factory, AttackKind kind,
+        const Table1Params &params)
+{
+    VirtualClock clock;
+    std::unique_ptr<Defense> defense = factory(clock);
+
+    attack::VictimDataset victim(0, params.victimPages);
+    victim.populate(defense->device());
+
+    // Let periodic agents (backup sync) settle, then give the user a
+    // quiet hour before the incident.
+    for (int i = 0; i < 100; i++)
+        defense->device().readPage(defense->device().capacityPages() -
+                                   1);
+    clock.advance(units::HOUR);
+
+    // Ransomware 2.0 runs with admin privileges.
+    defense->onPrivilegeEscalation();
+    const Tick attack_start = clock.now();
+
+    std::unique_ptr<attack::Ransomware> attack =
+        makeAttack(kind, params);
+    attack->run(defense->device(), clock, victim);
+
+    defense->attemptRecovery(victim, attack_start);
+
+    CellOutcome cell;
+    cell.recovered = victim.intactFraction(defense->device());
+    cell.defended = defended(cell.recovered);
+    cell.detectedOnline = defense->detectedAttack();
+    return cell;
+}
+
+std::vector<Table1Row>
+runTable1(const Table1Params &params)
+{
+    std::vector<Table1Row> rows;
+    for (const auto &[name, factory] : table1Defenses()) {
+        Table1Row row;
+        row.defense = name;
+        double sum = 0.0;
+        for (int a = 0; a < 4; a++) {
+            row.cells[a] =
+                runCell(factory, static_cast<AttackKind>(a), params);
+            sum += row.cells[a].recovered;
+        }
+        row.recovery = classifyRecovery(sum / 4.0);
+
+        // Forensics: probe once with a fresh instance post-attack.
+        {
+            VirtualClock clock;
+            std::unique_ptr<Defense> defense = factory(clock);
+            attack::VictimDataset victim(0, params.victimPages);
+            victim.populate(defense->device());
+            attack::ClassicRansomware classic;
+            classic.run(defense->device(), clock, victim);
+            defense->attemptRecovery(victim, clock.now());
+            row.forensics = defense->forensicsAvailable();
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace rssd::baseline

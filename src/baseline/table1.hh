@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The Table 1 experiment: run every defense against every attack,
+ * measure what survives, and classify the results with the paper's
+ * glyphs. Shared by tests/baseline/table1_test.cc (asserts the
+ * shape) and bench/table1_defense_matrix.cc (prints the table).
+ */
+
+#ifndef RSSD_BASELINE_TABLE1_HH
+#define RSSD_BASELINE_TABLE1_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/defense.hh"
+
+namespace rssd::baseline {
+
+/** The attacks of the Table 1 columns. */
+enum class AttackKind : std::uint8_t {
+    Classic,
+    Gc,
+    Timing,
+    Trimming,
+};
+
+const char *attackKindName(AttackKind k);
+
+/** Outcome of one (defense, attack) cell. */
+struct CellOutcome
+{
+    bool defended = false;     ///< recovered fraction >= 0.99
+    double recovered = 0.0;    ///< victim fraction intact post-recovery
+    bool detectedOnline = false;
+};
+
+/** One defense's full row. */
+struct Table1Row
+{
+    std::string defense;
+    CellOutcome cells[4]; ///< indexed by AttackKind
+    bool forensics = false;
+    RecoveryClass recovery = RecoveryClass::Unrecoverable;
+
+    const CellOutcome &cell(AttackKind k) const
+    {
+        return cells[static_cast<int>(k)];
+    }
+};
+
+/** Experiment knobs (sized for the 16 MiB test geometry). */
+struct Table1Params
+{
+    std::uint32_t victimPages = 128;
+    double gcFloodMultiple = 1.0;
+    double gcFloodSpan = 0.4;
+    Tick timingInterval = 2 * units::SEC;
+    std::uint32_t timingBenignOps = 32;
+};
+
+/** A factory producing a fresh defense bound to @p clock. */
+using DefenseFactory =
+    std::function<std::unique_ptr<Defense>(VirtualClock &clock)>;
+
+/** Name + factory for each Table 1 defense (10 rows, RSSD last). */
+std::vector<std::pair<std::string, DefenseFactory>>
+table1Defenses();
+
+/** Run one cell: fresh defense, populate, attack, recover, measure. */
+CellOutcome runCell(const DefenseFactory &factory, AttackKind attack,
+                    const Table1Params &params);
+
+/** Run the full matrix. */
+std::vector<Table1Row> runTable1(const Table1Params &params = {});
+
+} // namespace rssd::baseline
+
+#endif // RSSD_BASELINE_TABLE1_HH

@@ -1,0 +1,49 @@
+#include "compress/datagen.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rssd::compress {
+
+DataGenerator::DataGenerator(std::uint64_t seed, double compressibility)
+    : rng_(seed),
+      _compressibility(std::clamp(compressibility, 0.0, 1.0))
+{
+    // A small shared dictionary of "phrases"; drawing runs from it
+    // makes output compressible in proportion to how often we use it.
+    dictionary_.resize(512);
+    for (auto &b : dictionary_)
+        b = static_cast<std::uint8_t>(rng_.below(16)); // low-entropy
+}
+
+Bytes
+DataGenerator::page(std::size_t size)
+{
+    Bytes out;
+    out.reserve(size);
+    while (out.size() < size) {
+        const std::size_t remaining = size - out.size();
+        if (rng_.chance(_compressibility)) {
+            // Copy a dictionary run (compressible content).
+            const std::size_t run =
+                std::min<std::size_t>(remaining,
+                                      16 + rng_.below(48));
+            const std::size_t start =
+                rng_.below(dictionary_.size() - run > 0
+                               ? dictionary_.size() - run
+                               : 1);
+            out.insert(out.end(), dictionary_.begin() + start,
+                       dictionary_.begin() + start + run);
+        } else {
+            // Random bytes (incompressible content).
+            const std::size_t run = std::min<std::size_t>(remaining, 32);
+            for (std::size_t i = 0; i < run; i++)
+                out.push_back(static_cast<std::uint8_t>(rng_.below(256)));
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+} // namespace rssd::compress

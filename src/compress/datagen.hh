@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic page-content generator with controllable compressibility.
+ *
+ * The paper's Figure 2 splits on compression ratio (LocalSSD vs
+ * LocalSSD+Compression vs RSSD), so the *content* of synthetic pages
+ * matters, not just their addresses. This generator produces byte
+ * buffers whose LZ compression ratio tracks a requested target, by
+ * mixing repeated dictionary phrases (compressible) with RNG bytes
+ * (incompressible).
+ */
+
+#ifndef RSSD_COMPRESS_DATAGEN_HH
+#define RSSD_COMPRESS_DATAGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/lz.hh"
+#include "sim/rng.hh"
+
+namespace rssd::compress {
+
+/**
+ * Generates page payloads at a requested compressibility level.
+ * Thread-compatible: each generator owns its RNG.
+ */
+class DataGenerator
+{
+  public:
+    /**
+     * @param seed           RNG seed (deterministic output)
+     * @param compressibility  0.0 = pure random (ratio ~1x),
+     *                         1.0 = highly redundant (ratio > 8x).
+     */
+    DataGenerator(std::uint64_t seed, double compressibility);
+
+    /** Produce @p size bytes of content. */
+    Bytes page(std::size_t size);
+
+    /** The fraction of redundant content being generated. */
+    double compressibility() const { return _compressibility; }
+
+  private:
+    Rng rng_;
+    double _compressibility;
+    Bytes dictionary_;
+};
+
+} // namespace rssd::compress
+
+#endif // RSSD_COMPRESS_DATAGEN_HH

@@ -1,0 +1,144 @@
+#include "compress/lz.hh"
+
+#include <array>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace rssd::compress {
+
+namespace {
+
+constexpr int kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr std::uint32_t kNoPos = 0xffffffffu;
+
+std::uint32_t
+hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/** Emit a literal run [start, end) as one or more literal tokens. */
+void
+flushLiterals(const Bytes &input, std::size_t start, std::size_t end,
+              Bytes &out)
+{
+    while (start < end) {
+        const std::size_t run = std::min<std::size_t>(128, end - start);
+        out.push_back(static_cast<std::uint8_t>(run - 1));
+        out.insert(out.end(), input.begin() + start,
+                   input.begin() + start + run);
+        start += run;
+    }
+}
+
+} // namespace
+
+Bytes
+lzCompress(const Bytes &input)
+{
+    Bytes out;
+    out.reserve(input.size() / 2 + 16);
+
+    const std::size_t n = input.size();
+    if (n < kMinMatch) {
+        flushLiterals(input, 0, n, out);
+        return out;
+    }
+
+    // head[h] = most recent position with hash h.
+    std::vector<std::uint32_t> head(kHashSize, kNoPos);
+
+    std::size_t pos = 0;
+    std::size_t literal_start = 0;
+
+    while (pos + kMinMatch <= n) {
+        const std::uint32_t h = hash4(&input[pos]);
+        const std::uint32_t cand = head[h];
+        head[h] = static_cast<std::uint32_t>(pos);
+
+        std::size_t match_len = 0;
+        if (cand != kNoPos && pos - cand <= kMaxDistance &&
+            std::memcmp(&input[cand], &input[pos], kMinMatch) == 0) {
+            // Extend the match as far as the format allows.
+            const std::size_t limit = std::min(kMaxMatch, n - pos);
+            match_len = kMinMatch;
+            while (match_len < limit &&
+                   input[cand + match_len] == input[pos + match_len]) {
+                match_len++;
+            }
+        }
+
+        if (match_len >= kMinMatch) {
+            flushLiterals(input, literal_start, pos, out);
+            const std::size_t dist = pos - cand;
+            out.push_back(static_cast<std::uint8_t>(
+                0x80 | (match_len - kMinMatch)));
+            out.push_back(static_cast<std::uint8_t>(dist & 0xff));
+            out.push_back(static_cast<std::uint8_t>(dist >> 8));
+            // Insert hash entries inside the match so later matches
+            // can reference its interior.
+            const std::size_t insert_end =
+                std::min(pos + match_len, n - kMinMatch + 1);
+            for (std::size_t i = pos + 1; i < insert_end; i++)
+                head[hash4(&input[i])] = static_cast<std::uint32_t>(i);
+            pos += match_len;
+            literal_start = pos;
+        } else {
+            pos++;
+        }
+    }
+
+    flushLiterals(input, literal_start, n, out);
+    return out;
+}
+
+Bytes
+lzDecompress(const Bytes &input, std::size_t expected_size)
+{
+    Bytes out;
+    out.reserve(expected_size);
+
+    std::size_t pos = 0;
+    const std::size_t n = input.size();
+    while (pos < n) {
+        const std::uint8_t ctrl = input[pos++];
+        if (ctrl < 0x80) {
+            const std::size_t run = static_cast<std::size_t>(ctrl) + 1;
+            panicIf(pos + run > n, "lz: truncated literal run");
+            out.insert(out.end(), input.begin() + pos,
+                       input.begin() + pos + run);
+            pos += run;
+        } else {
+            panicIf(pos + 2 > n, "lz: truncated match token");
+            const std::size_t len = (ctrl & 0x7f) + kMinMatch;
+            const std::size_t dist = static_cast<std::size_t>(input[pos]) |
+                (static_cast<std::size_t>(input[pos + 1]) << 8);
+            pos += 2;
+            panicIf(dist == 0 || dist > out.size(),
+                    "lz: invalid match distance");
+            // Byte-by-byte copy: matches may overlap themselves.
+            std::size_t src = out.size() - dist;
+            for (std::size_t i = 0; i < len; i++)
+                out.push_back(out[src + i]);
+        }
+    }
+
+    panicIf(out.size() != expected_size,
+            "lz: decompressed size mismatch");
+    return out;
+}
+
+double
+compressionRatio(std::size_t original, std::size_t compressed)
+{
+    if (compressed == 0)
+        return 1.0;
+    return static_cast<double>(original) /
+           static_cast<double>(compressed);
+}
+
+} // namespace rssd::compress

@@ -1,0 +1,149 @@
+#include "core/analyzer.hh"
+
+#include <algorithm>
+
+namespace rssd::core {
+
+PostAttackAnalyzer::PostAttackAnalyzer(DeviceHistory &history,
+                                       const Config &config)
+    : history_(history), config_(config)
+{
+}
+
+detect::IoEvent
+PostAttackAnalyzer::eventFor(const log::LogEntry &entry) const
+{
+    detect::IoEvent ev;
+    switch (entry.op) {
+      case log::OpKind::Write:
+        ev.kind = detect::EventKind::Write;
+        break;
+      case log::OpKind::Trim:
+        ev.kind = detect::EventKind::Trim;
+        break;
+      case log::OpKind::Read:
+        ev.kind = detect::EventKind::Read;
+        break;
+    }
+    ev.lpa = entry.lpa;
+    ev.timestamp = entry.timestamp;
+    ev.seq = entry.logSeq;
+    ev.entropy = entry.entropy;
+    ev.overwrite = entry.prevDataSeq != log::kNoDataSeq;
+    ev.prevEntropy = ev.overwrite
+        ? history_.entropyOf(entry.prevDataSeq)
+        : detect::kNoEntropy;
+    return ev;
+}
+
+AnalysisReport
+PostAttackAnalyzer::analyze()
+{
+    RssdDevice &device = history_.device();
+    AnalysisReport report;
+    report.startedAt = device.clock().now();
+    report.remoteSegments = history_.cost().segmentsFetched;
+    report.bytesFetched = history_.cost().bytesFetched;
+    report.totalEntries = history_.entries().size();
+
+    // 1. Trust first: nothing below means anything if the chain is
+    //    broken.
+    report.chainIntact = history_.verifyEvidenceChain();
+
+    // 2. Offline detection over the whole history.
+    detect::CumulativeEntropyAuditor auditor(config_.auditor);
+    for (const log::LogEntry &e : history_.entries())
+        auditor.observe(eventFor(e));
+
+    // 3. Trim-burst rule (trimming-attack signature): the auditor is
+    //    blind to TRIMs, so scan for dense trim runs separately.
+    std::uint64_t trim_first = ~0ull, trim_last = 0;
+    std::size_t trim_total = 0;
+    {
+        std::vector<std::uint32_t> trims;
+        const auto &entries = history_.entries();
+        for (std::uint32_t i = 0; i < entries.size(); i++) {
+            if (entries[i].op == log::OpKind::Trim)
+                trims.push_back(i);
+        }
+        for (std::size_t i = 0;
+             i + config_.trimBurstCount <= trims.size(); i++) {
+            const Tick span =
+                entries[trims[i + config_.trimBurstCount - 1]]
+                    .timestamp -
+                entries[trims[i]].timestamp;
+            if (span <= config_.trimBurstWindow) {
+                trim_first = std::min<std::uint64_t>(
+                    trim_first, entries[trims[i]].logSeq);
+                trim_last = std::max<std::uint64_t>(
+                    trim_last, entries[trims.back()].logSeq);
+                trim_total = trims.size();
+                break;
+            }
+        }
+    }
+
+    // 4. Attack window from the implicated operations (either rule).
+    const auto &seqs = auditor.implicatedSeqs();
+    const bool entropy_hit = auditor.alarmed() && !seqs.empty();
+    const bool trim_hit = trim_first != ~0ull;
+    if (entropy_hit || trim_hit) {
+        AttackFinding &f = report.finding;
+        f.detected = true;
+        f.firstSuspectSeq = entropy_hit ? seqs.front() : trim_first;
+        f.lastSuspectSeq = entropy_hit ? seqs.back() : trim_last;
+        if (entropy_hit && trim_hit) {
+            f.firstSuspectSeq =
+                std::min<std::uint64_t>(seqs.front(), trim_first);
+            f.lastSuspectSeq =
+                std::max<std::uint64_t>(seqs.back(), trim_last);
+        }
+        f.implicatedOps =
+            (entropy_hit ? seqs.size() : 0) + trim_total;
+        f.attackStart =
+            history_.entries()[f.firstSuspectSeq].timestamp;
+        f.attackEnd = history_.entries()[f.lastSuspectSeq].timestamp;
+        f.recommendedRecoverySeq = f.firstSuspectSeq;
+    }
+
+    // 5. Cost model: per-entry server CPU (fetch already charged by
+    //    DeviceHistory).
+    const Tick cpu =
+        config_.perEntryCpu * history_.entries().size();
+    device.clock().advance(cpu);
+    report.finishedAt = device.clock().now();
+    return report;
+}
+
+std::vector<log::LogEntry>
+PostAttackAnalyzer::backtrackLpa(flash::Lpa lpa) const
+{
+    std::vector<log::LogEntry> out;
+    const auto &idx = history_.entriesFor(lpa);
+    out.reserve(idx.size());
+    for (std::uint32_t i : idx)
+        out.push_back(history_.entries()[i]);
+
+    // Cross-check the backtrack pointers: each Write/Trim entry's
+    // prevDataSeq must equal the dataSeq of the latest preceding
+    // Write to this LBA (or kNoDataSeq after a gap). Read entries
+    // (when read logging is on) observe but don't mutate.
+    std::uint64_t expect_prev = log::kNoDataSeq;
+    for (const log::LogEntry &e : out) {
+        if (e.op == log::OpKind::Read) {
+            panicIf(expect_prev != log::kNoDataSeq &&
+                        e.dataSeq != expect_prev,
+                    "evidence chain: read observed a phantom version");
+            continue;
+        }
+        panicIf(e.prevDataSeq != expect_prev,
+                "evidence chain: broken backtrack pointer");
+        if (e.op == log::OpKind::Write)
+            expect_prev = e.dataSeq;
+        else
+            expect_prev = log::kNoDataSeq;
+    }
+    return out;
+}
+
+} // namespace rssd::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Post-attack analysis on the trusted evidence chain (paper §3,
+ * "Trusted post-attack analysis").
+ *
+ * The analyzer runs where the log lives — on the remote analysis
+ * host, with the device contributing only its local tail. It:
+ *   1. verifies the evidence chain end to end (hash chain + HMACs),
+ *   2. replays the history through offline detectors (no DRAM-bound
+ *      windows, so the timing attack cannot hide),
+ *   3. reconstructs per-victim I/O sequences via backtrack pointers,
+ *   4. recommends the recovery point just before the first
+ *      implicated operation.
+ *
+ * Analysis cost is modelled (fetch bytes over the link + per-entry
+ * processing on the server) to reproduce the paper's "efficient
+ * post-attack analysis" claim.
+ */
+
+#ifndef RSSD_CORE_ANALYZER_HH
+#define RSSD_CORE_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/history.hh"
+#include "detect/detector.hh"
+
+namespace rssd::core {
+
+/** What the offline analysis concluded. */
+struct AttackFinding
+{
+    bool detected = false;
+    std::uint64_t firstSuspectSeq = 0;
+    std::uint64_t lastSuspectSeq = 0;
+    std::uint64_t implicatedOps = 0;
+    Tick attackStart = 0; ///< timestamp of the first implicated op
+    Tick attackEnd = 0;
+    /** Recover to this logSeq to land just before the attack. */
+    std::uint64_t recommendedRecoverySeq = 0;
+};
+
+/** Full analysis output. */
+struct AnalysisReport
+{
+    bool chainIntact = false;
+    std::uint64_t totalEntries = 0;
+    std::uint64_t remoteSegments = 0;
+    std::uint64_t bytesFetched = 0;
+    AttackFinding finding;
+    Tick startedAt = 0;
+    Tick finishedAt = 0;
+
+    Tick duration() const { return finishedAt - startedAt; }
+};
+
+class PostAttackAnalyzer
+{
+  public:
+    struct Config
+    {
+        detect::CumulativeEntropyAuditor::Config auditor;
+        /** Trim-burst rule: this many trims within the window is a
+         *  trimming-attack signature. */
+        std::size_t trimBurstCount = 64;
+        Tick trimBurstWindow = 60 * units::SEC;
+        /** Server-side processing cost per log entry. */
+        Tick perEntryCpu = 80 * units::NS;
+    };
+
+    explicit PostAttackAnalyzer(DeviceHistory &history)
+        : PostAttackAnalyzer(history, Config())
+    {
+    }
+    PostAttackAnalyzer(DeviceHistory &history, const Config &config);
+
+    /** Run the full pipeline (verify + detect + window). */
+    AnalysisReport analyze();
+
+    /**
+     * Evidence chain for one victim LBA: every logged operation that
+     * touched it, oldest first, cross-checked against the backtrack
+     * (prevDataSeq) pointers.
+     */
+    std::vector<log::LogEntry> backtrackLpa(flash::Lpa lpa) const;
+
+    /** Convert a log entry stream into detector events. */
+    detect::IoEvent eventFor(const log::LogEntry &entry) const;
+
+  private:
+    DeviceHistory &history_;
+    Config config_;
+};
+
+} // namespace rssd::core
+
+#endif // RSSD_CORE_ANALYZER_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * DeviceHistory: the merged view of an RSSD's full operation history
+ * — every sealed segment fetched back from the remote store plus the
+ * local (not-yet-offloaded) log tail and retained pages.
+ *
+ * Both the recovery engine and the post-attack analyzer operate on
+ * this view; building it models the fetch traffic over the NVMe-oE
+ * link, which is where the paper's recovery/analysis timings come
+ * from.
+ */
+
+#ifndef RSSD_CORE_HISTORY_HH
+#define RSSD_CORE_HISTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rssd_device.hh"
+#include "log/oplog.hh"
+#include "log/segment.hh"
+
+namespace rssd::core {
+
+/** Where a data version's content can be found. */
+enum class VersionSource : std::uint8_t {
+    LiveOnDevice,   ///< currently mapped page
+    HeldOnDevice,   ///< retained page still on local flash
+    RemoteSegment,  ///< page record in a fetched segment
+};
+
+/** One recoverable data version. */
+struct VersionRecord
+{
+    flash::Lpa lpa = 0;
+    std::uint64_t dataSeq = 0;
+    VersionSource source = VersionSource::RemoteSegment;
+    flash::Ppa ppa = flash::kInvalidPpa; ///< for on-device sources
+    const log::PageRecord *remote = nullptr; ///< for remote source
+};
+
+/** Cost accounting for building the history. */
+struct HistoryCost
+{
+    std::uint64_t segmentsFetched = 0;
+    std::uint64_t bytesFetched = 0;
+    Tick fetchCompleteAt = 0;
+};
+
+class DeviceHistory
+{
+  public:
+    /**
+     * Build the merged history at the current simulated time.
+     * Fetches (and keeps open) every remote segment.
+     */
+    explicit DeviceHistory(RssdDevice &device);
+
+    /** All log entries, oldest first, remote then local tail. */
+    const std::vector<log::LogEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Verify the complete evidence chain: remote segment chain, the
+     * per-entry hash chain across all segments, the local tail
+     * chain, and the splice point between them.
+     */
+    bool verifyEvidenceChain() const;
+
+    /** Version lookup by dataSeq. */
+    const VersionRecord *findVersion(std::uint64_t data_seq) const;
+
+    /** Content bytes of a version (empty in address-only runs). */
+    const std::vector<std::uint8_t> &
+    contentOf(const VersionRecord &version) const;
+
+    /** Ordered entry indices touching @p lpa (evidence per victim). */
+    const std::vector<std::uint32_t> &entriesFor(flash::Lpa lpa) const;
+
+    /** Entropy written by version @p data_seq (kNoEntropy unknown). */
+    float entropyOf(std::uint64_t data_seq) const;
+
+    const HistoryCost &cost() const { return cost_; }
+    RssdDevice &device() { return device_; }
+    const RssdDevice &device() const { return device_; }
+
+  private:
+    void indexEntry(std::uint32_t idx);
+
+    RssdDevice &device_;
+    std::vector<log::Segment> segments_; ///< opened remote segments
+    std::vector<log::LogEntry> entries_;
+    std::unordered_map<std::uint64_t, VersionRecord> versions_;
+    std::unordered_map<std::uint64_t, float> entropyBySeq_;
+    std::unordered_map<flash::Lpa, std::vector<std::uint32_t>>
+        byLpa_;
+    std::vector<std::uint32_t> emptyIndex_;
+    std::vector<std::uint8_t> emptyContent_;
+    HistoryCost cost_;
+};
+
+} // namespace rssd::core
+
+#endif // RSSD_CORE_HISTORY_HH

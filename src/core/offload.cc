@@ -1,0 +1,127 @@
+#include "core/offload.hh"
+
+#include <algorithm>
+
+namespace rssd::core {
+
+OffloadEngine::OffloadEngine(const RssdConfig &config,
+                             ftl::PageMappedFtl &ftl,
+                             log::OperationLog &oplog,
+                             log::RetentionIndex &retention,
+                             const log::SegmentCodec &codec,
+                             log::SegmentSink &sink, VirtualClock &clock)
+    : config_(config),
+      ftl_(ftl),
+      oplog_(oplog),
+      retention_(retention),
+      codec_(codec),
+      sink_(sink),
+      clock_(clock)
+{
+}
+
+bool
+OffloadEngine::pump(Tick now, bool force)
+{
+    if (remoteFull_)
+        return false;
+
+    bool all_ok = true;
+    while (retention_.size() >= config_.segmentPages ||
+           (force && (!retention_.empty() || oplog_.size() > 0))) {
+        if (!sealOne(now, force)) {
+            all_ok = false;
+            break;
+        }
+        if (!force && retention_.size() < config_.segmentPages)
+            break;
+    }
+    return all_ok;
+}
+
+bool
+OffloadEngine::sealOne(Tick now, bool force)
+{
+    (void)force;
+
+    // Take the oldest retained pages, strictly in version order.
+    std::vector<log::RetainedPage> batch =
+        retention_.takeOldest(config_.segmentPages);
+
+    log::Segment seg;
+    seg.id = nextSegmentId_;
+    seg.prevId = prevSegmentId_;
+
+    // Ship every not-yet-shipped log entry along with the pages. The
+    // log tail always starts at firstHeldSeq because entries are
+    // truncated exactly when their segment is acknowledged.
+    seg.chainAnchor = oplog_.anchorDigest();
+    seg.entries.assign(oplog_.entries().begin(), oplog_.entries().end());
+    seg.chainTail = seg.entries.empty() ? seg.chainAnchor
+                                        : seg.entries.back().chain;
+
+    // Read each retained page's content off the flash array — this
+    // is the data path that mildly contends with host I/O.
+    Tick read_done = now;
+    for (const log::RetainedPage &p : batch) {
+        const Tick t = ftl_.readPhysical(p.ppa, now);
+        read_done = std::max(read_done, t);
+
+        log::PageRecord rec;
+        rec.lpa = p.lpa;
+        rec.dataSeq = p.dataSeq;
+        rec.writtenAt = p.writtenAt;
+        rec.invalidatedAt = p.invalidatedAt;
+        rec.cause = p.cause;
+        rec.content = ftl_.nand().content(p.ppa);
+        seg.pages.push_back(std::move(rec));
+    }
+
+    const std::uint64_t shipped_entries = seg.entries.size();
+    const std::uint64_t last_entry_seq =
+        shipped_entries > 0 ? seg.entries.back().logSeq : 0;
+
+    log::SealedSegment sealed = codec_.seal(seg);
+
+    // Device-side sealing compute (hardware compress + encrypt).
+    const Tick compress_time = units::transferTimeNs(
+        sealed.rawSize, config_.compressMBps * 8.0 / 1000.0);
+    const Tick encrypt_time = units::transferTimeNs(
+        sealed.payload.size(), config_.encryptMBps * 8.0 / 1000.0);
+    const Tick seal_done = sealEngine_.serve(
+        read_done, compress_time + encrypt_time);
+
+    stats_.segmentsSealed++;
+    stats_.bytesRaw += sealed.rawSize;
+    stats_.bytesSealed += sealed.payload.size();
+
+    const log::SubmitResult result =
+        sink_.submitSegment(sealed, seal_done);
+    if (!result.accepted) {
+        // Remote store is full (or persistently failing). Put the
+        // holds back conceptually: the pages were never released, so
+        // simply re-adding them to the index preserves correctness.
+        for (const log::RetainedPage &p : batch)
+            retention_.add(p);
+        remoteFull_ = true;
+        return false;
+    }
+
+    // Acknowledged: release the FTL holds and truncate the shipped
+    // log prefix. Relocations cannot have happened concurrently —
+    // the engine runs between host commands.
+    for (const log::RetainedPage &p : batch)
+        ftl_.releaseHeld(p.ppa);
+    if (shipped_entries > 0)
+        oplog_.truncateBefore(last_entry_seq + 1);
+
+    prevSegmentId_ = seg.id;
+    nextSegmentId_++;
+    lastAckAt_ = std::max(lastAckAt_, result.ackAt);
+    stats_.segmentsAccepted++;
+    stats_.pagesOffloaded += batch.size();
+    stats_.entriesOffloaded += shipped_entries;
+    return true;
+}
+
+} // namespace rssd::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Configuration of a complete RSSD instance: the FTL beneath it, the
+ * hardware-isolated NVMe-oE path beside it, and the remote store
+ * behind it.
+ */
+
+#ifndef RSSD_CORE_RSSD_CONFIG_HH
+#define RSSD_CORE_RSSD_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ftl/ftl.hh"
+#include "net/link.hh"
+#include "net/transport.hh"
+#include "remote/backup_store.hh"
+
+namespace rssd::core {
+
+struct RssdConfig
+{
+    ftl::FtlConfig ftl;
+    net::LinkConfig link;
+    net::TransportConfig transport;
+    remote::BackupStoreConfig remote;
+
+    /** Shared secret between firmware and remote store. */
+    std::string keySeed = "rssd-device-key-v1";
+
+    /** Retained pages bundled per sealed segment. */
+    std::uint32_t segmentPages = 256;
+
+    /**
+     * Pending-retention backlog (pages) above which the device
+     * eagerly seals segments even between host commands.
+     */
+    std::uint32_t pumpThreshold = 512;
+
+    /**
+     * Device-side engine throughputs for sealing (hardware
+     * compression / encryption blocks on the controller).
+     */
+    double compressMBps = 3000.0;
+    double encryptMBps = 5000.0;
+
+    /** Compute per-page content entropy for logging/detection. */
+    bool computeEntropy = true;
+
+    /**
+     * Also log host reads into the hash-chained operation log. Off
+     * by default (space/offload cost); turning it on lets the
+     * post-attack analyzer reproduce *every* storage operation in
+     * original order and run read-pattern detectors (read-then-
+     * overwrite, read-then-trim) offline.
+     */
+    bool logReads = false;
+
+    /** A small test-size configuration (16 MiB SSD). */
+    static RssdConfig forTests();
+};
+
+} // namespace rssd::core
+
+#endif // RSSD_CORE_RSSD_CONFIG_HH

@@ -1,0 +1,244 @@
+#include "core/rssd_device.hh"
+
+#include <algorithm>
+
+#include "crypto/entropy.hh"
+#include "nvme/local_ssd.hh"
+
+namespace rssd::core {
+
+RssdConfig
+RssdConfig::forTests()
+{
+    RssdConfig cfg;
+    cfg.ftl.geometry = flash::testGeometry();
+    cfg.ftl.opFraction = 0.12;
+    cfg.ftl.gcLowWater = 2;
+    cfg.ftl.gcHighWater = 4;
+    cfg.segmentPages = 32;
+    cfg.pumpThreshold = 64;
+    cfg.remote.capacityBytes = 4ull * units::GiB;
+    return cfg;
+}
+
+RssdDevice::RssdDevice(const RssdConfig &config, VirtualClock &clock)
+    : config_(config),
+      clock_(clock),
+      codec_(log::SegmentCodec::fromSeed(config.keySeed)),
+      ftl_(config.ftl, clock, this)
+{
+    link_ = std::make_unique<net::EthernetLink>(config_.link);
+    store_ = std::make_unique<remote::BackupStore>(config_.remote,
+                                                   codec_);
+    transport_ = std::make_unique<net::NvmeOeTransport>(
+        config_.transport, *link_, *store_);
+    offload_ = std::make_unique<OffloadEngine>(
+        config_, ftl_, oplog_, retention_, codec_, *transport_, clock_);
+    liveEntropy_.assign(ftl_.logicalPages(), detect::kNoEntropy);
+}
+
+RssdDevice::~RssdDevice() = default;
+
+std::uint64_t
+RssdDevice::capacityPages() const
+{
+    return ftl_.logicalPages();
+}
+
+std::uint32_t
+RssdDevice::pageSize() const
+{
+    return ftl_.config().geometry.pageSize;
+}
+
+float
+RssdDevice::currentEntropy(flash::Lpa lpa) const
+{
+    panicIf(lpa >= liveEntropy_.size(), "currentEntropy: lpa OOB");
+    return liveEntropy_[lpa];
+}
+
+void
+RssdDevice::attachDetector(detect::Detector *detector)
+{
+    detectors_.push_back(detector);
+}
+
+void
+RssdDevice::tapEvent(const detect::IoEvent &event)
+{
+    for (detect::Detector *d : detectors_)
+        d->observe(event);
+}
+
+ftl::RetainVerdict
+RssdDevice::onInvalidate(flash::Lpa lpa, flash::Ppa old_ppa,
+                         const flash::Oob &oob,
+                         ftl::InvalidateCause cause, Tick now)
+{
+    // Conservative retention: every invalidated page is held and
+    // queued for offload, in data-version order.
+    log::RetainedPage page;
+    page.dataSeq = oob.seq;
+    page.lpa = lpa;
+    page.ppa = old_ppa;
+    page.writtenAt = oob.writeTick;
+    page.invalidatedAt = now;
+    page.cause = cause == ftl::InvalidateCause::HostTrim
+        ? log::RetainCause::Trim
+        : log::RetainCause::Overwrite;
+    retention_.add(page);
+
+    pendingInvalidate_.present = true;
+    pendingInvalidate_.prevDataSeq = oob.seq;
+    return ftl::RetainVerdict::Hold;
+}
+
+void
+RssdDevice::onHeldRelocated(flash::Ppa from, flash::Ppa to)
+{
+    retention_.onRelocated(from, to);
+}
+
+void
+RssdDevice::onDiscarded(flash::Ppa ppa)
+{
+    // Every invalid page is held until offloaded, so GC can only
+    // discard pages whose holds were already released — nothing to do.
+    (void)ppa;
+}
+
+ftl::IoResult
+RssdDevice::writeOne(flash::Lpa lpa,
+                     const std::vector<std::uint8_t> &content)
+{
+    float entropy = detect::kNoEntropy;
+    if (config_.computeEntropy && !content.empty()) {
+        entropy = static_cast<float>(
+            crypto::shannonEntropy(content.data(), content.size()));
+    }
+
+    pendingInvalidate_ = PendingInvalidate{};
+    ftl::IoResult r = ftl_.write(lpa, content, clock_.now());
+
+    if (r.status == ftl::Status::NoSpace) {
+        // Retention backpressure: force the offload to drain, wait
+        // for the acknowledgments, then retry once. Only a truly
+        // full remote store turns this into an error.
+        stats_.backpressureStalls++;
+        offload_->pump(clock_.now(), /*force=*/true);
+        clock_.advanceTo(offload_->lastAckAt());
+        pendingInvalidate_ = PendingInvalidate{};
+        r = ftl_.write(lpa, content, clock_.now());
+        if (r.status == ftl::Status::NoSpace) {
+            stats_.deviceFullErrors++;
+            return r;
+        }
+    }
+
+    // Log the mutation with its backtrack pointer.
+    const flash::Ppa new_ppa = ftl_.mappingOf(lpa);
+    const std::uint64_t data_seq = ftl_.nand().oob(new_ppa).seq;
+    const std::uint64_t prev_seq = pendingInvalidate_.present
+        ? pendingInvalidate_.prevDataSeq
+        : log::kNoDataSeq;
+    oplog_.append(log::OpKind::Write, lpa, data_seq, prev_seq,
+                  clock_.now(), entropy);
+    stats_.loggedWrites++;
+
+    detect::IoEvent ev;
+    ev.kind = detect::EventKind::Write;
+    ev.lpa = lpa;
+    ev.timestamp = clock_.now();
+    ev.entropy = entropy;
+    ev.prevEntropy = liveEntropy_[lpa];
+    ev.overwrite = pendingInvalidate_.present;
+    ev.seq = oplog_.totalAppended() - 1;
+    tapEvent(ev);
+
+    liveEntropy_[lpa] = entropy;
+
+    // Opportunistic offload between host commands.
+    if (retention_.size() >= config_.pumpThreshold)
+        offload_->pump(clock_.now(), /*force=*/false);
+
+    return r;
+}
+
+ftl::IoResult
+RssdDevice::readOne(flash::Lpa lpa, std::vector<std::uint8_t> &content)
+{
+    const ftl::IoResult r = ftl_.read(lpa, clock_.now());
+    if (r.status == ftl::Status::Ok)
+        content = ftl_.lastReadContent();
+
+    if (config_.logReads && r.status == ftl::Status::Ok) {
+        // Record which data version the host observed; dataSeq makes
+        // read-then-{overwrite,trim} patterns reconstructible offline.
+        const flash::Ppa ppa = ftl_.mappingOf(lpa);
+        oplog_.append(log::OpKind::Read, lpa,
+                      ftl_.nand().oob(ppa).seq, log::kNoDataSeq,
+                      clock_.now(), detect::kNoEntropy);
+    }
+
+    detect::IoEvent ev;
+    ev.kind = detect::EventKind::Read;
+    ev.lpa = lpa;
+    ev.timestamp = clock_.now();
+    ev.seq = oplog_.totalAppended();
+    tapEvent(ev);
+    return r;
+}
+
+ftl::IoResult
+RssdDevice::trimOne(flash::Lpa lpa)
+{
+    pendingInvalidate_ = PendingInvalidate{};
+    const ftl::IoResult r = ftl_.trim(lpa, clock_.now());
+
+    if (pendingInvalidate_.present) {
+        // Enhanced TRIM: the mapping is gone (reads return zeros) but
+        // the data version is retained; log the trim with the pointer
+        // to the version it hid.
+        oplog_.append(log::OpKind::Trim, lpa, log::kNoDataSeq,
+                      pendingInvalidate_.prevDataSeq, clock_.now(),
+                      detect::kNoEntropy);
+        stats_.loggedTrims++;
+
+        detect::IoEvent ev;
+        ev.kind = detect::EventKind::Trim;
+        ev.lpa = lpa;
+        ev.timestamp = clock_.now();
+        ev.seq = oplog_.totalAppended() - 1;
+        tapEvent(ev);
+
+        liveEntropy_[lpa] = detect::kNoEntropy;
+
+        if (retention_.size() >= config_.pumpThreshold)
+            offload_->pump(clock_.now(), /*force=*/false);
+    }
+    return r;
+}
+
+nvme::Completion
+RssdDevice::submit(const nvme::Command &cmd)
+{
+    return nvme::executeOnFtl(
+        cmd, pageSize(), capacityPages(), clock_,
+        [this](flash::Lpa lpa, const std::vector<std::uint8_t> &page) {
+            return writeOne(lpa, page);
+        },
+        [this](flash::Lpa lpa, std::vector<std::uint8_t> &page) {
+            return readOne(lpa, page);
+        },
+        [this](flash::Lpa lpa) { return trimOne(lpa); });
+}
+
+void
+RssdDevice::drainOffload()
+{
+    offload_->pump(clock_.now(), /*force=*/true);
+    clock_.advanceTo(offload_->lastAckAt());
+}
+
+} // namespace rssd::core

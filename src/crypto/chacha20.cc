@@ -1,0 +1,110 @@
+#include "crypto/chacha20.hh"
+
+#include <cstring>
+#include <string>
+
+#include "crypto/sha256.hh"
+
+namespace rssd::crypto {
+
+namespace {
+
+std::uint32_t
+rotl(std::uint32_t x, int n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+void
+quarterRound(std::array<std::uint32_t, 16> &s, int a, int b, int c, int d)
+{
+    s[a] += s[b]; s[d] ^= s[a]; s[d] = rotl(s[d], 16);
+    s[c] += s[d]; s[b] ^= s[c]; s[b] = rotl(s[b], 12);
+    s[a] += s[b]; s[d] ^= s[a]; s[d] = rotl(s[d], 8);
+    s[c] += s[d]; s[b] ^= s[c]; s[b] = rotl(s[b], 7);
+}
+
+std::uint32_t
+load32le(const std::uint8_t *p)
+{
+    return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+           (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+} // namespace
+
+ChaCha20::ChaCha20(const Key256 &key, const Nonce96 &nonce,
+                   std::uint32_t counter)
+{
+    // "expand 32-byte k"
+    state_[0] = 0x61707865;
+    state_[1] = 0x3320646e;
+    state_[2] = 0x79622d32;
+    state_[3] = 0x6b206574;
+    for (int i = 0; i < 8; i++)
+        state_[4 + i] = load32le(key.data() + 4 * i);
+    state_[12] = counter;
+    for (int i = 0; i < 3; i++)
+        state_[13 + i] = load32le(nonce.data() + 4 * i);
+}
+
+void
+ChaCha20::refill()
+{
+    std::array<std::uint32_t, 16> working = state_;
+    for (int round = 0; round < 10; round++) {
+        quarterRound(working, 0, 4, 8, 12);
+        quarterRound(working, 1, 5, 9, 13);
+        quarterRound(working, 2, 6, 10, 14);
+        quarterRound(working, 3, 7, 11, 15);
+        quarterRound(working, 0, 5, 10, 15);
+        quarterRound(working, 1, 6, 11, 12);
+        quarterRound(working, 2, 7, 8, 13);
+        quarterRound(working, 3, 4, 9, 14);
+    }
+    for (int i = 0; i < 16; i++) {
+        const std::uint32_t word = working[i] + state_[i];
+        keystream_[i * 4] = static_cast<std::uint8_t>(word);
+        keystream_[i * 4 + 1] = static_cast<std::uint8_t>(word >> 8);
+        keystream_[i * 4 + 2] = static_cast<std::uint8_t>(word >> 16);
+        keystream_[i * 4 + 3] = static_cast<std::uint8_t>(word >> 24);
+    }
+    state_[12]++; // block counter
+    keystreamPos_ = 0;
+}
+
+void
+ChaCha20::apply(std::uint8_t *data, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; i++) {
+        if (keystreamPos_ == 64)
+            refill();
+        data[i] ^= keystream_[keystreamPos_++];
+    }
+}
+
+void
+ChaCha20::apply(std::vector<std::uint8_t> &data)
+{
+    apply(data.data(), data.size());
+}
+
+Key256
+ChaCha20::deriveKey(const std::string &seed)
+{
+    const Digest d = Sha256::hash(seed.data(), seed.size());
+    Key256 key;
+    std::memcpy(key.data(), d.data(), key.size());
+    return key;
+}
+
+Nonce96
+ChaCha20::nonceFromSequence(std::uint64_t seq)
+{
+    Nonce96 n{};
+    for (int i = 0; i < 8; i++)
+        n[i] = static_cast<std::uint8_t>(seq >> (8 * i));
+    return n;
+}
+
+} // namespace rssd::crypto

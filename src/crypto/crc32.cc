@@ -1,0 +1,44 @@
+#include "crypto/crc32.hh"
+
+#include <array>
+
+namespace rssd::crypto {
+
+namespace {
+
+/** Build the CRC32C lookup table at static-init time. */
+std::array<std::uint32_t, 256>
+buildTable()
+{
+    constexpr std::uint32_t poly = 0x82F63B78u; // reflected Castagnoli
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; i++) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; bit++)
+            crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = buildTable();
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t len, std::uint32_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; i++)
+        crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xff];
+    return ~crc;
+}
+
+std::uint32_t
+crc32c(const std::vector<std::uint8_t> &data, std::uint32_t seed)
+{
+    return crc32c(data.data(), data.size(), seed);
+}
+
+} // namespace rssd::crypto

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) — the checksum used by NVMe-oE capsules and
+ * Ethernet frames in the simulated network path.
+ */
+
+#ifndef RSSD_CRYPTO_CRC32_HH
+#define RSSD_CRYPTO_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rssd::crypto {
+
+/** CRC32C of @p len bytes at @p data, seedable for incremental use. */
+std::uint32_t crc32c(const void *data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+std::uint32_t crc32c(const std::vector<std::uint8_t> &data,
+                     std::uint32_t seed = 0);
+
+} // namespace rssd::crypto
+
+#endif // RSSD_CRYPTO_CRC32_HH

@@ -1,0 +1,58 @@
+#include "crypto/entropy.hh"
+
+#include <cmath>
+
+namespace rssd::crypto {
+
+double
+shannonEntropy(const void *data, std::size_t len)
+{
+    EntropyAccumulator acc;
+    acc.add(data, len);
+    return acc.entropy();
+}
+
+double
+shannonEntropy(const std::vector<std::uint8_t> &data)
+{
+    return shannonEntropy(data.data(), data.size());
+}
+
+void
+EntropyAccumulator::add(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; i++)
+        counts_[p[i]]++;
+    _total += len;
+}
+
+void
+EntropyAccumulator::add(const std::vector<std::uint8_t> &data)
+{
+    add(data.data(), data.size());
+}
+
+void
+EntropyAccumulator::reset()
+{
+    *this = EntropyAccumulator();
+}
+
+double
+EntropyAccumulator::entropy() const
+{
+    if (_total == 0)
+        return 0.0;
+    double h = 0.0;
+    const double total = static_cast<double>(_total);
+    for (std::uint64_t c : counts_) {
+        if (c == 0)
+            continue;
+        const double p = static_cast<double>(c) / total;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+} // namespace rssd::crypto

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shannon-entropy estimation over byte buffers.
+ *
+ * Ransomware detectors (ours and the paper's baselines) key on the
+ * entropy jump between plaintext being overwritten and the ciphertext
+ * replacing it: well-encrypted data is ~8 bits/byte, typical user
+ * data much less.
+ */
+
+#ifndef RSSD_CRYPTO_ENTROPY_HH
+#define RSSD_CRYPTO_ENTROPY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rssd::crypto {
+
+/** Shannon entropy in bits per byte (0..8) of @p len bytes. */
+double shannonEntropy(const void *data, std::size_t len);
+
+double shannonEntropy(const std::vector<std::uint8_t> &data);
+
+/**
+ * Streaming byte-frequency accumulator for entropy over many pages
+ * without re-touching the data.
+ */
+class EntropyAccumulator
+{
+  public:
+    void add(const void *data, std::size_t len);
+    void add(const std::vector<std::uint8_t> &data);
+    void reset();
+
+    /** Entropy (bits/byte) of everything added so far. */
+    double entropy() const;
+
+    std::uint64_t totalBytes() const { return _total; }
+
+  private:
+    std::uint64_t counts_[256] = {};
+    std::uint64_t _total = 0;
+};
+
+} // namespace rssd::crypto
+
+#endif // RSSD_CRYPTO_ENTROPY_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), implemented from scratch.
+ *
+ * Used for the hardware-assisted log's hash chain: each log entry's
+ * digest covers the entry payload concatenated with the previous
+ * digest, making the operation log tamper-evident (DESIGN.md §5.4).
+ */
+
+#ifndef RSSD_CRYPTO_SHA256_HH
+#define RSSD_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rssd::crypto {
+
+/** A 256-bit digest. */
+using Digest = std::array<std::uint8_t, 32>;
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes at @p data. */
+    void update(const void *data, std::size_t len);
+    void update(const std::vector<std::uint8_t> &data);
+
+    /** Finalize and return the digest. The context must not be reused. */
+    Digest finish();
+
+    /** One-shot convenience. */
+    static Digest hash(const void *data, std::size_t len);
+    static Digest hash(const std::vector<std::uint8_t> &data);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t bufferLen_ = 0;
+    std::uint64_t totalLen_ = 0;
+    bool finished_ = false;
+};
+
+/** HMAC-SHA256 (RFC 2104) over @p data with @p key. */
+Digest hmacSha256(const std::uint8_t *key, std::size_t key_len,
+                  const void *data, std::size_t len);
+
+/** Render a digest as lowercase hex. */
+std::string toHex(const Digest &d);
+
+} // namespace rssd::crypto
+
+#endif // RSSD_CRYPTO_SHA256_HH

@@ -1,0 +1,263 @@
+#include "detect/detector.hh"
+
+#include <cstdio>
+
+namespace rssd::detect {
+
+// ---------------------------------------------------------------------
+// EntropyOverwriteDetector
+// ---------------------------------------------------------------------
+
+EntropyOverwriteDetector::EntropyOverwriteDetector(const Config &config)
+    : config_(config)
+{
+}
+
+void
+EntropyOverwriteDetector::observe(const IoEvent &event)
+{
+    if (event.kind != EventKind::Write)
+        return;
+
+    const bool flagged =
+        event.overwrite && event.entropy >= config_.highEntropy &&
+        event.prevEntropy >= 0.0f &&
+        event.prevEntropy <= config_.lowEntropy;
+
+    window_.emplace_back(event.seq, flagged);
+    if (flagged) {
+        flaggedInWindow_++;
+        _flaggedTotal++;
+    }
+    while (window_.size() > config_.windowOps) {
+        if (window_.front().second)
+            flaggedInWindow_--;
+        window_.pop_front();
+    }
+
+    const double ratio = window_.empty()
+        ? 0.0
+        : static_cast<double>(flaggedInWindow_) /
+              static_cast<double>(window_.size());
+    if (!alarmed() && flaggedInWindow_ >= config_.minFlagged &&
+        ratio >= config_.alarmRatio) {
+        // Implicate the earliest flagged event still in the window.
+        std::uint64_t first = event.seq;
+        for (const auto &[seq, f] : window_) {
+            if (f) {
+                first = seq;
+                break;
+            }
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%zu/%zu high-entropy overwrites in window",
+                      flaggedInWindow_, window_.size());
+        raise(first, event.timestamp, buf);
+    }
+}
+
+void
+EntropyOverwriteDetector::reset()
+{
+    window_.clear();
+    flaggedInWindow_ = 0;
+    _flaggedTotal = 0;
+    clearAlarms();
+}
+
+// ---------------------------------------------------------------------
+// ReadOverwriteDetector
+// ---------------------------------------------------------------------
+
+ReadOverwriteDetector::ReadOverwriteDetector(const Config &config)
+    : config_(config)
+{
+}
+
+void
+ReadOverwriteDetector::evictOld(Tick now)
+{
+    while (!readOrder_.empty() &&
+           recentReads_.size() > config_.maxTracked) {
+        recentReads_.erase(readOrder_.front());
+        readOrder_.pop_front();
+    }
+    while (!hits_.empty() &&
+           now - hits_.front().first > config_.hitWindow) {
+        hits_.pop_front();
+    }
+    (void)now;
+}
+
+void
+ReadOverwriteDetector::observe(const IoEvent &event)
+{
+    if (event.kind == EventKind::Read) {
+        if (recentReads_.emplace(event.lpa, event.timestamp).second)
+            readOrder_.push_back(event.lpa);
+        else
+            recentReads_[event.lpa] = event.timestamp;
+        evictOld(event.timestamp);
+        return;
+    }
+
+    if (event.kind != EventKind::Write)
+        return;
+
+    const auto it = recentReads_.find(event.lpa);
+    if (it != recentReads_.end() &&
+        event.timestamp - it->second <= config_.readWindow &&
+        event.entropy >= config_.highEntropy) {
+        hits_.emplace_back(event.timestamp, event.seq);
+    }
+    evictOld(event.timestamp);
+
+    if (!alarmed() && hits_.size() >= config_.alarmCount) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%zu read-then-encrypt overwrites", hits_.size());
+        raise(hits_.front().second, event.timestamp, buf);
+    }
+}
+
+void
+ReadOverwriteDetector::reset()
+{
+    recentReads_.clear();
+    readOrder_.clear();
+    hits_.clear();
+    clearAlarms();
+}
+
+// ---------------------------------------------------------------------
+// WriteBurstDetector
+// ---------------------------------------------------------------------
+
+WriteBurstDetector::WriteBurstDetector(const Config &config)
+    : config_(config)
+{
+}
+
+void
+WriteBurstDetector::observe(const IoEvent &event)
+{
+    if (event.kind != EventKind::Write)
+        return;
+    writes_.emplace_back(event.timestamp, event.seq);
+    while (!writes_.empty() &&
+           event.timestamp - writes_.front().first > config_.window) {
+        writes_.pop_front();
+    }
+    if (!alarmed() && writes_.size() > config_.maxWritesPerWindow) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%zu writes within window",
+                      writes_.size());
+        raise(writes_.front().second, event.timestamp, buf);
+    }
+}
+
+void
+WriteBurstDetector::reset()
+{
+    writes_.clear();
+    clearAlarms();
+}
+
+// ---------------------------------------------------------------------
+// CumulativeEntropyAuditor
+// ---------------------------------------------------------------------
+
+CumulativeEntropyAuditor::CumulativeEntropyAuditor(const Config &config)
+    : config_(config)
+{
+}
+
+void
+CumulativeEntropyAuditor::observe(const IoEvent &event)
+{
+    if (event.kind != EventKind::Write || !event.overwrite)
+        return;
+    if (event.entropy < config_.highEntropy ||
+        event.prevEntropy < 0.0f ||
+        event.prevEntropy > config_.lowEntropy) {
+        return;
+    }
+    if (count_ == 0)
+        firstSeq_ = event.seq;
+    count_++;
+    implicated_.push_back(event.seq);
+
+    if (!alarmed() && count_ >= config_.alarmCount) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%llu suspicious overwrites across full history",
+                      static_cast<unsigned long long>(count_));
+        raise(firstSeq_, event.timestamp, buf);
+    }
+}
+
+void
+CumulativeEntropyAuditor::reset()
+{
+    count_ = 0;
+    firstSeq_ = 0;
+    implicated_.clear();
+    clearAlarms();
+}
+
+// ---------------------------------------------------------------------
+// TrimAbuseDetector
+// ---------------------------------------------------------------------
+
+TrimAbuseDetector::TrimAbuseDetector(const Config &config)
+    : config_(config)
+{
+}
+
+void
+TrimAbuseDetector::observe(const IoEvent &event)
+{
+    if (event.kind == EventKind::Read) {
+        if (recentReads_.emplace(event.lpa, event.timestamp).second)
+            readOrder_.push_back(event.lpa);
+        else
+            recentReads_[event.lpa] = event.timestamp;
+        while (recentReads_.size() > config_.maxTracked &&
+               !readOrder_.empty()) {
+            recentReads_.erase(readOrder_.front());
+            readOrder_.pop_front();
+        }
+        return;
+    }
+
+    if (event.kind != EventKind::Trim)
+        return;
+
+    const auto it = recentReads_.find(event.lpa);
+    if (it != recentReads_.end() &&
+        event.timestamp - it->second <= config_.window) {
+        hits_.emplace_back(event.timestamp, event.seq);
+    }
+    while (!hits_.empty() &&
+           event.timestamp - hits_.front().first > config_.window) {
+        hits_.pop_front();
+    }
+    if (!alarmed() && hits_.size() >= config_.alarmCount) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%zu trims of recently-read pages", hits_.size());
+        raise(hits_.front().second, event.timestamp, buf);
+    }
+}
+
+void
+TrimAbuseDetector::reset()
+{
+    recentReads_.clear();
+    readOrder_.clear();
+    hits_.clear();
+    clearAlarms();
+}
+
+} // namespace rssd::detect

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Detector interface and the concrete ransomware detectors.
+ *
+ * Online detectors (as deployed inside baseline SSD defenses) use
+ * bounded sliding windows — bounded because SSD controller DRAM is
+ * scarce. That bound is exactly what the paper's *timing attack*
+ * exploits: encrypt slowly enough and each window looks benign.
+ * Offline analysis over the full log (CumulativeEntropyAuditor) has
+ * no window and catches it.
+ */
+
+#ifndef RSSD_DETECT_DETECTOR_HH
+#define RSSD_DETECT_DETECTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/event.hh"
+
+namespace rssd::detect {
+
+/** A raised alarm. */
+struct Alarm
+{
+    std::string detector;
+    std::uint64_t firstSuspectSeq = 0; ///< earliest implicated event
+    Tick raisedAt = 0;
+    std::string reason;
+};
+
+/** Base class for all detectors. */
+class Detector
+{
+  public:
+    virtual ~Detector() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Feed one event. */
+    virtual void observe(const IoEvent &event) = 0;
+
+    /** Reset all state (between experiments). */
+    virtual void reset() = 0;
+
+    bool alarmed() const { return !alarms_.empty(); }
+    const std::vector<Alarm> &alarms() const { return alarms_; }
+
+  protected:
+    void
+    raise(std::uint64_t first_suspect, Tick at, std::string reason)
+    {
+        Alarm a;
+        a.detector = name();
+        a.firstSuspectSeq = first_suspect;
+        a.raisedAt = at;
+        a.reason = std::move(reason);
+        alarms_.push_back(std::move(a));
+    }
+
+    void clearAlarms() { alarms_.clear(); }
+
+  private:
+    std::vector<Alarm> alarms_;
+};
+
+/**
+ * Flags bursts of high-entropy overwrites of low-entropy data — the
+ * canonical encryption-ransomware write signature (CryptoDrop /
+ * FlashGuard style). Windowed by event count.
+ */
+class EntropyOverwriteDetector : public Detector
+{
+  public:
+    struct Config
+    {
+        float highEntropy = 7.2f;   ///< bits/byte: "looks encrypted"
+        float lowEntropy = 6.5f;    ///< bits/byte: "was user data"
+        std::size_t windowOps = 512;///< sliding window size (events)
+        double alarmRatio = 0.15;   ///< flagged fraction that alarms
+        std::size_t minFlagged = 32;///< and at least this many
+    };
+
+    EntropyOverwriteDetector() : EntropyOverwriteDetector(Config()) {}
+    explicit EntropyOverwriteDetector(const Config &config);
+
+    const char *name() const override
+    {
+        return "entropy-overwrite";
+    }
+    void observe(const IoEvent &event) override;
+    void reset() override;
+
+    std::uint64_t flaggedTotal() const { return _flaggedTotal; }
+
+  private:
+    Config config_;
+    std::deque<std::pair<std::uint64_t, bool>> window_; // (seq, flagged)
+    std::size_t flaggedInWindow_ = 0;
+    std::uint64_t _flaggedTotal = 0;
+};
+
+/**
+ * Flags the read-then-encrypted-overwrite pattern (UNVEIL /
+ * SSDInsider style): a page is read, then shortly after overwritten
+ * with high-entropy data. Tracks a bounded set of recently read LPAs.
+ */
+class ReadOverwriteDetector : public Detector
+{
+  public:
+    struct Config
+    {
+        float highEntropy = 7.2f;
+        Tick readWindow = 10 * units::SEC; ///< read->overwrite gap
+        std::size_t maxTracked = 4096;     ///< controller DRAM bound
+        std::size_t alarmCount = 64;       ///< hits within hitWindow
+        Tick hitWindow = 30 * units::SEC;
+    };
+
+    ReadOverwriteDetector() : ReadOverwriteDetector(Config()) {}
+    explicit ReadOverwriteDetector(const Config &config);
+
+    const char *name() const override { return "read-overwrite"; }
+    void observe(const IoEvent &event) override;
+    void reset() override;
+
+  private:
+    void evictOld(Tick now);
+
+    Config config_;
+    std::unordered_map<Lpa, Tick> recentReads_;
+    std::deque<Lpa> readOrder_;
+    std::deque<std::pair<Tick, std::uint64_t>> hits_; // (time, seq)
+};
+
+/**
+ * Flags abnormal sustained write rates (data-dump / GC-attack
+ * signature). Time-windowed.
+ */
+class WriteBurstDetector : public Detector
+{
+  public:
+    struct Config
+    {
+        Tick window = 1 * units::SEC;
+        std::size_t maxWritesPerWindow = 200000;
+    };
+
+    WriteBurstDetector() : WriteBurstDetector(Config()) {}
+    explicit WriteBurstDetector(const Config &config);
+
+    const char *name() const override { return "write-burst"; }
+    void observe(const IoEvent &event) override;
+    void reset() override;
+
+  private:
+    Config config_;
+    std::deque<std::pair<Tick, std::uint64_t>> writes_;
+};
+
+/**
+ * Offline, whole-history auditor (runs on the remote analysis host):
+ * counts high-entropy-over-low-entropy overwrites per victim LPA with
+ * NO window. The timing attack cannot dilute it — total damage is
+ * total damage. This detector is what RSSD's offloaded post-attack
+ * analysis deploys.
+ */
+class CumulativeEntropyAuditor : public Detector
+{
+  public:
+    struct Config
+    {
+        float highEntropy = 7.2f;
+        float lowEntropy = 6.5f;
+        std::size_t alarmCount = 64; ///< total suspicious overwrites
+    };
+
+    CumulativeEntropyAuditor() : CumulativeEntropyAuditor(Config()) {}
+    explicit CumulativeEntropyAuditor(const Config &config);
+
+    const char *name() const override
+    {
+        return "cumulative-entropy-audit";
+    }
+    void observe(const IoEvent &event) override;
+    void reset() override;
+
+    std::uint64_t suspiciousCount() const { return count_; }
+
+    /** Ordered list of implicated event seqs (attack reconstruction). */
+    const std::vector<std::uint64_t> &implicatedSeqs() const
+    {
+        return implicated_;
+    }
+
+  private:
+    Config config_;
+    std::uint64_t count_ = 0;
+    std::uint64_t firstSeq_ = 0;
+    std::vector<std::uint64_t> implicated_;
+};
+
+/**
+ * Flags trim floods that follow reads (trimming-attack signature):
+ * ransomware reads a page, writes the ciphertext elsewhere, then
+ * trims the original.
+ */
+class TrimAbuseDetector : public Detector
+{
+  public:
+    struct Config
+    {
+        Tick window = 10 * units::SEC;
+        std::size_t alarmCount = 128; ///< trims of recently read LPAs
+        std::size_t maxTracked = 4096;
+    };
+
+    TrimAbuseDetector() : TrimAbuseDetector(Config()) {}
+    explicit TrimAbuseDetector(const Config &config);
+
+    const char *name() const override { return "trim-abuse"; }
+    void observe(const IoEvent &event) override;
+    void reset() override;
+
+  private:
+    Config config_;
+    std::unordered_map<Lpa, Tick> recentReads_;
+    std::deque<Lpa> readOrder_;
+    std::deque<std::pair<Tick, std::uint64_t>> hits_;
+};
+
+} // namespace rssd::detect
+
+#endif // RSSD_DETECT_DETECTOR_HH

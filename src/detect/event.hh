@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The I/O event stream detectors consume.
+ *
+ * Events are produced two ways:
+ *  - live, by a device as it executes host commands (baseline
+ *    defenses run their detector on this stream inside the SSD);
+ *  - offline, by the post-attack analyzer replaying the operation
+ *    log fetched from the remote store (RSSD's offloaded detection).
+ * Keeping one event type for both paths is what lets RSSD "deploy
+ * various detection algorithms" remotely without firmware changes.
+ */
+
+#ifndef RSSD_DETECT_EVENT_HH
+#define RSSD_DETECT_EVENT_HH
+
+#include <cstdint>
+
+#include "flash/geometry.hh"
+#include "sim/units.hh"
+
+namespace rssd::detect {
+
+using flash::Lpa;
+
+/** Host operation kinds visible to detectors. */
+enum class EventKind : std::uint8_t {
+    Read,
+    Write,
+    Trim,
+};
+
+/** Unknown entropy marker (reads, address-only runs). */
+constexpr float kNoEntropy = -1.0f;
+
+/** One host I/O as seen by a detector. */
+struct IoEvent
+{
+    EventKind kind = EventKind::Read;
+    Lpa lpa = 0;
+    Tick timestamp = 0;
+    /** Entropy (bits/byte) of the data written; kNoEntropy otherwise. */
+    float entropy = kNoEntropy;
+    /** Entropy of the data this write replaced; kNoEntropy if none. */
+    float prevEntropy = kNoEntropy;
+    /** True if this write replaced an existing mapping. */
+    bool overwrite = false;
+    /** Monotonic event index (logSeq for logged ops). */
+    std::uint64_t seq = 0;
+};
+
+} // namespace rssd::detect
+
+#endif // RSSD_DETECT_EVENT_HH

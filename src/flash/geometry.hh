@@ -1,0 +1,168 @@
+/**
+ * @file
+ * NAND flash geometry: the channel/chip/plane/block/page hierarchy of
+ * the simulated SSD (mirrors the Cosmos+ OpenSSD organization in
+ * Figure 1 of the paper).
+ *
+ * A physical page address (PPA) is a dense 64-bit index over all
+ * pages; Geometry provides the decomposition into hierarchy
+ * coordinates. A logical page address (LPA) indexes 4 KiB logical
+ * pages in the exported address space.
+ */
+
+#ifndef RSSD_FLASH_GEOMETRY_HH
+#define RSSD_FLASH_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace rssd::flash {
+
+/** Dense physical page index across the whole device. */
+using Ppa = std::uint64_t;
+/** Logical (host-visible) page index. */
+using Lpa = std::uint64_t;
+/** Dense physical block index across the whole device. */
+using BlockId = std::uint64_t;
+
+/** Sentinel for "no physical page". */
+constexpr Ppa kInvalidPpa = ~0ull;
+/** Sentinel for "no logical page". */
+constexpr Lpa kInvalidLpa = ~0ull;
+
+/** Hierarchical coordinates of a page. */
+struct PageCoord
+{
+    std::uint32_t channel;
+    std::uint32_t chip;   ///< within channel
+    std::uint32_t plane;  ///< within chip
+    std::uint32_t block;  ///< within plane
+    std::uint32_t page;   ///< within block
+};
+
+/**
+ * Static description of the flash array. All counts are per parent
+ * level. Default values model a mid-size enterprise SSD channel
+ * organization.
+ */
+struct Geometry
+{
+    std::uint32_t channels = 8;
+    std::uint32_t chipsPerChannel = 4;
+    std::uint32_t planesPerChip = 2;
+    std::uint32_t blocksPerPlane = 256;
+    std::uint32_t pagesPerBlock = 256;
+    std::uint32_t pageSize = 4096;
+
+    std::uint64_t
+    chipsTotal() const
+    {
+        return std::uint64_t(channels) * chipsPerChannel;
+    }
+
+    std::uint64_t
+    blocksPerChip() const
+    {
+        return std::uint64_t(planesPerChip) * blocksPerPlane;
+    }
+
+    std::uint64_t
+    totalBlocks() const
+    {
+        return chipsTotal() * blocksPerChip();
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        return totalBlocks() * pagesPerBlock;
+    }
+
+    std::uint64_t
+    capacityBytes() const
+    {
+        return totalPages() * pageSize;
+    }
+
+    std::uint64_t
+    blockBytes() const
+    {
+        return std::uint64_t(pagesPerBlock) * pageSize;
+    }
+
+    /** Block containing @p ppa. */
+    BlockId
+    blockOf(Ppa ppa) const
+    {
+        return ppa / pagesPerBlock;
+    }
+
+    /** Page offset of @p ppa within its block. */
+    std::uint32_t
+    pageInBlock(Ppa ppa) const
+    {
+        return static_cast<std::uint32_t>(ppa % pagesPerBlock);
+    }
+
+    /** First PPA of block @p blk. */
+    Ppa
+    firstPpaOf(BlockId blk) const
+    {
+        return blk * pagesPerBlock;
+    }
+
+    /** Channel that owns @p ppa (blocks are striped over chips). */
+    std::uint32_t
+    channelOf(Ppa ppa) const
+    {
+        return decompose(ppa).channel;
+    }
+
+    /** Chip (global index over all channels) that owns @p ppa. */
+    std::uint32_t
+    globalChipOf(Ppa ppa) const
+    {
+        const PageCoord c = decompose(ppa);
+        return c.channel * chipsPerChannel + c.chip;
+    }
+
+    /** Full hierarchical decomposition of @p ppa. */
+    PageCoord
+    decompose(Ppa ppa) const
+    {
+        panicIf(ppa >= totalPages(), "Geometry::decompose: ppa OOB");
+        PageCoord c;
+        c.page = static_cast<std::uint32_t>(ppa % pagesPerBlock);
+        std::uint64_t rest = ppa / pagesPerBlock; // block index
+        c.block = static_cast<std::uint32_t>(rest % blocksPerPlane);
+        rest /= blocksPerPlane;
+        c.plane = static_cast<std::uint32_t>(rest % planesPerChip);
+        rest /= planesPerChip;
+        c.chip = static_cast<std::uint32_t>(rest % chipsPerChannel);
+        rest /= chipsPerChannel;
+        c.channel = static_cast<std::uint32_t>(rest);
+        return c;
+    }
+
+    /** Validate configuration; fatal() on nonsense values. */
+    void
+    validate() const
+    {
+        if (channels == 0 || chipsPerChannel == 0 || planesPerChip == 0 ||
+            blocksPerPlane == 0 || pagesPerBlock == 0 || pageSize == 0) {
+            fatal("flash geometry has a zero dimension");
+        }
+    }
+};
+
+/** A small geometry for unit tests (64 MiB). */
+Geometry testGeometry();
+
+/** A medium geometry for benches (capacity ~= @p gib GiB). */
+Geometry benchGeometry(std::uint32_t gib);
+
+} // namespace rssd::flash
+
+#endif // RSSD_FLASH_GEOMETRY_HH

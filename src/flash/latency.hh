@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Timing model of the NAND array and the channel interconnect.
+ *
+ * Defaults approximate MLC NAND as used by the Cosmos+ OpenSSD board:
+ * ~50 us page read, ~600 us page program, ~3 ms block erase, 400 MB/s
+ * per-channel transfer.
+ */
+
+#ifndef RSSD_FLASH_LATENCY_HH
+#define RSSD_FLASH_LATENCY_HH
+
+#include <cstdint>
+
+#include "sim/units.hh"
+
+namespace rssd::flash {
+
+struct LatencyModel
+{
+    Tick pageReadArray = 50 * units::US;    ///< cell array -> page reg
+    Tick pageProgramArray = 600 * units::US;///< page reg -> cell array
+    Tick blockErase = 3 * units::MS;
+    double channelMBps = 400.0;             ///< bus speed per channel
+
+    /** Time to move @p bytes across one channel. */
+    Tick
+    transferTime(std::uint64_t bytes) const
+    {
+        const double ns =
+            static_cast<double>(bytes) * 1000.0 / channelMBps;
+        return static_cast<Tick>(ns) + 1;
+    }
+};
+
+} // namespace rssd::flash
+
+#endif // RSSD_FLASH_LATENCY_HH

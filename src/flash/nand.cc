@@ -1,0 +1,183 @@
+#include "flash/nand.hh"
+
+#include <algorithm>
+
+namespace rssd::flash {
+
+Geometry
+testGeometry()
+{
+    // 2 ch x 2 chips x 1 plane x 16 blocks x 64 pages x 4 KiB = 16 MiB
+    Geometry g;
+    g.channels = 2;
+    g.chipsPerChannel = 2;
+    g.planesPerChip = 1;
+    g.blocksPerPlane = 16;
+    g.pagesPerBlock = 64;
+    g.pageSize = 4096;
+    return g;
+}
+
+Geometry
+benchGeometry(std::uint32_t gib)
+{
+    // Scale block count; keep the channel organization fixed.
+    Geometry g;
+    g.channels = 8;
+    g.chipsPerChannel = 4;
+    g.planesPerChip = 2;
+    g.pagesPerBlock = 256;
+    g.pageSize = 4096;
+    // bytes per (plane-indexed) block position across all planes:
+    const std::uint64_t per_block_all =
+        g.chipsTotal() * g.planesPerChip * g.blockBytes();
+    const std::uint64_t want = std::uint64_t(gib) * units::GiB;
+    g.blocksPerPlane =
+        static_cast<std::uint32_t>(std::max<std::uint64_t>(
+            1, want / per_block_all));
+    return g;
+}
+
+NandFlash::NandFlash(const Geometry &geom, const LatencyModel &lat)
+    : geom_(geom), lat_(lat)
+{
+    geom_.validate();
+    pageState_.assign(geom_.totalPages(), PageState::Erased);
+    oob_.assign(geom_.totalPages(), Oob());
+    eraseCounts_.assign(geom_.totalBlocks(), 0);
+    channels_.resize(geom_.channels);
+    chips_.resize(geom_.chipsTotal());
+}
+
+void
+NandFlash::checkPpa(Ppa ppa) const
+{
+    panicIf(ppa >= geom_.totalPages(), "NandFlash: ppa out of bounds");
+}
+
+Tick
+NandFlash::servePageOp(Ppa ppa, Tick now, Tick array_time,
+                       std::uint64_t xfer_bytes, bool background)
+{
+    const std::uint32_t ch = geom_.channelOf(ppa);
+    const std::uint32_t chip = geom_.globalChipOf(ppa);
+    const Tick xfer = lat_.transferTime(xfer_bytes);
+
+    // The op starts when both the channel and the chip are free; the
+    // channel is held for the data transfer, the chip for transfer
+    // plus the array operation. Background ops wait their turn but
+    // never reserve the resources, so host traffic is not delayed by
+    // them (idle-time scheduling).
+    const Tick start = std::max({now, channels_[ch].busyUntil(),
+                                 chips_[chip].busyUntil()});
+    if (background)
+        return start + xfer + array_time;
+    channels_[ch].serve(start, xfer);
+    return chips_[chip].serve(start, xfer + array_time);
+}
+
+Tick
+NandFlash::program(Ppa ppa, const Oob &oob, const Bytes &content,
+                   Tick now)
+{
+    checkPpa(ppa);
+    panicIf(pageState_[ppa] != PageState::Erased,
+            "NAND program to a non-erased page (FTL bug)");
+    panicIf(!content.empty() && content.size() != geom_.pageSize,
+            "NAND program content size != page size");
+
+    pageState_[ppa] = PageState::Programmed;
+    oob_[ppa] = oob;
+    if (!content.empty())
+        contents_[ppa] = content;
+
+    stats_.programs++;
+    stats_.bytesProgrammed += geom_.pageSize;
+    return servePageOp(ppa, now, lat_.pageProgramArray,
+                       geom_.pageSize, /*background=*/false);
+}
+
+Tick
+NandFlash::read(Ppa ppa, Tick now, bool background)
+{
+    checkPpa(ppa);
+    panicIf(pageState_[ppa] != PageState::Programmed,
+            "NAND read of an erased page (FTL bug)");
+
+    stats_.reads++;
+    stats_.bytesRead += geom_.pageSize;
+    return servePageOp(ppa, now, lat_.pageReadArray, geom_.pageSize,
+                       background);
+}
+
+Tick
+NandFlash::eraseBlock(BlockId blk, Tick now)
+{
+    panicIf(blk >= geom_.totalBlocks(), "NAND erase: block OOB");
+
+    const Ppa first = geom_.firstPpaOf(blk);
+    for (std::uint32_t i = 0; i < geom_.pagesPerBlock; i++) {
+        const Ppa ppa = first + i;
+        pageState_[ppa] = PageState::Erased;
+        oob_[ppa] = Oob();
+        contents_.erase(ppa);
+    }
+    eraseCounts_[blk]++;
+    stats_.erases++;
+
+    // Erase occupies the chip but moves no channel data.
+    const std::uint32_t chip = geom_.globalChipOf(first);
+    const Tick start = std::max(now, chips_[chip].busyUntil());
+    return chips_[chip].serve(start, lat_.blockErase);
+}
+
+PageState
+NandFlash::state(Ppa ppa) const
+{
+    checkPpa(ppa);
+    return pageState_[ppa];
+}
+
+const Oob &
+NandFlash::oob(Ppa ppa) const
+{
+    checkPpa(ppa);
+    panicIf(pageState_[ppa] != PageState::Programmed,
+            "NAND oob() of an erased page");
+    return oob_[ppa];
+}
+
+const Bytes &
+NandFlash::content(Ppa ppa) const
+{
+    checkPpa(ppa);
+    panicIf(pageState_[ppa] != PageState::Programmed,
+            "NAND content() of an erased page");
+    const auto it = contents_.find(ppa);
+    return it == contents_.end() ? emptyContent_ : it->second;
+}
+
+std::uint32_t
+NandFlash::eraseCount(BlockId blk) const
+{
+    panicIf(blk >= geom_.totalBlocks(), "eraseCount: block OOB");
+    return eraseCounts_[blk];
+}
+
+std::uint32_t
+NandFlash::maxEraseCount() const
+{
+    return *std::max_element(eraseCounts_.begin(), eraseCounts_.end());
+}
+
+double
+NandFlash::meanEraseCount() const
+{
+    std::uint64_t sum = 0;
+    for (auto c : eraseCounts_)
+        sum += c;
+    return static_cast<double>(sum) /
+           static_cast<double>(eraseCounts_.size());
+}
+
+} // namespace rssd::flash

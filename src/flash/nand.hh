@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The NAND flash array model: per-page program state, out-of-band
+ * (OOB) metadata, per-block erase counts, optional page content, and
+ * latency accounting over channels and chips.
+ *
+ * Content storage is sparse: pages written with an empty payload
+ * consume no content memory, so large trace-replay experiments can
+ * run address-only while functional tests and recovery experiments
+ * store real bytes.
+ */
+
+#ifndef RSSD_FLASH_NAND_HH
+#define RSSD_FLASH_NAND_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "flash/latency.hh"
+#include "sim/clock.hh"
+#include "sim/units.hh"
+
+namespace rssd::flash {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** Program state of a physical page. */
+enum class PageState : std::uint8_t {
+    Erased,      ///< never programmed since last erase
+    Programmed,  ///< holds data
+};
+
+/**
+ * Out-of-band metadata programmed with each page. Real SSDs store the
+ * reverse map (LPA) and a sequence number in the page's spare area;
+ * RSSD's logging additionally relies on the write timestamp.
+ */
+struct Oob
+{
+    Lpa lpa = kInvalidLpa;       ///< reverse mapping
+    std::uint64_t seq = 0;       ///< global write sequence number
+    Tick writeTick = 0;          ///< simulated time of the program op
+};
+
+/** Aggregate operation counters for the array. */
+struct NandStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t programs = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesProgrammed = 0;
+};
+
+/**
+ * The flash array. All operations take the current simulated time and
+ * return the operation's completion time; channel and chip contention
+ * are modelled with BusyResource horizons.
+ *
+ * The array enforces NAND physics: a page must be erased before it is
+ * programmed, erases operate on whole blocks, and reads of erased
+ * pages are rejected (an FTL bug, hence panic).
+ */
+class NandFlash
+{
+  public:
+    NandFlash(const Geometry &geom, const LatencyModel &lat);
+
+    const Geometry &geometry() const { return geom_; }
+    const LatencyModel &latency() const { return lat_; }
+
+    /**
+     * Program page @p ppa with metadata @p oob and optional content.
+     * @return completion time.
+     */
+    Tick program(Ppa ppa, const Oob &oob, const Bytes &content, Tick now);
+
+    /**
+     * Read page @p ppa. @return completion time. Content (if any) is
+     * available through content().
+     *
+     * @param background  true for firmware-internal reads (the
+     *     offload data path): they wait for the channel/chip to be
+     *     idle but do NOT reserve them, so host I/O arriving later
+     *     is never delayed — modelling the controller's idle-time
+     *     scheduling of background traffic.
+     */
+    Tick read(Ppa ppa, Tick now, bool background = false);
+
+    /** Erase block @p blk, releasing all its pages. */
+    Tick eraseBlock(BlockId blk, Tick now);
+
+    /** Program state of a page. */
+    PageState state(Ppa ppa) const;
+
+    /** OOB of a programmed page. */
+    const Oob &oob(Ppa ppa) const;
+
+    /**
+     * Content of a programmed page; empty if the page was programmed
+     * address-only.
+     */
+    const Bytes &content(Ppa ppa) const;
+
+    /** Lifetime erase count of a block (P/E cycles). */
+    std::uint32_t eraseCount(BlockId blk) const;
+
+    /** Max and mean erase counts (wear-leveling metrics). */
+    std::uint32_t maxEraseCount() const;
+    double meanEraseCount() const;
+
+    const NandStats &stats() const { return stats_; }
+
+  private:
+    void checkPpa(Ppa ppa) const;
+
+    /** Account a page-granularity op on the owning chip + channel. */
+    Tick servePageOp(Ppa ppa, Tick now, Tick array_time,
+                     std::uint64_t xfer_bytes, bool background);
+
+    Geometry geom_;
+    LatencyModel lat_;
+
+    std::vector<PageState> pageState_;
+    std::vector<Oob> oob_;
+    std::vector<std::uint32_t> eraseCounts_;
+    std::unordered_map<Ppa, Bytes> contents_;
+
+    std::vector<BusyResource> channels_;
+    std::vector<BusyResource> chips_;
+
+    NandStats stats_;
+    Bytes emptyContent_;
+};
+
+} // namespace rssd::flash
+
+#endif // RSSD_FLASH_NAND_HH

@@ -1,0 +1,391 @@
+#include "ftl/ftl.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace rssd::ftl {
+
+PageMappedFtl::PageMappedFtl(const FtlConfig &config, VirtualClock &clock,
+                             FtlPolicy *policy)
+    : config_(config),
+      clock_(clock),
+      policy_(policy),
+      nand_(config.geometry, config.latency)
+{
+    const auto &geom = config_.geometry;
+    if (config_.opFraction <= 0.0 || config_.opFraction >= 0.9)
+        fatal("FTL over-provisioning fraction must be in (0, 0.9)");
+    if (config_.gcHighWater < config_.gcLowWater)
+        fatal("FTL gcHighWater < gcLowWater");
+
+    logicalPages_ = static_cast<std::uint64_t>(
+        static_cast<double>(geom.totalPages()) *
+        (1.0 - config_.opFraction));
+    panicIf(logicalPages_ == 0, "FTL: zero logical pages");
+
+    map_.assign(logicalPages_, kInvalidPpa);
+    valid_.assign(geom.totalPages(), false);
+    held_.assign(geom.totalPages(), false);
+    blocks_.assign(geom.totalBlocks(), BlockInfo());
+
+    freeBlocks_.reserve(geom.totalBlocks());
+    // Push in reverse so block 0 is allocated first (cosmetic only).
+    for (BlockId b = geom.totalBlocks(); b-- > 0;)
+        freeBlocks_.push_back(b);
+}
+
+void
+PageMappedFtl::checkLpa(Lpa lpa) const
+{
+    panicIf(lpa >= logicalPages_, "FTL: lpa out of range");
+}
+
+std::optional<BlockId>
+PageMappedFtl::takeFreeBlock()
+{
+    if (freeBlocks_.empty())
+        return std::nullopt;
+    // Wear-aware allocation: take the free block with the lowest
+    // erase count, breaking ties FIFO (oldest free first) so equal-
+    // wear blocks rotate instead of ping-ponging. Linear scan: the
+    // pool is small in steady state.
+    std::size_t best = 0;
+    std::uint32_t best_wear = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t i = 0; i < freeBlocks_.size(); i++) {
+        const std::uint32_t wear = nand_.eraseCount(freeBlocks_[i]);
+        if (wear < best_wear) {
+            best_wear = wear;
+            best = i;
+        }
+    }
+    const BlockId blk = freeBlocks_[best];
+    freeBlocks_.erase(freeBlocks_.begin() +
+                      static_cast<std::ptrdiff_t>(best));
+    return blk;
+}
+
+std::optional<Ppa>
+PageMappedFtl::allocatePage(Frontier &frontier, Tick now)
+{
+    // GC keeps the pool above the low-water mark; host allocations
+    // trigger it. (GC's own allocations must not recurse.)
+    if (!inGc_ && freeBlocks_.size() <= config_.gcLowWater)
+        collectGarbage(now);
+
+    if (frontier.open) {
+        BlockInfo &info = blocks_[frontier.block];
+        if (info.writePtr >= config_.geometry.pagesPerBlock) {
+            info.state = BlockState::Sealed;
+            frontier.open = false;
+        }
+    }
+
+    if (!frontier.open) {
+        const auto blk = takeFreeBlock();
+        if (!blk)
+            return std::nullopt;
+        frontier.block = *blk;
+        frontier.open = true;
+        BlockInfo &info = blocks_[*blk];
+        info.state = BlockState::Open;
+        info.writePtr = 0;
+        info.validCount = 0;
+        info.heldCount = 0;
+    }
+
+    BlockInfo &info = blocks_[frontier.block];
+    const Ppa ppa =
+        config_.geometry.firstPpaOf(frontier.block) + info.writePtr;
+    info.writePtr++;
+    return ppa;
+}
+
+void
+PageMappedFtl::invalidate(Lpa lpa, Ppa ppa, InvalidateCause cause,
+                          Tick now)
+{
+    panicIf(!valid_[ppa], "FTL: invalidating a non-valid page");
+    valid_[ppa] = false;
+    validPages_--;
+    blocks_[config_.geometry.blockOf(ppa)].validCount--;
+
+    RetainVerdict verdict = RetainVerdict::Discard;
+    if (policy_)
+        verdict = policy_->onInvalidate(lpa, ppa, nand_.oob(ppa), cause,
+                                        now);
+    if (verdict == RetainVerdict::Hold) {
+        held_[ppa] = true;
+        heldPages_++;
+        blocks_[config_.geometry.blockOf(ppa)].heldCount++;
+    }
+}
+
+IoResult
+PageMappedFtl::write(Lpa lpa, const Bytes &content, Tick now)
+{
+    checkLpa(lpa);
+
+    const auto ppa = allocatePage(hostFrontier_, now);
+    if (!ppa) {
+        stats_.stallEvents++;
+        return {Status::NoSpace, now};
+    }
+
+    // Invalidate the old mapping only after the allocation succeeded,
+    // so a stalled write leaves the device state untouched.
+    const Ppa old = map_[lpa];
+    if (old != kInvalidPpa)
+        invalidate(lpa, old, InvalidateCause::HostOverwrite, now);
+
+    flash::Oob oob;
+    oob.lpa = lpa;
+    oob.seq = seq_++;
+    oob.writeTick = now;
+    const Tick done = nand_.program(*ppa, oob, content, now);
+
+    map_[lpa] = *ppa;
+    valid_[*ppa] = true;
+    validPages_++;
+    blocks_[config_.geometry.blockOf(*ppa)].validCount++;
+
+    stats_.hostWrites++;
+    return {Status::Ok, done};
+}
+
+IoResult
+PageMappedFtl::read(Lpa lpa, Tick now)
+{
+    checkLpa(lpa);
+    const Ppa ppa = map_[lpa];
+    if (ppa == kInvalidPpa) {
+        // Unwritten/trimmed LBAs read as zeros with controller-only
+        // latency, as on real NVMe devices.
+        lastRead_.clear();
+        return {Status::Unmapped, now + 5 * units::US};
+    }
+    const Tick done = nand_.read(ppa, now);
+    lastRead_ = nand_.content(ppa);
+    stats_.hostReads++;
+    return {Status::Ok, done};
+}
+
+IoResult
+PageMappedFtl::trim(Lpa lpa, Tick now)
+{
+    checkLpa(lpa);
+    stats_.hostTrims++;
+    const Ppa ppa = map_[lpa];
+    if (ppa == kInvalidPpa)
+        return {Status::Ok, now + 2 * units::US}; // no-op trim
+
+    invalidate(lpa, ppa, InvalidateCause::HostTrim, now);
+    map_[lpa] = kInvalidPpa;
+    return {Status::Ok, now + 5 * units::US};
+}
+
+void
+PageMappedFtl::releaseHeld(Ppa ppa)
+{
+    panicIf(ppa >= config_.geometry.totalPages(),
+            "releaseHeld: ppa OOB");
+    panicIf(!held_[ppa], "releaseHeld: page is not held");
+    held_[ppa] = false;
+    heldPages_--;
+    blocks_[config_.geometry.blockOf(ppa)].heldCount--;
+}
+
+Tick
+PageMappedFtl::readPhysical(Ppa ppa, Tick now)
+{
+    // Offload data-path reads run at background priority: they slot
+    // into idle channel time and never delay host I/O.
+    return nand_.read(ppa, now, /*background=*/true);
+}
+
+bool
+PageMappedFtl::isHeld(Ppa ppa) const
+{
+    panicIf(ppa >= config_.geometry.totalPages(), "isHeld: ppa OOB");
+    return held_[ppa];
+}
+
+bool
+PageMappedFtl::isValid(Ppa ppa) const
+{
+    panicIf(ppa >= config_.geometry.totalPages(), "isValid: ppa OOB");
+    return valid_[ppa];
+}
+
+Ppa
+PageMappedFtl::mappingOf(Lpa lpa) const
+{
+    checkLpa(lpa);
+    return map_[lpa];
+}
+
+std::uint64_t
+PageMappedFtl::reclaimablePages() const
+{
+    const auto &geom = config_.geometry;
+    std::uint64_t freePages =
+        freeBlocks_.size() * geom.pagesPerBlock;
+    for (BlockId b = 0; b < geom.totalBlocks(); b++) {
+        const BlockInfo &info = blocks_[b];
+        if (info.state == BlockState::Free)
+            continue;
+        const std::uint32_t written =
+            info.state == BlockState::Sealed ? geom.pagesPerBlock
+                                             : info.writePtr;
+        freePages += written - info.validCount - info.heldCount;
+        if (info.state == BlockState::Open)
+            freePages += geom.pagesPerBlock - info.writePtr;
+    }
+    return freePages;
+}
+
+std::uint32_t
+PageMappedFtl::garbageIn(BlockId blk) const
+{
+    const BlockInfo &info = blocks_[blk];
+    if (info.state != BlockState::Sealed)
+        return 0;
+    return config_.geometry.pagesPerBlock - info.validCount -
+           info.heldCount;
+}
+
+std::optional<Ppa>
+PageMappedFtl::relocatePage(Ppa from, Tick now)
+{
+    const auto to = allocatePage(gcFrontier_, now);
+    if (!to)
+        return std::nullopt;
+
+    // Preserve the original OOB: the page keeps its identity (LPA,
+    // sequence number, write time) across physical moves, which the
+    // retention log depends on.
+    const flash::Oob oob = nand_.oob(from);
+    const Bytes content = nand_.content(from);
+    nand_.read(from, now);
+    const Tick done = nand_.program(*to, oob, content, now);
+    clock_.advanceTo(done);
+    return to;
+}
+
+bool
+PageMappedFtl::collectGarbage(Tick now)
+{
+    inGc_ = true;
+    bool reclaimed_any = false;
+    const auto &geom = config_.geometry;
+
+    while (freeBlocks_.size() < config_.gcHighWater) {
+        // Greedy victim: the sealed block with the most reclaimable
+        // garbage. Blocks whose garbage is all held score zero and
+        // are never chosen — GC cannot erase retained data. The scan
+        // starts at a rotating position so equal-garbage blocks are
+        // reclaimed round-robin instead of starving high block ids.
+        BlockId victim = ~0ull;
+        std::uint32_t best_garbage = 0;
+        for (BlockId i = 0; i < geom.totalBlocks(); i++) {
+            const BlockId b = (gcScanPos_ + i) % geom.totalBlocks();
+            const std::uint32_t g = garbageIn(b);
+            if (g > best_garbage) {
+                best_garbage = g;
+                victim = b;
+            }
+        }
+        if (victim == ~0ull)
+            break; // no reclaimable garbage anywhere: backpressure
+        gcScanPos_ = (victim + 1) % geom.totalBlocks();
+
+        if (!migrateBlock(victim, now))
+            break; // out of space mid-move; extremely full device
+        reclaimed_any = true;
+    }
+
+    inGc_ = false;
+    maybeLevelWear(now);
+    return reclaimed_any;
+}
+
+bool
+PageMappedFtl::migrateBlock(BlockId blk, Tick now)
+{
+    const auto &geom = config_.geometry;
+    const Ppa first = geom.firstPpaOf(blk);
+    for (std::uint32_t i = 0; i < geom.pagesPerBlock; i++) {
+        const Ppa ppa = first + i;
+        if (valid_[ppa]) {
+            const auto to = relocatePage(ppa, now);
+            if (!to)
+                return false;
+            const Lpa lpa = nand_.oob(ppa).lpa;
+            map_[lpa] = *to;
+            valid_[ppa] = false;
+            valid_[*to] = true;
+            blocks_[blk].validCount--;
+            blocks_[geom.blockOf(*to)].validCount++;
+            stats_.gcValidMoves++;
+        } else if (held_[ppa]) {
+            const auto to = relocatePage(ppa, now);
+            if (!to)
+                return false;
+            held_[ppa] = false;
+            held_[*to] = true;
+            blocks_[blk].heldCount--;
+            blocks_[geom.blockOf(*to)].heldCount++;
+            if (policy_)
+                policy_->onHeldRelocated(ppa, *to);
+            stats_.gcHeldMoves++;
+        } else if (nand_.state(ppa) == flash::PageState::Programmed) {
+            if (policy_)
+                policy_->onDiscarded(ppa);
+            stats_.discards++;
+        }
+    }
+
+    const Tick done = nand_.eraseBlock(blk, now);
+    clock_.advanceTo(done);
+    blocks_[blk] = BlockInfo();
+    freeBlocks_.push_back(blk);
+    stats_.gcErases++;
+    return true;
+}
+
+void
+PageMappedFtl::maybeLevelWear(Tick now)
+{
+    if (config_.wearLevelGap == 0 || inGc_)
+        return;
+    const auto &geom = config_.geometry;
+
+    // Find the coldest data-holding sealed block and the global wear
+    // extremes. Linear scan, run only after GC activity.
+    BlockId coldest = ~0ull;
+    std::uint32_t min_wear = ~0u, max_wear = 0, coldest_wear = ~0u;
+    for (BlockId b = 0; b < geom.totalBlocks(); b++) {
+        const std::uint32_t wear = nand_.eraseCount(b);
+        min_wear = std::min(min_wear, wear);
+        max_wear = std::max(max_wear, wear);
+        if (blocks_[b].state == BlockState::Sealed &&
+            blocks_[b].validCount > 0 && wear < coldest_wear) {
+            coldest_wear = wear;
+            coldest = b;
+        }
+    }
+    if (max_wear - min_wear <= config_.wearLevelGap ||
+        coldest == ~0ull) {
+        return;
+    }
+    // Only migrating a genuinely cold block helps: its wear must sit
+    // near the bottom of the distribution.
+    if (coldest_wear > min_wear + config_.wearLevelGap / 4)
+        return;
+
+    inGc_ = true;
+    if (migrateBlock(coldest, now))
+        stats_.wearMigrations++;
+    inGc_ = false;
+}
+
+} // namespace rssd::ftl

@@ -1,0 +1,154 @@
+#include "log/oplog.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace rssd::log {
+
+namespace {
+
+void
+put64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+} // namespace
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Write: return "WRITE";
+      case OpKind::Trim: return "TRIM";
+      case OpKind::Read: return "READ";
+    }
+    return "?";
+}
+
+std::array<std::uint8_t, LogEntry::kBodySize>
+LogEntry::serializeBody() const
+{
+    std::array<std::uint8_t, kBodySize> out{};
+    put64(&out[0], logSeq);
+    out[8] = static_cast<std::uint8_t>(op);
+    put64(&out[9], lpa);
+    put64(&out[17], dataSeq);
+    put64(&out[25], prevDataSeq);
+    put64(&out[33], timestamp);
+    // Entropy is quantized to avoid float-format ambiguity in the
+    // hashed body; the exact float travels beside the body in
+    // segment serialization.
+    const std::uint32_t q =
+        static_cast<std::uint32_t>(entropy * 1000.0f);
+    put32(&out[41], q);
+    return out;
+}
+
+OperationLog::OperationLog()
+    : anchor_(genesisDigest()), head_(genesisDigest())
+{
+}
+
+crypto::Digest
+OperationLog::genesisDigest()
+{
+    static const char *tag = "rssd-oplog-genesis-v1";
+    return crypto::Sha256::hash(tag, std::strlen(tag));
+}
+
+crypto::Digest
+OperationLog::chainDigest(const crypto::Digest &prev,
+                          const LogEntry &entry)
+{
+    crypto::Sha256 ctx;
+    const auto body = entry.serializeBody();
+    ctx.update(body.data(), body.size());
+    ctx.update(prev.data(), prev.size());
+    return ctx.finish();
+}
+
+const LogEntry &
+OperationLog::append(OpKind op, Lpa lpa, std::uint64_t data_seq,
+                     std::uint64_t prev_data_seq, Tick timestamp,
+                     float entropy)
+{
+    LogEntry e;
+    e.logSeq = nextSeq_++;
+    e.op = op;
+    e.lpa = lpa;
+    e.dataSeq = data_seq;
+    e.prevDataSeq = prev_data_seq;
+    e.timestamp = timestamp;
+    e.entropy = entropy;
+    e.chain = chainDigest(head_, e);
+    head_ = e.chain;
+    entries_.push_back(e);
+    return entries_.back();
+}
+
+const LogEntry &
+OperationLog::at(std::uint64_t log_seq) const
+{
+    panicIf(!holds(log_seq), "OperationLog::at: entry not held");
+    return entries_[log_seq - firstSeq_];
+}
+
+bool
+OperationLog::holds(std::uint64_t log_seq) const
+{
+    return log_seq >= firstSeq_ && log_seq < nextSeq_;
+}
+
+const crypto::Digest &
+OperationLog::headDigest() const
+{
+    return head_;
+}
+
+void
+OperationLog::truncateBefore(std::uint64_t upto)
+{
+    panicIf(upto > nextSeq_, "truncateBefore past the head");
+    while (firstSeq_ < upto && !entries_.empty()) {
+        anchor_ = entries_.front().chain;
+        entries_.pop_front();
+        firstSeq_++;
+    }
+}
+
+bool
+OperationLog::verifyHeldChain() const
+{
+    crypto::Digest prev = anchor_;
+    for (const LogEntry &e : entries_) {
+        if (chainDigest(prev, e) != e.chain)
+            return false;
+        prev = e.chain;
+    }
+    return prev == head_;
+}
+
+bool
+OperationLog::verifyRun(const crypto::Digest &anchor,
+                        const std::vector<LogEntry> &run)
+{
+    crypto::Digest prev = anchor;
+    for (const LogEntry &e : run) {
+        if (chainDigest(prev, e) != e.chain)
+            return false;
+        prev = e.chain;
+    }
+    return true;
+}
+
+} // namespace rssd::log

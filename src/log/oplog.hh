@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The hardware-assisted operation log (paper §3, "Trusted post-attack
+ * analysis").
+ *
+ * Every host-visible mutation (write, trim) appends one entry, in the
+ * order the firmware executed it. Entries form a SHA-256 hash chain:
+ * digest_i = H(serialize(entry_i) || digest_{i-1}), so any tampering,
+ * reordering or splicing of the history is detectable — this is the
+ * "trusted evidence chain" the post-attack analyzer verifies.
+ *
+ * Two sequence domains exist on purpose:
+ *  - logSeq: position in the operation log (writes *and* trims);
+ *  - dataSeq: version number of page data, assigned by the FTL at
+ *    program time and preserved across GC relocations.
+ * A Write entry records the dataSeq it created and the dataSeq it
+ * superseded (prevDataSeq), forming per-LBA backtracking pointers.
+ */
+
+#ifndef RSSD_LOG_OPLOG_HH
+#define RSSD_LOG_OPLOG_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "crypto/sha256.hh"
+#include "flash/geometry.hh"
+#include "sim/units.hh"
+
+namespace rssd::log {
+
+using flash::Lpa;
+
+/** Sentinel: no predecessor version. */
+constexpr std::uint64_t kNoDataSeq = ~0ull;
+
+/** Logged operation kinds. */
+enum class OpKind : std::uint8_t {
+    Write, ///< host write creating a new data version
+    Trim,  ///< host trim dropping the mapping (data retained)
+    Read,  ///< host read (optional, RssdConfig::logReads) — records
+           ///< which data version was observed, for forensics
+};
+
+const char *opKindName(OpKind k);
+
+/** One operation-log record. */
+struct LogEntry
+{
+    std::uint64_t logSeq = 0;
+    OpKind op = OpKind::Write;
+    Lpa lpa = 0;
+    std::uint64_t dataSeq = kNoDataSeq;     ///< version created (Write)
+    std::uint64_t prevDataSeq = kNoDataSeq; ///< version superseded
+    Tick timestamp = 0;
+    float entropy = 0.0f; ///< bits/byte of the written content (Write)
+    crypto::Digest chain{}; ///< hash-chain digest through this entry
+
+    /** Fixed-size wire encoding (without the chain digest). */
+    static constexpr std::size_t kBodySize = 45;
+    std::array<std::uint8_t, kBodySize> serializeBody() const;
+};
+
+/**
+ * Append-only hash-chained log. Supports truncation of a verified
+ * prefix after that prefix has been offloaded into sealed segments
+ * (the device keeps only the un-offloaded tail locally, as in the
+ * paper).
+ */
+class OperationLog
+{
+  public:
+    OperationLog();
+
+    /** Append a record; fills logSeq and chain. @return the entry. */
+    const LogEntry &append(OpKind op, Lpa lpa, std::uint64_t data_seq,
+                           std::uint64_t prev_data_seq, Tick timestamp,
+                           float entropy);
+
+    /** Number of entries currently held (after truncation). */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Total entries ever appended. */
+    std::uint64_t totalAppended() const { return nextSeq_; }
+
+    /** logSeq of the first locally held entry. */
+    std::uint64_t firstHeldSeq() const { return firstSeq_; }
+
+    /** Entry by logSeq; must be locally held. */
+    const LogEntry &at(std::uint64_t log_seq) const;
+
+    /** Whether @p log_seq is still held locally. */
+    bool holds(std::uint64_t log_seq) const;
+
+    /** All locally held entries, oldest first. */
+    const std::deque<LogEntry> &entries() const { return entries_; }
+
+    /** Digest of the newest entry (genesis digest when empty). */
+    const crypto::Digest &headDigest() const;
+
+    /** Digest immediately preceding the first locally held entry. */
+    const crypto::Digest &anchorDigest() const { return anchor_; }
+
+    /** The well-known genesis digest that anchors every chain. */
+    static crypto::Digest genesisDigest();
+
+    /**
+     * Drop entries with logSeq < @p upto (they live in acked remote
+     * segments now). The chain digest preceding the new first entry
+     * is remembered so verification still works.
+     */
+    void truncateBefore(std::uint64_t upto);
+
+    /**
+     * Verify the chain of the locally held entries.
+     * @return true iff every digest re-derives correctly from the
+     * anchor.
+     */
+    bool verifyHeldChain() const;
+
+    /**
+     * Verify an arbitrary run of entries against a starting anchor
+     * digest (used for remote segments and spliced histories).
+     */
+    static bool verifyRun(const crypto::Digest &anchor,
+                          const std::vector<LogEntry> &run);
+
+    /** Recompute what an entry's chain digest must be. */
+    static crypto::Digest chainDigest(const crypto::Digest &prev,
+                                      const LogEntry &entry);
+
+  private:
+    std::deque<LogEntry> entries_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t firstSeq_ = 0;
+    crypto::Digest anchor_;  ///< digest just before entries_.front()
+    crypto::Digest head_;    ///< digest of entries_.back()
+};
+
+} // namespace rssd::log
+
+#endif // RSSD_LOG_OPLOG_HH

@@ -1,0 +1,71 @@
+#include "log/retention.hh"
+
+#include "sim/logging.hh"
+
+namespace rssd::log {
+
+void
+RetentionIndex::add(const RetainedPage &page)
+{
+    const auto [it, inserted] = bySeq_.emplace(page.dataSeq, page);
+    panicIf(!inserted, "RetentionIndex: duplicate dataSeq");
+    const auto [pit, pinserted] = byPpa_.emplace(page.ppa, page.dataSeq);
+    panicIf(!pinserted, "RetentionIndex: duplicate ppa");
+    (void)it;
+    (void)pit;
+    _totalAdded++;
+}
+
+void
+RetentionIndex::onRelocated(Ppa from, Ppa to)
+{
+    const auto it = byPpa_.find(from);
+    panicIf(it == byPpa_.end(),
+            "RetentionIndex: relocation of untracked ppa");
+    const std::uint64_t seq = it->second;
+    byPpa_.erase(it);
+    const auto [nit, inserted] = byPpa_.emplace(to, seq);
+    panicIf(!inserted, "RetentionIndex: relocation target collision");
+    (void)nit;
+    bySeq_.at(seq).ppa = to;
+}
+
+std::vector<RetainedPage>
+RetentionIndex::takeOldest(std::size_t max_pages)
+{
+    std::vector<RetainedPage> out;
+    out.reserve(std::min(max_pages, bySeq_.size()));
+    while (out.size() < max_pages && !bySeq_.empty()) {
+        const auto it = bySeq_.begin();
+        out.push_back(it->second);
+        byPpa_.erase(it->second.ppa);
+        bySeq_.erase(it);
+    }
+    return out;
+}
+
+std::optional<RetainedPage>
+RetentionIndex::findByDataSeq(std::uint64_t seq) const
+{
+    const auto it = bySeq_.find(seq);
+    if (it == bySeq_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+RetentionIndex::tracksPpa(Ppa ppa) const
+{
+    return byPpa_.count(ppa) > 0;
+}
+
+Tick
+RetentionIndex::oldestAge(Tick now) const
+{
+    if (bySeq_.empty())
+        return 0;
+    const Tick t = bySeq_.begin()->second.invalidatedAt;
+    return now > t ? now - t : 0;
+}
+
+} // namespace rssd::log

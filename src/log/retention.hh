@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The retention index: the set of invalidated-but-held flash pages
+ * awaiting offload, ordered by data version (time order).
+ *
+ * RSSD's zero-data-loss guarantee rests on this queue: a page enters
+ * when the FTL invalidates it (overwrite or trim), may be physically
+ * relocated by GC without losing its identity, and leaves only when
+ * its sealed segment has been acknowledged by the remote store —
+ * at which point the FTL hold is released.
+ */
+
+#ifndef RSSD_LOG_RETENTION_HH
+#define RSSD_LOG_RETENTION_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "sim/units.hh"
+
+namespace rssd::log {
+
+using flash::Lpa;
+using flash::Ppa;
+
+/** Why the page was invalidated (mirrors ftl::InvalidateCause). */
+enum class RetainCause : std::uint8_t {
+    Overwrite,
+    Trim,
+};
+
+/** One retained stale page. */
+struct RetainedPage
+{
+    std::uint64_t dataSeq = 0; ///< version id (FTL OOB seq)
+    Lpa lpa = 0;
+    Ppa ppa = 0;               ///< current physical location
+    Tick writtenAt = 0;        ///< original program time
+    Tick invalidatedAt = 0;
+    RetainCause cause = RetainCause::Overwrite;
+};
+
+/**
+ * Time-ordered index of retained pages. Keyed by dataSeq (strictly
+ * increasing with program order), with a reverse PPA map so GC
+ * relocations can be tracked.
+ */
+class RetentionIndex
+{
+  public:
+    /** Register a newly retained page. */
+    void add(const RetainedPage &page);
+
+    /** GC moved a retained page; keep the index consistent. */
+    void onRelocated(Ppa from, Ppa to);
+
+    /**
+     * Pop up to @p max_pages oldest retained pages (for segment
+     * sealing). Pages leave the index; the caller owns releasing the
+     * FTL holds once the segment is acked.
+     */
+    std::vector<RetainedPage> takeOldest(std::size_t max_pages);
+
+    /** Look up a still-local retained page by its version id. */
+    std::optional<RetainedPage> findByDataSeq(std::uint64_t seq) const;
+
+    /** Whether @p ppa is tracked here. */
+    bool tracksPpa(Ppa ppa) const;
+
+    std::size_t size() const { return bySeq_.size(); }
+    bool empty() const { return bySeq_.empty(); }
+
+    /** Age of the oldest pending page at time @p now (0 if empty). */
+    Tick oldestAge(Tick now) const;
+
+    /** Total pages ever added (for retention-rate accounting). */
+    std::uint64_t totalAdded() const { return _totalAdded; }
+
+  private:
+    std::map<std::uint64_t, RetainedPage> bySeq_;
+    std::unordered_map<Ppa, std::uint64_t> byPpa_;
+    std::uint64_t _totalAdded = 0;
+};
+
+} // namespace rssd::log
+
+#endif // RSSD_LOG_RETENTION_HH

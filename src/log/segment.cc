@@ -1,0 +1,257 @@
+#include "log/segment.hh"
+
+#include <cstring>
+
+#include "compress/lz.hh"
+#include "crypto/crc32.hh"
+#include "sim/logging.hh"
+
+namespace rssd::log {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52535347u; // "RSSG"
+
+void
+put32(Bytes &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+put64(Bytes &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putDigest(Bytes &out, const crypto::Digest &d)
+{
+    out.insert(out.end(), d.begin(), d.end());
+}
+
+/** Bounds-checked little-endian reader. */
+class Reader
+{
+  public:
+    explicit Reader(const Bytes &data) : data_(data) {}
+
+    std::uint32_t
+    get32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; i++)
+            v |= std::uint32_t(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    get64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; i++)
+            v |= std::uint64_t(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::uint8_t
+    get8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    crypto::Digest
+    getDigest()
+    {
+        need(32);
+        crypto::Digest d;
+        std::memcpy(d.data(), data_.data() + pos_, 32);
+        pos_ += 32;
+        return d;
+    }
+
+    Bytes
+    getBytes(std::size_t n)
+    {
+        need(n);
+        Bytes b(data_.begin() + pos_, data_.begin() + pos_ + n);
+        pos_ += n;
+        return b;
+    }
+
+    bool atEnd() const { return pos_ == data_.size(); }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        panicIf(pos_ + n > data_.size(), "segment: truncated field");
+    }
+
+    const Bytes &data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Bytes
+Segment::serialize() const
+{
+    Bytes out;
+    put32(out, kMagic);
+    put64(out, id);
+    put64(out, prevId);
+    putDigest(out, chainAnchor);
+    putDigest(out, chainTail);
+    put32(out, static_cast<std::uint32_t>(entries.size()));
+    put32(out, static_cast<std::uint32_t>(pages.size()));
+
+    for (const LogEntry &e : entries) {
+        const auto body = e.serializeBody();
+        out.insert(out.end(), body.begin(), body.end());
+        putDigest(out, e.chain);
+        // The float entropy rides separately from the quantized body
+        // field so deserialization is lossless for analysis.
+        std::uint32_t bits;
+        static_assert(sizeof(bits) == sizeof(e.entropy));
+        std::memcpy(&bits, &e.entropy, 4);
+        put32(out, bits);
+    }
+
+    for (const PageRecord &p : pages) {
+        put64(out, p.lpa);
+        put64(out, p.dataSeq);
+        put64(out, p.writtenAt);
+        put64(out, p.invalidatedAt);
+        out.push_back(static_cast<std::uint8_t>(p.cause));
+        put32(out, static_cast<std::uint32_t>(p.content.size()));
+        out.insert(out.end(), p.content.begin(), p.content.end());
+    }
+    return out;
+}
+
+Segment
+Segment::deserialize(const Bytes &raw)
+{
+    Reader r(raw);
+    panicIf(r.get32() != kMagic, "segment: bad magic");
+
+    Segment seg;
+    seg.id = r.get64();
+    seg.prevId = r.get64();
+    seg.chainAnchor = r.getDigest();
+    seg.chainTail = r.getDigest();
+    const std::uint32_t n_entries = r.get32();
+    const std::uint32_t n_pages = r.get32();
+
+    seg.entries.reserve(n_entries);
+    for (std::uint32_t i = 0; i < n_entries; i++) {
+        LogEntry e;
+        e.logSeq = r.get64();
+        e.op = static_cast<OpKind>(r.get8());
+        e.lpa = r.get64();
+        e.dataSeq = r.get64();
+        e.prevDataSeq = r.get64();
+        e.timestamp = r.get64();
+        r.get32(); // quantized entropy inside the body; superseded below
+        e.chain = r.getDigest();
+        std::uint32_t bits = r.get32();
+        std::memcpy(&e.entropy, &bits, 4);
+        seg.entries.push_back(e);
+    }
+
+    seg.pages.reserve(n_pages);
+    for (std::uint32_t i = 0; i < n_pages; i++) {
+        PageRecord p;
+        p.lpa = r.get64();
+        p.dataSeq = r.get64();
+        p.writtenAt = r.get64();
+        p.invalidatedAt = r.get64();
+        p.cause = static_cast<RetainCause>(r.get8());
+        const std::uint32_t len = r.get32();
+        p.content = r.getBytes(len);
+        seg.pages.push_back(std::move(p));
+    }
+    panicIf(!r.atEnd(), "segment: trailing bytes");
+    return seg;
+}
+
+SegmentCodec
+SegmentCodec::fromSeed(const std::string &seed)
+{
+    return SegmentCodec(crypto::ChaCha20::deriveKey(seed));
+}
+
+Bytes
+SegmentCodec::headerBytes(const SealedSegment &sealed) const
+{
+    Bytes h;
+    put64(h, sealed.id);
+    put64(h, sealed.prevId);
+    putDigest(h, sealed.chainAnchor);
+    putDigest(h, sealed.chainTail);
+    put64(h, sealed.rawSize);
+    put64(h, sealed.payload.size());
+    return h;
+}
+
+SealedSegment
+SegmentCodec::seal(const Segment &segment) const
+{
+    SealedSegment sealed;
+    sealed.id = segment.id;
+    sealed.prevId = segment.prevId;
+    sealed.chainTail = segment.chainTail;
+    sealed.chainAnchor = segment.chainAnchor;
+
+    const Bytes raw = segment.serialize();
+    sealed.rawSize = raw.size();
+    sealed.payload = compress::lzCompress(raw);
+    crypto::ChaCha20 cipher(key_,
+                            crypto::ChaCha20::nonceFromSequence(
+                                segment.id));
+    cipher.apply(sealed.payload);
+    sealed.crc = crypto::crc32c(sealed.payload);
+
+    Bytes mac_input = headerBytes(sealed);
+    mac_input.insert(mac_input.end(), sealed.payload.begin(),
+                     sealed.payload.end());
+    sealed.hmac = crypto::hmacSha256(key_.data(), key_.size(),
+                                     mac_input.data(), mac_input.size());
+    return sealed;
+}
+
+bool
+SegmentCodec::verify(const SealedSegment &sealed) const
+{
+    if (crypto::crc32c(sealed.payload) != sealed.crc)
+        return false;
+    Bytes mac_input = headerBytes(sealed);
+    mac_input.insert(mac_input.end(), sealed.payload.begin(),
+                     sealed.payload.end());
+    const crypto::Digest want = crypto::hmacSha256(
+        key_.data(), key_.size(), mac_input.data(), mac_input.size());
+    return want == sealed.hmac;
+}
+
+Segment
+SegmentCodec::open(const SealedSegment &sealed) const
+{
+    panicIf(!verify(sealed), "segment: HMAC/CRC verification failed");
+    Bytes plain = sealed.payload;
+    crypto::ChaCha20 cipher(key_,
+                            crypto::ChaCha20::nonceFromSequence(
+                                sealed.id));
+    cipher.apply(plain);
+    const Bytes raw = compress::lzDecompress(plain, sealed.rawSize);
+    return Segment::deserialize(raw);
+}
+
+} // namespace rssd::log

@@ -1,0 +1,31 @@
+#include "net/link.hh"
+
+#include "sim/logging.hh"
+
+namespace rssd::net {
+
+Tick
+LinkDirection::transmit(std::uint64_t payload_bytes, Tick now)
+{
+    panicIf(config_.mtu == 0, "link mtu == 0");
+    const std::uint64_t frames =
+        (payload_bytes + config_.mtu - 1) / config_.mtu;
+    const std::uint64_t on_wire =
+        payload_bytes + frames * config_.frameOverhead;
+
+    const Tick tx_time = units::transferTimeNs(on_wire, config_.gbps);
+    const Tick sent = wire_.serve(now, tx_time);
+
+    stats_.framesSent += frames;
+    stats_.payloadBytes += payload_bytes;
+    stats_.wireBytes += on_wire;
+
+    lastCorrupted_ = corruptNext_ > 0;
+    if (corruptNext_ > 0) {
+        stats_.corruptedFrames++;
+        corruptNext_--;
+    }
+    return sent + config_.propagationDelay;
+}
+
+} // namespace rssd::net

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Full-duplex Ethernet link model for the hardware-isolated NVMe-oE
+ * path (Figure 1: DMA -> Tx/Rx buffers -> MAC -> transceiver).
+ *
+ * The link carries opaque byte payloads split into MTU-sized frames,
+ * each paying Ethernet framing overhead (preamble, header, FCS,
+ * inter-frame gap). Each direction is an independent serial resource,
+ * so offload traffic and acknowledgments don't contend.
+ *
+ * Fault injection: tests can arm single-frame corruption; the
+ * transport detects it via CRC and retransmits.
+ */
+
+#ifndef RSSD_NET_LINK_HH
+#define RSSD_NET_LINK_HH
+
+#include <cstdint>
+
+#include "sim/clock.hh"
+#include "sim/units.hh"
+
+namespace rssd::net {
+
+/** Link parameters. Defaults: 10 GbE with jumbo frames. */
+struct LinkConfig
+{
+    double gbps = 10.0;            ///< line rate per direction
+    Tick propagationDelay = 50 * units::US; ///< one-way (device<->server)
+    std::uint32_t mtu = 9000;      ///< payload bytes per frame
+    std::uint32_t frameOverhead = 38; ///< preamble+hdr+FCS+IFG bytes
+};
+
+/** Per-direction transfer counters. */
+struct LinkStats
+{
+    std::uint64_t framesSent = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t wireBytes = 0;
+    std::uint64_t corruptedFrames = 0;
+};
+
+/** One direction of the link. */
+class LinkDirection
+{
+  public:
+    LinkDirection(const LinkConfig &config) : config_(config) {}
+
+    /**
+     * Transmit @p payload_bytes starting at @p now.
+     * @return delivery time at the far end.
+     */
+    Tick transmit(std::uint64_t payload_bytes, Tick now);
+
+    /** Arm corruption of one frame in the next transmission. */
+    void corruptNextTransfer() { corruptNext_ = 1; }
+
+    /** Arm corruption of one frame in each of the next @p n
+     *  transmissions (retry-exhaustion testing). */
+    void corruptNextTransfers(std::uint32_t n) { corruptNext_ = n; }
+
+    /** True if the last transmission contained a corrupted frame. */
+    bool lastTransferCorrupted() const { return lastCorrupted_; }
+
+    const LinkStats &stats() const { return stats_; }
+
+  private:
+    LinkConfig config_;
+    BusyResource wire_;
+    LinkStats stats_;
+    std::uint32_t corruptNext_ = 0;
+    bool lastCorrupted_ = false;
+};
+
+/** The full-duplex link: device->server (tx) and server->device (rx). */
+class EthernetLink
+{
+  public:
+    explicit EthernetLink(const LinkConfig &config)
+        : config_(config), tx_(config), rx_(config)
+    {
+    }
+
+    const LinkConfig &config() const { return config_; }
+    LinkDirection &tx() { return tx_; }
+    LinkDirection &rx() { return rx_; }
+
+  private:
+    LinkConfig config_;
+    LinkDirection tx_;
+    LinkDirection rx_;
+};
+
+} // namespace rssd::net
+
+#endif // RSSD_NET_LINK_HH

@@ -1,0 +1,55 @@
+#include "net/transport.hh"
+
+#include "sim/logging.hh"
+
+namespace rssd::net {
+
+NvmeOeTransport::NvmeOeTransport(const TransportConfig &config,
+                                 EthernetLink &link,
+                                 CapsuleTarget &target)
+    : config_(config), link_(link), target_(target)
+{
+}
+
+log::SubmitResult
+NvmeOeTransport::submitSegment(const log::SealedSegment &segment,
+                               Tick now)
+{
+    const std::uint64_t wire_payload =
+        segment.wireSize() + config_.capsuleHeaderBytes;
+
+    Tick t = now;
+    for (std::uint32_t attempt = 0; attempt <= config_.maxRetries;
+         attempt++) {
+        const Tick arrive = link_.tx().transmit(wire_payload, t);
+        stats_.segmentsSent++;
+        stats_.bytesSent += wire_payload;
+
+        if (link_.tx().lastTransferCorrupted()) {
+            // Far-end CRC check fails; wait out the ack timeout and
+            // retransmit the whole segment.
+            stats_.retransmits++;
+            t = arrive + config_.retransmitTimeout;
+            continue;
+        }
+
+        Tick ack_ready = arrive;
+        const bool accepted =
+            target_.ingestSegment(segment, arrive, ack_ready);
+        const Tick ack_arrive =
+            link_.rx().transmit(config_.ackBytes, ack_ready);
+        if (accepted) {
+            stats_.segmentsAccepted++;
+            return {true, ack_arrive};
+        }
+        stats_.segmentsRejected++;
+        return {false, ack_arrive};
+    }
+
+    // Retry budget exhausted: report as rejected at the current time.
+    warn("NVMe-oE transport: segment dropped after retries");
+    stats_.segmentsRejected++;
+    return {false, t};
+}
+
+} // namespace rssd::net

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * NVMe-over-Ethernet transport: reliable, in-order delivery of sealed
+ * log segments from the SSD to the remote backup target.
+ *
+ * Each segment rides in a command capsule followed by data capsules
+ * (one per MTU). The far end checks the payload CRC; a corrupted
+ * transfer is retransmitted after a timeout, up to a retry budget.
+ * The transport is the only component with access to the wire — the
+ * host CPU and OS never see this traffic, which is the paper's
+ * hardware-isolation argument.
+ */
+
+#ifndef RSSD_NET_TRANSPORT_HH
+#define RSSD_NET_TRANSPORT_HH
+
+#include <cstdint>
+
+#include "log/segment.hh"
+#include "net/link.hh"
+
+namespace rssd::net {
+
+/**
+ * Receiver side of the NVMe-oE session (implemented by the remote
+ * backup store).
+ */
+class CapsuleTarget
+{
+  public:
+    virtual ~CapsuleTarget() = default;
+
+    /**
+     * Deliver a verified-on-the-wire segment.
+     * @param arrive_at  delivery time of the last data capsule
+     * @param ack_ready_at  out: when the target finished processing
+     * @return false if the target rejects the segment (full, bad
+     *         authentication, chain violation).
+     */
+    virtual bool ingestSegment(const log::SealedSegment &segment,
+                               Tick arrive_at, Tick &ack_ready_at) = 0;
+};
+
+/** Transport counters. */
+struct TransportStats
+{
+    std::uint64_t segmentsSent = 0;
+    std::uint64_t segmentsAccepted = 0;
+    std::uint64_t segmentsRejected = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t bytesSent = 0;
+};
+
+/** Transport configuration. */
+struct TransportConfig
+{
+    std::uint32_t capsuleHeaderBytes = 64;
+    std::uint32_t ackBytes = 64;
+    std::uint32_t maxRetries = 4;
+    Tick retransmitTimeout = 200 * units::US;
+};
+
+/** The device-side initiator. Implements log::SegmentSink. */
+class NvmeOeTransport : public log::SegmentSink
+{
+  public:
+    NvmeOeTransport(const TransportConfig &config, EthernetLink &link,
+                    CapsuleTarget &target);
+
+    log::SubmitResult submitSegment(const log::SealedSegment &segment,
+                                    Tick now) override;
+
+    const TransportStats &stats() const { return stats_; }
+
+  private:
+    TransportConfig config_;
+    EthernetLink &link_;
+    CapsuleTarget &target_;
+    TransportStats stats_;
+};
+
+} // namespace rssd::net
+
+#endif // RSSD_NET_TRANSPORT_HH

@@ -1,0 +1,48 @@
+#include "nvme/command.hh"
+
+namespace rssd::nvme {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Read: return "READ";
+      case Opcode::Write: return "WRITE";
+      case Opcode::Trim: return "TRIM";
+      case Opcode::Flush: return "FLUSH";
+    }
+    return "?";
+}
+
+Completion
+BlockDevice::writePage(Lpa lpa, const std::vector<std::uint8_t> &data)
+{
+    Command cmd;
+    cmd.op = Opcode::Write;
+    cmd.lpa = lpa;
+    cmd.npages = 1;
+    cmd.data = data;
+    return submit(cmd);
+}
+
+Completion
+BlockDevice::readPage(Lpa lpa)
+{
+    Command cmd;
+    cmd.op = Opcode::Read;
+    cmd.lpa = lpa;
+    cmd.npages = 1;
+    return submit(cmd);
+}
+
+Completion
+BlockDevice::trimPage(Lpa lpa)
+{
+    Command cmd;
+    cmd.op = Opcode::Trim;
+    cmd.lpa = lpa;
+    cmd.npages = 1;
+    return submit(cmd);
+}
+
+} // namespace rssd::nvme

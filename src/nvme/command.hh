@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The host-visible block I/O command set. This is the trust boundary
+ * of the paper's threat model: everything above it (OS, processes,
+ * ransomware) is untrusted; everything below (FTL, logging, NVMe-oE)
+ * is trusted firmware.
+ */
+
+#ifndef RSSD_NVME_COMMAND_HH
+#define RSSD_NVME_COMMAND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "sim/units.hh"
+
+namespace rssd::nvme {
+
+using flash::Lpa;
+
+/** Block command opcodes (the subset the paper's attacks exercise). */
+enum class Opcode : std::uint8_t {
+    Read,
+    Write,
+    Trim,
+    Flush,
+};
+
+const char *opcodeName(Opcode op);
+
+/** One host command, page-granular addressing. */
+struct Command
+{
+    Opcode op = Opcode::Flush;
+    Lpa lpa = 0;               ///< first logical page
+    std::uint32_t npages = 0;  ///< page count (0 ok for Flush)
+    /**
+     * Write payload: npages * pageSize bytes, or empty for
+     * address-only simulation.
+     */
+    std::vector<std::uint8_t> data;
+};
+
+/** Completion status visible to the host. */
+enum class HostStatus : std::uint8_t {
+    Success,
+    DeviceFull,   ///< retention backpressure could not be resolved
+    InvalidField, ///< address out of range
+};
+
+/** Completion record. */
+struct Completion
+{
+    HostStatus status = HostStatus::Success;
+    Tick submittedAt = 0;
+    Tick completedAt = 0;
+    /** Read payload (npages * pageSize), zero-filled for unmapped. */
+    std::vector<std::uint8_t> data;
+
+    bool ok() const { return status == HostStatus::Success; }
+    Tick latency() const { return completedAt - submittedAt; }
+};
+
+/**
+ * Abstract block device — the interface examples, workloads and
+ * attacks program against. Implementations: the baseline LocalSSD
+ * (ftl::PageMappedFtl behind a thin adapter), every baseline defense
+ * wrapper, and core::RssdDevice.
+ */
+class BlockDevice
+{
+  public:
+    virtual ~BlockDevice() = default;
+
+    /** Submit one command at the current simulated time. */
+    virtual Completion submit(const Command &cmd) = 0;
+
+    /** Exported capacity in logical pages. */
+    virtual std::uint64_t capacityPages() const = 0;
+
+    /** Logical page size in bytes. */
+    virtual std::uint32_t pageSize() const = 0;
+
+    // Convenience wrappers -------------------------------------------------
+
+    Completion writePage(Lpa lpa, const std::vector<std::uint8_t> &data);
+    Completion readPage(Lpa lpa);
+    Completion trimPage(Lpa lpa);
+};
+
+} // namespace rssd::nvme
+
+#endif // RSSD_NVME_COMMAND_HH

@@ -1,0 +1,39 @@
+#include "nvme/local_ssd.hh"
+
+namespace rssd::nvme {
+
+LocalSsd::LocalSsd(const ftl::FtlConfig &config, VirtualClock &clock)
+    : clock_(clock), ftl_(config, clock)
+{
+}
+
+Completion
+LocalSsd::submit(const Command &cmd)
+{
+    return executeOnFtl(
+        cmd, pageSize(), capacityPages(), clock_,
+        [this](flash::Lpa lpa, const std::vector<std::uint8_t> &page) {
+            return ftl_.write(lpa, page, clock_.now());
+        },
+        [this](flash::Lpa lpa, std::vector<std::uint8_t> &page) {
+            const ftl::IoResult r = ftl_.read(lpa, clock_.now());
+            if (r.status == ftl::Status::Ok)
+                page = ftl_.lastReadContent();
+            return r;
+        },
+        [this](flash::Lpa lpa) { return ftl_.trim(lpa, clock_.now()); });
+}
+
+std::uint64_t
+LocalSsd::capacityPages() const
+{
+    return ftl_.logicalPages();
+}
+
+std::uint32_t
+LocalSsd::pageSize() const
+{
+    return ftl_.config().geometry.pageSize;
+}
+
+} // namespace rssd::nvme

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * LocalSsd: the undefended baseline device ("LocalSSD" in Figure 2).
+ * A thin BlockDevice adapter over the page-mapped FTL with no
+ * retention policy — invalidated and trimmed pages are plain garbage
+ * and are physically erased by GC.
+ */
+
+#ifndef RSSD_NVME_LOCAL_SSD_HH
+#define RSSD_NVME_LOCAL_SSD_HH
+
+#include "ftl/ftl.hh"
+#include "nvme/command.hh"
+#include "sim/clock.hh"
+
+namespace rssd::nvme {
+
+class LocalSsd : public BlockDevice
+{
+  public:
+    LocalSsd(const ftl::FtlConfig &config, VirtualClock &clock);
+
+    Completion submit(const Command &cmd) override;
+
+    std::uint64_t capacityPages() const override;
+    std::uint32_t pageSize() const override;
+
+    ftl::PageMappedFtl &ftl() { return ftl_; }
+    const ftl::PageMappedFtl &ftl() const { return ftl_; }
+    VirtualClock &clock() { return clock_; }
+
+  private:
+    VirtualClock &clock_;
+    ftl::PageMappedFtl ftl_;
+};
+
+/**
+ * Shared helper used by every BlockDevice implementation that fronts
+ * a PageMappedFtl: splits a multi-page command into page ops through
+ * @p write / @p read / @p trim callables and assembles the
+ * completion. Factored out so RSSD and all baselines behave
+ * identically at the command layer.
+ */
+template <typename WriteFn, typename ReadFn, typename TrimFn>
+Completion
+executeOnFtl(const Command &cmd, std::uint32_t page_size,
+             std::uint64_t capacity_pages, VirtualClock &clock,
+             WriteFn &&write, ReadFn &&read, TrimFn &&trim)
+{
+    Completion comp;
+    comp.submittedAt = clock.now();
+    comp.completedAt = clock.now();
+
+    if (cmd.op != Opcode::Flush &&
+        (cmd.npages == 0 ||
+         cmd.lpa + cmd.npages > capacity_pages)) {
+        comp.status = HostStatus::InvalidField;
+        return comp;
+    }
+    if (cmd.op == Opcode::Write && !cmd.data.empty() &&
+        cmd.data.size() !=
+            static_cast<std::size_t>(cmd.npages) * page_size) {
+        comp.status = HostStatus::InvalidField;
+        return comp;
+    }
+
+    Tick done = clock.now();
+    for (std::uint32_t i = 0; i < cmd.npages; i++) {
+        const flash::Lpa lpa = cmd.lpa + i;
+        if (cmd.op == Opcode::Write) {
+            std::vector<std::uint8_t> page;
+            if (!cmd.data.empty()) {
+                page.assign(cmd.data.begin() +
+                                std::size_t(i) * page_size,
+                            cmd.data.begin() +
+                                std::size_t(i + 1) * page_size);
+            }
+            const ftl::IoResult r = write(lpa, page);
+            if (r.status == ftl::Status::NoSpace) {
+                comp.status = HostStatus::DeviceFull;
+                comp.completedAt = r.completeAt;
+                return comp;
+            }
+            done = std::max(done, r.completeAt);
+        } else if (cmd.op == Opcode::Read) {
+            std::vector<std::uint8_t> page;
+            const ftl::IoResult r = read(lpa, page);
+            done = std::max(done, r.completeAt);
+            if (page.empty())
+                page.assign(page_size, 0); // unmapped or address-only
+            comp.data.insert(comp.data.end(), page.begin(), page.end());
+        } else if (cmd.op == Opcode::Trim) {
+            const ftl::IoResult r = trim(lpa);
+            done = std::max(done, r.completeAt);
+        }
+    }
+    if (cmd.op == Opcode::Flush)
+        done += 20 * units::US;
+
+    comp.completedAt = done;
+    clock.advanceTo(done);
+    return comp;
+}
+
+} // namespace rssd::nvme
+
+#endif // RSSD_NVME_LOCAL_SSD_HH

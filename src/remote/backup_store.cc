@@ -1,0 +1,114 @@
+#include "remote/backup_store.hh"
+
+#include "sim/logging.hh"
+
+namespace rssd::remote {
+
+const char *
+rejectReasonName(RejectReason r)
+{
+    switch (r) {
+      case RejectReason::None: return "none";
+      case RejectReason::BadAuthentication: return "bad-authentication";
+      case RejectReason::ChainViolation: return "chain-violation";
+      case RejectReason::CapacityExceeded: return "capacity-exceeded";
+    }
+    return "?";
+}
+
+BackupStore::BackupStore(const BackupStoreConfig &config,
+                         const log::SegmentCodec &codec)
+    : config_(config), codec_(codec)
+{
+}
+
+bool
+BackupStore::ingestSegment(const log::SealedSegment &segment,
+                           Tick arrive_at, Tick &ack_ready_at)
+{
+    ack_ready_at = arrive_at + config_.processingTime;
+    lastReject_ = RejectReason::None;
+
+    if (!codec_.verify(segment)) {
+        lastReject_ = RejectReason::BadAuthentication;
+        stats_.segmentsRejected++;
+        return false;
+    }
+
+    // Strict ordering: the segment must extend the stored history.
+    const bool first = segments_.empty();
+    if (first) {
+        if (segment.prevId != log::kNoSegment) {
+            lastReject_ = RejectReason::ChainViolation;
+            stats_.segmentsRejected++;
+            return false;
+        }
+    } else {
+        if (segment.prevId != lastId_ ||
+            (haveTail_ && segment.chainAnchor != lastChainTail_)) {
+            lastReject_ = RejectReason::ChainViolation;
+            stats_.segmentsRejected++;
+            return false;
+        }
+    }
+
+    if (used_ + segment.payload.size() > config_.capacityBytes) {
+        lastReject_ = RejectReason::CapacityExceeded;
+        stats_.segmentsRejected++;
+        return false;
+    }
+
+    segments_.push_back(segment);
+    used_ += segment.payload.size();
+    lastId_ = segment.id;
+    lastChainTail_ = segment.chainTail;
+    haveTail_ = true;
+
+    stats_.segmentsAccepted++;
+    stats_.bytesStored += segment.payload.size();
+    return true;
+}
+
+const log::SealedSegment &
+BackupStore::sealedSegment(std::uint64_t id) const
+{
+    panicIf(id >= segments_.size(), "BackupStore: segment id OOB");
+    return segments_[id];
+}
+
+log::Segment
+BackupStore::openSegment(std::uint64_t id) const
+{
+    return codec_.open(sealedSegment(id));
+}
+
+bool
+BackupStore::verifyFullChain() const
+{
+    std::uint64_t expect_prev = log::kNoSegment;
+    bool have_anchor = false;
+    crypto::Digest anchor{};
+
+    for (const log::SealedSegment &sealed : segments_) {
+        if (!codec_.verify(sealed))
+            return false;
+        if (sealed.prevId != expect_prev)
+            return false;
+        const log::Segment seg = codec_.open(sealed);
+        if (have_anchor && seg.chainAnchor != anchor)
+            return false;
+        // Per-entry hash chain within the segment.
+        if (!log::OperationLog::verifyRun(seg.chainAnchor, seg.entries))
+            return false;
+        if (!seg.entries.empty() &&
+            seg.entries.back().chain != seg.chainTail) {
+            return false;
+        }
+        anchor = seg.chainTail;
+        have_anchor = true;
+        expect_prev = sealed.id;
+    }
+    return true;
+}
+
+} // namespace rssd::remote

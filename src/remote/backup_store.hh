@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The remote cloud/storage-server endpoint of the NVMe-oE path.
+ *
+ * An append-only store of sealed segments. Ingest enforces the trust
+ * properties the paper's post-attack analysis relies on:
+ *   - HMAC authenticity (only the paired device key seals segments),
+ *   - strict segment ordering (each segment must name the previous
+ *     segment id and extend its log-chain digest),
+ *   - capacity budgeting (the knob behind Figure 2's retention time).
+ *
+ * The store never deletes or rewrites a segment — ransomware that
+ * owns the host OS has no path to it (hardware isolation), and even
+ * the device can only append.
+ */
+
+#ifndef RSSD_REMOTE_BACKUP_STORE_HH
+#define RSSD_REMOTE_BACKUP_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "log/segment.hh"
+#include "net/transport.hh"
+
+namespace rssd::remote {
+
+/** Why the most recent ingest was rejected. */
+enum class RejectReason : std::uint8_t {
+    None,
+    BadAuthentication, ///< HMAC or CRC mismatch
+    ChainViolation,    ///< out-of-order or spliced segment
+    CapacityExceeded,  ///< remote budget exhausted
+};
+
+const char *rejectReasonName(RejectReason r);
+
+/** Store configuration. */
+struct BackupStoreConfig
+{
+    /** Remote capacity budget in bytes (sealed payload accounted). */
+    std::uint64_t capacityBytes = 4ull * units::TiB;
+
+    /** Per-segment server-side processing (verify + persist). */
+    Tick processingTime = 50 * units::US;
+};
+
+/** Ingest/verification counters. */
+struct BackupStoreStats
+{
+    std::uint64_t segmentsAccepted = 0;
+    std::uint64_t segmentsRejected = 0;
+    std::uint64_t bytesStored = 0;
+    std::uint64_t pagesStored = 0;
+    std::uint64_t entriesStored = 0;
+};
+
+/**
+ * The backup store. Holds *sealed* segments; opening them (for
+ * recovery and analysis) requires the shared device key, which the
+ * operator supplies out of band.
+ */
+class BackupStore : public net::CapsuleTarget
+{
+  public:
+    BackupStore(const BackupStoreConfig &config,
+                const log::SegmentCodec &codec);
+
+    // -- net::CapsuleTarget -------------------------------------------
+
+    bool ingestSegment(const log::SealedSegment &segment, Tick arrive_at,
+                       Tick &ack_ready_at) override;
+
+    // -- Recovery / analysis side ----------------------------------------
+
+    std::size_t segmentCount() const { return segments_.size(); }
+    const std::vector<log::SealedSegment> &segments() const
+    {
+        return segments_;
+    }
+
+    /** Sealed segment by id (ids are dense from 0). */
+    const log::SealedSegment &sealedSegment(std::uint64_t id) const;
+
+    /** Open (decrypt + decompress) a stored segment. */
+    log::Segment openSegment(std::uint64_t id) const;
+
+    /**
+     * Verify the entire stored history: every HMAC, the segment
+     * chain, and the per-entry log hash chain across segment
+     * boundaries. @return true iff the evidence chain is intact.
+     */
+    bool verifyFullChain() const;
+
+    /** Bytes of remote budget consumed. */
+    std::uint64_t usedBytes() const { return used_; }
+    std::uint64_t capacityBytes() const
+    {
+        return config_.capacityBytes;
+    }
+
+    RejectReason lastRejectReason() const { return lastReject_; }
+    const BackupStoreStats &stats() const { return stats_; }
+
+  private:
+    BackupStoreConfig config_;
+    log::SegmentCodec codec_;
+    std::vector<log::SealedSegment> segments_;
+    std::uint64_t used_ = 0;
+    std::uint64_t lastId_ = log::kNoSegment;
+    crypto::Digest lastChainTail_;
+    bool haveTail_ = false;
+    RejectReason lastReject_ = RejectReason::None;
+    BackupStoreStats stats_;
+};
+
+} // namespace rssd::remote
+
+#endif // RSSD_REMOTE_BACKUP_STORE_HH

@@ -1,0 +1,155 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace rssd {
+
+void
+Summary::add(double v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _count++;
+    _sum += v;
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    _count += other._count;
+    _sum += other._sum;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+void
+Summary::reset()
+{
+    *this = Summary();
+}
+
+int
+LatencyHistogram::bucketFor(Tick v)
+{
+    if (v <= 1)
+        return 0;
+    // 2 buckets per octave: bucket = 2*log2(v) rounded down.
+    const double lg = std::log2(static_cast<double>(v));
+    int b = static_cast<int>(lg * 2.0);
+    return std::min(b, kBuckets - 1);
+}
+
+Tick
+LatencyHistogram::bucketUpperBound(int b)
+{
+    // Inverse of bucketFor: upper edge is 2^((b+1)/2).
+    return static_cast<Tick>(std::ceil(std::pow(2.0, (b + 1) / 2.0)));
+}
+
+void
+LatencyHistogram::add(Tick latency_ns)
+{
+    buckets_[bucketFor(latency_ns)]++;
+    _count++;
+    _sumNs += static_cast<double>(latency_ns);
+    _maxNs = std::max(_maxNs, latency_ns);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (int i = 0; i < kBuckets; i++)
+        buckets_[i] += other.buckets_[i];
+    _count += other._count;
+    _sumNs += other._sumNs;
+    _maxNs = std::max(_maxNs, other._maxNs);
+}
+
+void
+LatencyHistogram::reset()
+{
+    *this = LatencyHistogram();
+}
+
+Tick
+LatencyHistogram::percentileNs(double p) const
+{
+    panicIf(p <= 0.0 || p > 100.0, "percentile out of range");
+    if (_count == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(_count)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; i++) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return std::min(bucketUpperBound(i), _maxNs);
+    }
+    return _maxNs;
+}
+
+std::string
+LatencyHistogram::summary() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "mean=%s p50=%s p99=%s max=%s n=%llu",
+                  formatTime(static_cast<Tick>(meanNs())).c_str(),
+                  formatTime(percentileNs(50)).c_str(),
+                  formatTime(percentileNs(99)).c_str(),
+                  formatTime(_maxNs).c_str(),
+                  static_cast<unsigned long long>(_count));
+    return buf;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    char buf[64];
+    const double b = static_cast<double>(bytes);
+    if (bytes >= units::TiB)
+        std::snprintf(buf, sizeof(buf), "%.2f TiB", b / units::TiB);
+    else if (bytes >= units::GiB)
+        std::snprintf(buf, sizeof(buf), "%.2f GiB", b / units::GiB);
+    else if (bytes >= units::MiB)
+        std::snprintf(buf, sizeof(buf), "%.2f MiB", b / units::MiB);
+    else if (bytes >= units::KiB)
+        std::snprintf(buf, sizeof(buf), "%.2f KiB", b / units::KiB);
+    else
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+std::string
+formatTime(Tick t)
+{
+    char buf[64];
+    const double v = static_cast<double>(t);
+    if (t >= units::SEC)
+        std::snprintf(buf, sizeof(buf), "%.3f s", v / units::SEC);
+    else if (t >= units::MS)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", v / units::MS);
+    else if (t >= units::US)
+        std::snprintf(buf, sizeof(buf), "%.2f us", v / units::US);
+    else
+        std::snprintf(buf, sizeof(buf), "%llu ns",
+                      static_cast<unsigned long long>(t));
+    return buf;
+}
+
+} // namespace rssd

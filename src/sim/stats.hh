@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lightweight statistics collection: counters, means, and a
+ * log-bucketed latency histogram with percentile queries.
+ */
+
+#ifndef RSSD_SIM_STATS_HH
+#define RSSD_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/units.hh"
+
+namespace rssd {
+
+/** Running mean / min / max / count over double-valued samples. */
+class Summary
+{
+  public:
+    void add(double v);
+    void merge(const Summary &other);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * Latency histogram with logarithmic buckets (2 buckets per octave)
+ * covering 1 ns .. ~16 s. Percentiles are answered from bucket
+ * boundaries, which is accurate to within ~41% of the true value —
+ * plenty for p50/p99 *comparisons* between configurations.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 72;
+
+    void add(Tick latency_ns);
+    void merge(const LatencyHistogram &other);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double meanNs() const { return _count ? _sumNs / _count : 0.0; }
+    Tick maxNs() const { return _maxNs; }
+
+    /** Latency at percentile @p p (0 < p <= 100), in nanoseconds. */
+    Tick percentileNs(double p) const;
+
+    /** Render "mean=… p50=… p99=… max=…" for reports. */
+    std::string summary() const;
+
+  private:
+    static int bucketFor(Tick v);
+    static Tick bucketUpperBound(int b);
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t _count = 0;
+    double _sumNs = 0.0;
+    Tick _maxNs = 0;
+};
+
+/** Format a byte count as a human-readable string ("3.2 GiB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a tick count as a human-readable string ("12.4 ms"). */
+std::string formatTime(Tick t);
+
+} // namespace rssd
+
+#endif // RSSD_SIM_STATS_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Size and time unit helpers used throughout the RSSD simulator.
+ *
+ * All simulated time is kept in integer nanoseconds (Tick) and all
+ * sizes in bytes. These helpers exist so that configuration code reads
+ * like the paper ("4 KiB page", "10 Gb/s link") instead of raw powers
+ * of two.
+ */
+
+#ifndef RSSD_SIM_UNITS_HH
+#define RSSD_SIM_UNITS_HH
+
+#include <cstdint>
+
+namespace rssd {
+
+/** Simulated time, in nanoseconds. */
+using Tick = std::uint64_t;
+
+namespace units {
+
+// -- Sizes (bytes) ---------------------------------------------------
+
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+constexpr std::uint64_t TiB = 1024ull * GiB;
+
+// -- Times (ns) ------------------------------------------------------
+
+constexpr Tick NS = 1ull;
+constexpr Tick US = 1000ull * NS;
+constexpr Tick MS = 1000ull * US;
+constexpr Tick SEC = 1000ull * MS;
+constexpr Tick MINUTE = 60ull * SEC;
+constexpr Tick HOUR = 60ull * MINUTE;
+constexpr Tick DAY = 24ull * HOUR;
+
+/**
+ * Transfer time of @p bytes over a link of @p gbps gigabits per
+ * second, rounded up to a whole nanosecond.
+ */
+constexpr Tick
+transferTimeNs(std::uint64_t bytes, double gbps)
+{
+    // bits / (gbps * 1e9 bits/s) seconds = bits / gbps ns.
+    double ns = static_cast<double>(bytes) * 8.0 / gbps;
+    return static_cast<Tick>(ns) + 1;
+}
+
+/** Convert a tick count to fractional seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(SEC);
+}
+
+/** Convert a tick count to fractional days. */
+constexpr double
+toDays(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(DAY);
+}
+
+/** Convert bytes to fractional MiB. */
+constexpr double
+toMiB(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / static_cast<double>(MiB);
+}
+
+/** Convert bytes to fractional GiB. */
+constexpr double
+toGiB(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / static_cast<double>(GiB);
+}
+
+} // namespace units
+} // namespace rssd
+
+#endif // RSSD_SIM_UNITS_HH

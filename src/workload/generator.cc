@@ -1,0 +1,137 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rssd::workload {
+
+TraceGenerator::TraceGenerator(const TraceProfile &profile,
+                               std::uint64_t device_pages,
+                               std::uint64_t seed)
+    : profile_(profile),
+      devicePages_(device_pages),
+      rng_(seed),
+      zipf_(std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       static_cast<double>(device_pages) *
+                       profile.workingSetFraction)),
+            profile.zipfSkew),
+      wssPages_(zipf_.size())
+{
+    panicIf(device_pages == 0, "TraceGenerator: empty device");
+    // Place the working set away from page 0 so experiments can park
+    // victim datasets in low LPAs without colliding with it.
+    wssOffset_ = devicePages_ > wssPages_
+        ? (devicePages_ - wssPages_) / 2
+        : 0;
+}
+
+Request
+TraceGenerator::next()
+{
+    Request r;
+    // Order matters: trims first (small fraction), then the
+    // write/read split over the remainder.
+    if (rng_.chance(profile_.trimFraction)) {
+        r.op = nvme::Opcode::Trim;
+    } else {
+        const bool is_write = rng_.chance(profile_.writeFraction);
+        r.op = is_write ? nvme::Opcode::Write : nvme::Opcode::Read;
+    }
+
+    // Request size: geometric-ish around the mean.
+    const double mean = std::max(1.0, profile_.meanReqPages);
+    std::uint32_t npages =
+        1 + static_cast<std::uint32_t>(rng_.exponential(mean - 1.0));
+    npages = std::min<std::uint32_t>(npages, 64);
+    r.npages = npages;
+
+    // Address: zipf-popular page within the working set, aligned so
+    // multi-page requests stay in range.
+    const std::uint64_t pick = zipf_.sample(rng_);
+    std::uint64_t lpa = wssOffset_ + pick;
+    if (lpa + npages > devicePages_)
+        lpa = devicePages_ - npages;
+    r.lpa = lpa;
+    return r;
+}
+
+Tick
+TraceGenerator::meanInterarrival() const
+{
+    // Daily write volume / mean write size => writes/day; scale by
+    // write fraction for total request rate.
+    const double bytes_per_day =
+        profile_.dailyWriteGiB * static_cast<double>(units::GiB);
+    const double write_bytes_per_req =
+        profile_.meanReqPages * 4096.0;
+    const double writes_per_day = bytes_per_day / write_bytes_per_req;
+    const double reqs_per_day =
+        writes_per_day / std::max(0.01, profile_.writeFraction);
+    const double ns_per_req =
+        static_cast<double>(units::DAY) / reqs_per_day;
+    return static_cast<Tick>(ns_per_req);
+}
+
+double
+ReplayStats::writeMiBps(std::uint32_t page_size) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    const double bytes = static_cast<double>(pagesWritten) * page_size;
+    return bytes / units::toSeconds(elapsed) /
+           static_cast<double>(units::MiB);
+}
+
+ReplayStats
+replay(nvme::BlockDevice &device, VirtualClock &clock,
+       TraceGenerator &gen, const ReplayOptions &options)
+{
+    ReplayStats stats;
+    compress::DataGenerator datagen(options.contentSeed,
+                                    gen.profile().compressibility);
+    const std::uint32_t page_size = device.pageSize();
+    const Tick start = clock.now();
+    const Tick gap = gen.meanInterarrival();
+
+    for (std::uint64_t i = 0; i < options.maxRequests; i++) {
+        if (options.openLoop)
+            clock.advance(gap);
+
+        Request r = gen.next();
+        nvme::Command cmd;
+        cmd.op = r.op;
+        cmd.lpa = r.lpa;
+        cmd.npages = r.npages;
+        if (r.op == nvme::Opcode::Write && options.withContent) {
+            cmd.data.reserve(std::size_t(r.npages) * page_size);
+            for (std::uint32_t p = 0; p < r.npages; p++) {
+                const auto page = datagen.page(page_size);
+                cmd.data.insert(cmd.data.end(), page.begin(),
+                                page.end());
+            }
+        }
+
+        const nvme::Completion comp = device.submit(cmd);
+        stats.requests++;
+        if (!comp.ok()) {
+            stats.errors++;
+            continue;
+        }
+        if (r.op == nvme::Opcode::Write) {
+            stats.pagesWritten += r.npages;
+            stats.writeLatency.add(comp.latency());
+        } else if (r.op == nvme::Opcode::Read) {
+            stats.pagesRead += r.npages;
+            stats.readLatency.add(comp.latency());
+        } else if (r.op == nvme::Opcode::Trim) {
+            stats.pagesTrimmed += r.npages;
+        }
+    }
+
+    stats.elapsed = clock.now() - start;
+    return stats;
+}
+
+} // namespace rssd::workload

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Synthetic request-stream generation from a TraceProfile, and a
+ * replayer that drives any BlockDevice and collects the statistics
+ * the performance experiments report.
+ */
+
+#ifndef RSSD_WORKLOAD_GENERATOR_HH
+#define RSSD_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/datagen.hh"
+#include "nvme/command.hh"
+#include "sim/clock.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "workload/profiles.hh"
+
+namespace rssd::workload {
+
+/** One generated request (device-agnostic). */
+struct Request
+{
+    nvme::Opcode op = nvme::Opcode::Read;
+    flash::Lpa lpa = 0;
+    std::uint32_t npages = 1;
+};
+
+/**
+ * Draws requests matching a TraceProfile over a device of a given
+ * logical size. Deterministic for a fixed seed.
+ */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const TraceProfile &profile,
+                   std::uint64_t device_pages, std::uint64_t seed);
+
+    /** Draw the next request. */
+    Request next();
+
+    /** The profile being synthesized. */
+    const TraceProfile &profile() const { return profile_; }
+
+    /**
+     * Open-loop interarrival gap that realizes the profile's daily
+     * write volume at its read/write mix.
+     */
+    Tick meanInterarrival() const;
+
+  private:
+    TraceProfile profile_;
+    std::uint64_t devicePages_;
+    Rng rng_;
+    ZipfSampler zipf_;
+    std::uint64_t wssPages_;
+    std::uint64_t wssOffset_;
+};
+
+/** Aggregate results of a replay. */
+struct ReplayStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t pagesWritten = 0;
+    std::uint64_t pagesRead = 0;
+    std::uint64_t pagesTrimmed = 0;
+    std::uint64_t errors = 0;
+    LatencyHistogram writeLatency;
+    LatencyHistogram readLatency;
+    Tick elapsed = 0;
+
+    /** Host write throughput in MiB/s of simulated time. */
+    double writeMiBps(std::uint32_t page_size) const;
+};
+
+/** Replay options. */
+struct ReplayOptions
+{
+    /** Stop after this many requests. */
+    std::uint64_t maxRequests = 100000;
+
+    /**
+     * Open-loop: advance the clock by the generator's interarrival
+     * gap between requests. Closed-loop (false): back-to-back.
+     */
+    bool openLoop = false;
+
+    /** Attach generated page content to writes (slower, but needed
+     *  for entropy/compression-sensitive experiments). */
+    bool withContent = false;
+
+    /** Content generator seed (when withContent). */
+    std::uint64_t contentSeed = 1;
+};
+
+/**
+ * Drive @p device with requests from @p gen and collect statistics.
+ * The device's own clock advances through its submit path; open-loop
+ * replay additionally spaces arrivals.
+ */
+ReplayStats replay(nvme::BlockDevice &device, VirtualClock &clock,
+                   TraceGenerator &gen, const ReplayOptions &options);
+
+} // namespace rssd::workload
+
+#endif // RSSD_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,41 @@
+#include "workload/profiles.hh"
+
+#include "sim/logging.hh"
+
+namespace rssd::workload {
+
+const std::vector<TraceProfile> &
+paperTraces()
+{
+    // Calibrated to the published characteristics of the MSR
+    // Cambridge (1-week enterprise server) and FIU (home/university)
+    // traces: write-dominated, a few to tens of GiB written per day,
+    // strongly skewed working sets, moderately compressible content.
+    static const std::vector<TraceProfile> traces = {
+        // name       GiB/d  wr    trim   req   skew  wss    compress
+        {"hm",         9.5,  0.64, 0.010, 2.2,  0.95, 0.12,  0.55},
+        {"src",       44.0,  0.75, 0.008, 7.3,  0.85, 0.30,  0.60},
+        {"ts",         9.0,  0.82, 0.012, 2.0,  1.00, 0.10,  0.50},
+        {"wdev",       7.1,  0.80, 0.010, 2.1,  1.05, 0.08,  0.55},
+        {"rsrch",     11.0,  0.91, 0.006, 2.2,  1.00, 0.09,  0.60},
+        {"stg",       15.2,  0.85, 0.010, 3.1,  0.90, 0.15,  0.55},
+        {"usr",       13.5,  0.60, 0.020, 5.6,  0.80, 0.25,  0.50},
+        {"web",       11.4,  0.70, 0.015, 3.9,  0.90, 0.18,  0.45},
+        {"fiu-email",  6.2,  0.67, 0.020, 2.0,  1.10, 0.06,  0.60},
+        {"fiu-online", 5.4,  0.74, 0.015, 2.0,  1.10, 0.05,  0.60},
+        {"fiu-webusers", 5.0, 0.78, 0.015, 2.0, 1.05, 0.05,  0.55},
+    };
+    return traces;
+}
+
+const TraceProfile &
+traceByName(const std::string &name)
+{
+    for (const TraceProfile &t : paperTraces()) {
+        if (t.name == name)
+            return t;
+    }
+    fatal("unknown trace profile: " + name);
+}
+
+} // namespace rssd::workload

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-trace workload profiles for the 11 block traces the paper's
+ * Figure 2 evaluates (MSR Cambridge: hm, src, ts, wdev, rsrch, stg,
+ * usr, web; FIU: email, online, webusers).
+ *
+ * We do not ship the raw traces (they are external datasets); instead
+ * each profile captures the statistics that drive the paper's
+ * results — daily write volume (retention ingest rate), read/write
+ * mix, request sizes, access skew and content compressibility — and
+ * the generator synthesizes an equivalent request stream
+ * (DESIGN.md §2, trace substitution).
+ */
+
+#ifndef RSSD_WORKLOAD_PROFILES_HH
+#define RSSD_WORKLOAD_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rssd::workload {
+
+/** Statistical description of one block trace. */
+struct TraceProfile
+{
+    std::string name;
+
+    /** GiB of host writes per day (drives Figure 2). */
+    double dailyWriteGiB = 10.0;
+
+    /** Fraction of requests that are writes. */
+    double writeFraction = 0.7;
+
+    /** Fraction of requests that are TRIMs (file deletions). */
+    double trimFraction = 0.01;
+
+    /** Mean request size in 4 KiB pages. */
+    double meanReqPages = 4.0;
+
+    /** Zipf skew of page popularity (0 = uniform). */
+    double zipfSkew = 0.9;
+
+    /** Fraction of the device the workload touches. */
+    double workingSetFraction = 0.25;
+
+    /** Content compressibility in [0,1] (see compress::DataGenerator). */
+    double compressibility = 0.55;
+};
+
+/** The 11 profiles of Figure 2, in the figure's order. */
+const std::vector<TraceProfile> &paperTraces();
+
+/** Look up a profile by name; fatal() if unknown. */
+const TraceProfile &traceByName(const std::string &name);
+
+} // namespace rssd::workload
+
+#endif // RSSD_WORKLOAD_PROFILES_HH

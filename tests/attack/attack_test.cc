@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Attack model tests: each Ransomware 2.0 model must actually do the
+ * damage the paper describes when pointed at an undefended SSD.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/ransomware.hh"
+#include "attack/victim.hh"
+#include "crypto/entropy.hh"
+#include "nvme/local_ssd.hh"
+
+namespace rssd::attack {
+namespace {
+
+ftl::FtlConfig
+smallConfig()
+{
+    ftl::FtlConfig cfg;
+    cfg.geometry = flash::testGeometry();
+    cfg.opFraction = 0.12;
+    cfg.gcLowWater = 2;
+    cfg.gcHighWater = 4;
+    return cfg;
+}
+
+class AttackTest : public ::testing::Test
+{
+  protected:
+    AttackTest() : dev_(smallConfig(), clock_), victim_(0, 256) {}
+
+    VirtualClock clock_;
+    nvme::LocalSsd dev_;
+    VictimDataset victim_;
+};
+
+TEST_F(AttackTest, VictimPopulateAndVerify)
+{
+    victim_.populate(dev_);
+    EXPECT_DOUBLE_EQ(victim_.intactFraction(dev_), 1.0);
+    EXPECT_EQ(victim_.pages(), 256u);
+    EXPECT_FALSE(victim_.plaintextOf(0).empty());
+}
+
+TEST_F(AttackTest, VictimContentIsUserLike)
+{
+    victim_.populate(dev_);
+    // Low-entropy content, below the detector's "user data" line.
+    EXPECT_LT(crypto::shannonEntropy(victim_.plaintextOf(5)), 6.5);
+}
+
+TEST_F(AttackTest, ClassicEncryptsEverything)
+{
+    victim_.populate(dev_);
+    ClassicRansomware attack;
+    const AttackReport report = attack.run(dev_, clock_, victim_);
+
+    EXPECT_EQ(report.pagesEncrypted, victim_.pages());
+    EXPECT_EQ(report.writeErrors, 0u);
+    EXPECT_DOUBLE_EQ(victim_.intactFraction(dev_), 0.0);
+
+    // On-device data is now ciphertext.
+    const nvme::Completion read = dev_.readPage(0);
+    EXPECT_GT(crypto::shannonEntropy(read.data), 7.2);
+}
+
+TEST_F(AttackTest, EncryptionIsKeyedAndDeterministic)
+{
+    victim_.populate(dev_);
+    ClassicRansomware a1, a2;
+    // Same attacker config: same ciphertext (nonce = LPA).
+    a1.run(dev_, clock_, victim_);
+    const nvme::Completion c1 = dev_.readPage(3);
+
+    VirtualClock clock2;
+    nvme::LocalSsd dev2(smallConfig(), clock2);
+    VictimDataset victim2(0, 256);
+    victim2.populate(dev2);
+    a2.run(dev2, clock2, victim2);
+    const nvme::Completion c2 = dev2.readPage(3);
+    EXPECT_EQ(c1.data, c2.data);
+}
+
+TEST_F(AttackTest, GcAttackFloodsCapacity)
+{
+    victim_.populate(dev_);
+    GcAttack::Params params;
+    params.floodCapacityMultiple = 1.5;
+    params.floodSpanFraction = 0.4;
+    GcAttack attack(params);
+    const AttackReport report = attack.run(dev_, clock_, victim_);
+
+    EXPECT_EQ(report.pagesEncrypted, victim_.pages());
+    EXPECT_GE(report.junkPagesWritten,
+              dev_.capacityPages()); // >= 1x capacity of junk
+    // The flood forced plenty of GC on the undefended device.
+    EXPECT_GT(dev_.ftl().stats().gcErases, 10u);
+    EXPECT_DOUBLE_EQ(victim_.intactFraction(dev_), 0.0);
+}
+
+TEST_F(AttackTest, GcAttackErasesStalePlaintextOnPlainSsd)
+{
+    // The headline GC-attack property: after the flood, the victim
+    // plaintext no longer exists anywhere in the flash array.
+    victim_.populate(dev_);
+    GcAttack::Params params;
+    params.floodCapacityMultiple = 2.0;
+    params.floodSpanFraction = 0.5;
+    GcAttack attack(params);
+    attack.run(dev_, clock_, victim_);
+
+    const auto &nand = dev_.ftl().nand();
+    const auto &geom = dev_.ftl().config().geometry;
+    int surviving = 0;
+    for (flash::Ppa ppa = 0; ppa < geom.totalPages(); ppa++) {
+        if (nand.state(ppa) != flash::PageState::Programmed)
+            continue;
+        const auto &content = nand.content(ppa);
+        if (content.empty())
+            continue;
+        for (std::uint32_t i = 0; i < victim_.pages(); i++) {
+            if (content == victim_.plaintextOf(i)) {
+                surviving++;
+                break;
+            }
+        }
+    }
+    // GC reclaimed nearly all stale plaintext; at most the pages
+    // sitting in not-yet-victimized blocks survive.
+    EXPECT_LT(surviving, static_cast<int>(victim_.pages()) / 8);
+}
+
+TEST_F(AttackTest, TimingAttackIsSlowAndDiluted)
+{
+    victim_.populate(dev_);
+    TimingAttack::Params params;
+    params.encryptionInterval = units::SEC;
+    params.benignOpsPerEncrypt = 16;
+    TimingAttack attack(params);
+    const AttackReport report = attack.run(dev_, clock_, victim_);
+
+    EXPECT_EQ(report.pagesEncrypted, victim_.pages());
+    EXPECT_GE(report.benignOpsIssued, 16u * victim_.pages());
+    // The attack took real (simulated) time: at least one interval
+    // per victim page.
+    EXPECT_GE(report.finishedAt - report.startedAt,
+              units::SEC * victim_.pages());
+    EXPECT_DOUBLE_EQ(victim_.intactFraction(dev_), 0.0);
+}
+
+TEST_F(AttackTest, TrimmingAttackTrimsOriginals)
+{
+    victim_.populate(dev_);
+    TrimmingAttack attack;
+    const AttackReport report = attack.run(dev_, clock_, victim_);
+
+    EXPECT_EQ(report.pagesEncrypted, victim_.pages());
+    EXPECT_EQ(report.pagesTrimmed, victim_.pages());
+    EXPECT_DOUBLE_EQ(victim_.intactFraction(dev_), 0.0);
+
+    // Originals read back as zeros (trimmed)...
+    const nvme::Completion orig = dev_.readPage(0);
+    EXPECT_EQ(orig.data,
+              std::vector<std::uint8_t>(dev_.pageSize(), 0));
+    // ...while the ciphertext hostage exists elsewhere.
+    const flash::Lpa drop =
+        static_cast<flash::Lpa>(dev_.capacityPages() * 0.75);
+    const nvme::Completion cipher = dev_.readPage(drop);
+    EXPECT_GT(crypto::shannonEntropy(cipher.data), 7.2);
+}
+
+TEST_F(AttackTest, ReportsNameAttacks)
+{
+    EXPECT_STREQ(ClassicRansomware().name(), "classic");
+    EXPECT_STREQ(GcAttack().name(), "gc-attack");
+    EXPECT_STREQ(TimingAttack().name(), "timing-attack");
+    EXPECT_STREQ(TrimmingAttack().name(), "trimming-attack");
+}
+
+} // namespace
+} // namespace rssd::attack

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the individual defense models: each must exhibit
+ * the specific strength and weakness Table 1 attributes to it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/ransomware.hh"
+#include "baseline/firmware_defenses.hh"
+#include "baseline/rssd_defense.hh"
+#include "baseline/software_defenses.hh"
+
+namespace rssd::baseline {
+namespace {
+
+ftl::FtlConfig
+smallConfig()
+{
+    ftl::FtlConfig cfg;
+    cfg.geometry = flash::testGeometry();
+    cfg.opFraction = 0.12;
+    cfg.gcLowWater = 2;
+    cfg.gcHighWater = 4;
+    return cfg;
+}
+
+TEST(RecoveryClassification, Thresholds)
+{
+    EXPECT_EQ(classifyRecovery(1.0), RecoveryClass::Recoverable);
+    EXPECT_EQ(classifyRecovery(0.99), RecoveryClass::Recoverable);
+    EXPECT_EQ(classifyRecovery(0.5),
+              RecoveryClass::PartiallyRecoverable);
+    EXPECT_EQ(classifyRecovery(0.10),
+              RecoveryClass::PartiallyRecoverable);
+    EXPECT_EQ(classifyRecovery(0.05), RecoveryClass::Unrecoverable);
+    EXPECT_TRUE(defended(1.0));
+    EXPECT_FALSE(defended(0.9));
+}
+
+TEST(PlainSsd, NoRecoveryAfterClassic)
+{
+    VirtualClock clock;
+    PlainSsdDefense defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+
+    const Tick t0 = clock.now();
+    attack::ClassicRansomware attack;
+    attack.run(defense.device(), clock, victim);
+    defense.attemptRecovery(victim, t0);
+
+    EXPECT_DOUBLE_EQ(victim.intactFraction(defense.device()), 0.0);
+    EXPECT_FALSE(defense.forensicsAvailable());
+}
+
+TEST(SoftwareDetector, DetectsClassicWhenAlive)
+{
+    VirtualClock clock;
+    SoftwareDetectorDefense defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 256);
+    victim.populate(defense.device());
+
+    attack::ClassicRansomware attack;
+    attack.run(defense.device(), clock, victim);
+    EXPECT_TRUE(defense.detectedAttack());
+}
+
+TEST(SoftwareDetector, KilledByPrivilegeEscalation)
+{
+    VirtualClock clock;
+    SoftwareDetectorDefense defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 256);
+    victim.populate(defense.device());
+
+    defense.onPrivilegeEscalation();
+    attack::ClassicRansomware attack;
+    attack.run(defense.device(), clock, victim);
+    EXPECT_FALSE(defense.detectedAttack());
+}
+
+TEST(CloudBackup, RestoresSyncedVersions)
+{
+    VirtualClock clock;
+    CloudBackupDefense defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+    // Idle ops so the last dirty pages sync.
+    for (int i = 0; i < 100; i++)
+        defense.device().readPage(500);
+
+    const Tick attack_start = clock.now();
+    attack::ClassicRansomware attack;
+    attack.run(defense.device(), clock, victim);
+    ASSERT_DOUBLE_EQ(victim.intactFraction(defense.device()), 0.0);
+
+    defense.attemptRecovery(victim, attack_start);
+    EXPECT_GE(victim.intactFraction(defense.device()), 0.99);
+}
+
+TEST(CloudBackup, TrimPropagatesDeletion)
+{
+    VirtualClock clock;
+    CloudBackupDefense defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+    for (int i = 0; i < 100; i++)
+        defense.device().readPage(500);
+
+    const Tick attack_start = clock.now();
+    attack::TrimmingAttack attack;
+    attack.run(defense.device(), clock, victim);
+
+    defense.attemptRecovery(victim, attack_start);
+    // Sync semantics deleted the backups along with the files.
+    EXPECT_LT(victim.intactFraction(defense.device()), 0.10);
+}
+
+TEST(CloudBackup, FloodEvictsHistory)
+{
+    VirtualClock clock;
+    CloudBackupDefense::Params params;
+    params.budgetBytes = 2 * units::MiB; // < victim size x versions
+    CloudBackupDefense defense(smallConfig(), clock, params);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+    for (int i = 0; i < 100; i++)
+        defense.device().readPage(500);
+
+    const Tick attack_start = clock.now();
+    attack::GcAttack::Params gc;
+    gc.floodCapacityMultiple = 1.0;
+    gc.floodSpanFraction = 0.4;
+    attack::GcAttack attack(gc);
+    attack.run(defense.device(), clock, victim);
+
+    defense.attemptRecovery(victim, attack_start);
+    EXPECT_LT(victim.intactFraction(defense.device()), 0.5);
+}
+
+TEST(ShieldFs, RestoresShadowsAfterDetectedClassic)
+{
+    VirtualClock clock;
+    ShieldFsDefense defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+
+    const Tick attack_start = clock.now();
+    attack::ClassicRansomware attack;
+    attack.run(defense.device(), clock, victim);
+    ASSERT_TRUE(defense.detectedAttack());
+
+    defense.attemptRecovery(victim, attack_start);
+    EXPECT_GE(victim.intactFraction(defense.device()), 0.99);
+}
+
+TEST(ShieldFs, TimingAttackEvadesAndNothingRestored)
+{
+    VirtualClock clock;
+    ShieldFsDefense defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+
+    const Tick attack_start = clock.now();
+    attack::TimingAttack::Params params;
+    params.benignOpsPerEncrypt = 64;
+    attack::TimingAttack attack(params);
+    attack.run(defense.device(), clock, victim);
+
+    EXPECT_FALSE(defense.detectedAttack());
+    defense.attemptRecovery(victim, attack_start);
+    EXPECT_LT(victim.intactFraction(defense.device()), 0.10);
+}
+
+TEST(Jfs, JournalWrapLosesHistory)
+{
+    VirtualClock clock;
+    JournalingFsDefense defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 512);
+    victim.populate(defense.device());
+
+    const Tick attack_start = clock.now();
+    attack::ClassicRansomware attack;
+    attack.run(defense.device(), clock, victim);
+    defense.attemptRecovery(victim, attack_start);
+    // 64-page journal vs 512 encrypted pages: <= 12.5% recovered.
+    EXPECT_LT(victim.intactFraction(defense.device()), 0.15);
+}
+
+TEST(FlashGuard, ClassicAndGcAttacksFullyRecovered)
+{
+    for (const bool flood : {false, true}) {
+        VirtualClock clock;
+        FlashGuardLike defense(smallConfig(), clock);
+        attack::VictimDataset victim(0, 128);
+        victim.populate(defense.device());
+
+        const Tick attack_start = clock.now();
+        if (flood) {
+            attack::GcAttack::Params gc;
+            gc.floodCapacityMultiple = 1.0;
+            gc.floodSpanFraction = 0.4;
+            attack::GcAttack attack(gc);
+            attack.run(defense.device(), clock, victim);
+        } else {
+            attack::ClassicRansomware attack;
+            attack.run(defense.device(), clock, victim);
+        }
+
+        defense.attemptRecovery(victim, attack_start);
+        EXPECT_GE(victim.intactFraction(defense.device()), 0.99)
+            << (flood ? "gc-attack" : "classic");
+    }
+}
+
+TEST(FlashGuard, TimingAttackAgesOutHolds)
+{
+    VirtualClock clock;
+    FlashGuardLike::Params params;
+    params.retain.maxHoldAge = 30 * units::SEC;
+    FlashGuardLike defense(smallConfig(), clock, params);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+
+    const Tick attack_start = clock.now();
+    attack::TimingAttack::Params timing;
+    timing.encryptionInterval = 2 * units::SEC;
+    timing.benignOpsPerEncrypt = 8;
+    attack::TimingAttack attack(timing);
+    attack.run(defense.device(), clock, victim);
+
+    defense.attemptRecovery(victim, attack_start);
+    // Early victims' holds expired long before the attack ended.
+    EXPECT_LT(victim.intactFraction(defense.device()), 0.5);
+}
+
+TEST(FlashGuard, TrimmingAttackBypassesRetention)
+{
+    VirtualClock clock;
+    FlashGuardLike defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+
+    const Tick attack_start = clock.now();
+    attack::TrimmingAttack attack;
+    attack.run(defense.device(), clock, victim);
+
+    defense.attemptRecovery(victim, attack_start);
+    EXPECT_LT(victim.intactFraction(defense.device()), 0.10);
+}
+
+TEST(TimeSsd, ClassicRecoveredWithinWindow)
+{
+    VirtualClock clock;
+    TimeSsdLike defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+
+    const Tick attack_start = clock.now();
+    attack::ClassicRansomware attack;
+    attack.run(defense.device(), clock, victim);
+
+    defense.attemptRecovery(victim, attack_start);
+    EXPECT_GE(victim.intactFraction(defense.device()), 0.99);
+}
+
+TEST(DetectRollback, SsdInsiderRecoversDetectedClassic)
+{
+    VirtualClock clock;
+    DetectRollbackLike defense(smallConfig(), clock);
+    attack::VictimDataset victim(0, 128);
+    victim.populate(defense.device());
+
+    const Tick attack_start = clock.now();
+    attack::ClassicRansomware attack;
+    attack.run(defense.device(), clock, victim);
+    ASSERT_TRUE(defense.detectedAttack());
+
+    defense.attemptRecovery(victim, attack_start);
+    EXPECT_GE(victim.intactFraction(defense.device()), 0.99);
+}
+
+TEST(DetectRollback, RBlockerBlocksAfterAlarm)
+{
+    VirtualClock clock;
+    DetectRollbackLike::Params params;
+    params.blockOnDetect = true;
+    params.displayName = "RBlocker";
+    DetectRollbackLike defense(smallConfig(), clock, params);
+    attack::VictimDataset victim(0, 512);
+    victim.populate(defense.device());
+
+    attack::ClassicRansomware attack;
+    const attack::AttackReport report =
+        attack.run(defense.device(), clock, victim);
+    EXPECT_TRUE(defense.detectedAttack());
+    // Some encryption writes were refused post-alarm.
+    EXPECT_GT(report.writeErrors, 0u);
+    EXPECT_LT(report.pagesEncrypted, 512u);
+}
+
+TEST(Rssd, AllFourAttacksFullyRecoveredWithForensics)
+{
+    struct Case
+    {
+        const char *name;
+        std::unique_ptr<attack::Ransomware> attack;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"classic",
+                     std::make_unique<attack::ClassicRansomware>()});
+    attack::GcAttack::Params gc;
+    gc.floodCapacityMultiple = 1.0;
+    gc.floodSpanFraction = 0.4;
+    cases.push_back({"gc", std::make_unique<attack::GcAttack>(gc)});
+    attack::TimingAttack::Params t;
+    t.benignOpsPerEncrypt = 16;
+    cases.push_back(
+        {"timing", std::make_unique<attack::TimingAttack>(t)});
+    cases.push_back(
+        {"trimming", std::make_unique<attack::TrimmingAttack>()});
+
+    for (auto &c : cases) {
+        VirtualClock clock;
+        core::RssdConfig cfg = core::RssdConfig::forTests();
+        RssdDefense defense(cfg, clock);
+        attack::VictimDataset victim(0, 128);
+        victim.populate(defense.device());
+
+        const Tick attack_start = clock.now();
+        c.attack->run(defense.device(), clock, victim);
+        defense.attemptRecovery(victim, attack_start);
+
+        EXPECT_DOUBLE_EQ(victim.intactFraction(defense.device()), 1.0)
+            << c.name;
+        EXPECT_TRUE(defense.forensicsAvailable()) << c.name;
+        EXPECT_TRUE(defense.detectedAttack()) << c.name;
+    }
+}
+
+} // namespace
+} // namespace rssd::baseline

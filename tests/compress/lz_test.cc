@@ -1,0 +1,134 @@
+/**
+ * @file
+ * LZ compressor tests: exact roundtrip over adversarial inputs and
+ * ratio behaviour over controlled-redundancy data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/lz.hh"
+#include "sim/rng.hh"
+
+namespace rssd::compress {
+namespace {
+
+void
+expectRoundtrip(const Bytes &input)
+{
+    const Bytes packed = lzCompress(input);
+    const Bytes unpacked = lzDecompress(packed, input.size());
+    ASSERT_EQ(unpacked, input);
+}
+
+TEST(Lz, EmptyInput)
+{
+    expectRoundtrip({});
+    EXPECT_TRUE(lzCompress({}).empty());
+}
+
+TEST(Lz, TinyInputs)
+{
+    expectRoundtrip({0x42});
+    expectRoundtrip({1, 2});
+    expectRoundtrip({1, 2, 3});
+    expectRoundtrip({1, 2, 3, 4});
+}
+
+TEST(Lz, AllSameByteCompressesWell)
+{
+    Bytes input(4096, 0x55);
+    const Bytes packed = lzCompress(input);
+    expectRoundtrip(input);
+    EXPECT_LT(packed.size(), input.size() / 10);
+}
+
+TEST(Lz, RepeatedPatternCompresses)
+{
+    Bytes input;
+    const char *pattern = "hello flash world! ";
+    for (int i = 0; i < 400; i++)
+        input.insert(input.end(), pattern, pattern + 19);
+    const Bytes packed = lzCompress(input);
+    expectRoundtrip(input);
+    EXPECT_LT(packed.size(), input.size() / 4);
+}
+
+TEST(Lz, RandomDataExpandsOnlyMildly)
+{
+    rssd::Rng rng(99);
+    Bytes input(8192);
+    for (auto &b : input)
+        b = static_cast<std::uint8_t>(rng.next());
+    const Bytes packed = lzCompress(input);
+    expectRoundtrip(input);
+    // Worst-case framing overhead: 1 control byte per 128 literals.
+    EXPECT_LT(packed.size(), input.size() + input.size() / 64 + 16);
+}
+
+TEST(Lz, OverlappingMatchRle)
+{
+    // "abcabcabc..." forces overlapping matches (dist < len).
+    Bytes input;
+    for (int i = 0; i < 1000; i++)
+        input.push_back(static_cast<std::uint8_t>("abc"[i % 3]));
+    expectRoundtrip(input);
+}
+
+TEST(Lz, LongMatchChunking)
+{
+    // A run far longer than kMaxMatch must chunk into several tokens.
+    Bytes input(kMaxMatch * 7 + 13, 0xEE);
+    expectRoundtrip(input);
+}
+
+TEST(Lz, MatchAtMaxDistance)
+{
+    rssd::Rng rng(123);
+    Bytes input;
+    Bytes phrase(32);
+    for (auto &b : phrase)
+        b = static_cast<std::uint8_t>(rng.next());
+    input.insert(input.end(), phrase.begin(), phrase.end());
+    // Push the phrase past 64 KiB away, then repeat it.
+    for (std::size_t i = 0; i < 70000; i++)
+        input.push_back(static_cast<std::uint8_t>(rng.next()));
+    input.insert(input.end(), phrase.begin(), phrase.end());
+    expectRoundtrip(input);
+}
+
+class LzRoundtripTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, double>>
+{
+};
+
+TEST_P(LzRoundtripTest, RoundtripAtManySizesAndMixes)
+{
+    const auto [size, zero_fraction] = GetParam();
+    rssd::Rng rng(size * 7 + 1);
+    Bytes input(size);
+    for (auto &b : input) {
+        b = rng.uniform() < zero_fraction
+            ? 0
+            : static_cast<std::uint8_t>(rng.next());
+    }
+    expectRoundtrip(input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndMixes, LzRoundtripTest,
+    ::testing::Values(std::pair<std::size_t, double>{1, 0.0},
+                      std::pair<std::size_t, double>{127, 0.5},
+                      std::pair<std::size_t, double>{128, 0.5},
+                      std::pair<std::size_t, double>{129, 0.9},
+                      std::pair<std::size_t, double>{4096, 0.3},
+                      std::pair<std::size_t, double>{4096, 0.95},
+                      std::pair<std::size_t, double>{65537, 0.7}));
+
+TEST(Lz, RatioHelper)
+{
+    EXPECT_DOUBLE_EQ(compressionRatio(100, 50), 2.0);
+    EXPECT_DOUBLE_EQ(compressionRatio(100, 0), 1.0);
+}
+
+} // namespace
+} // namespace rssd::compress

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Failure injection: the guarantees must hold when parts of the
+ * environment misbehave — lossy links, a full remote store, attacks
+ * continuing after analysis, and adversarial segment injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/ransomware.hh"
+#include "core/analyzer.hh"
+#include "core/recovery.hh"
+#include "core/rssd_device.hh"
+#include "sim/rng.hh"
+
+namespace rssd::core {
+namespace {
+
+RssdConfig
+config()
+{
+    RssdConfig cfg = RssdConfig::forTests();
+    cfg.segmentPages = 16;
+    cfg.pumpThreshold = 16;
+    return cfg;
+}
+
+TEST(FailureInjection, LossyLinkDelaysButPreservesEverything)
+{
+    VirtualClock clock;
+    RssdDevice dev(config(), clock);
+
+    std::vector<std::uint8_t> v(dev.pageSize(), 0x3C);
+    for (int i = 0; i < 100; i++) {
+        // Corrupt every 4th transfer; the transport retransmits.
+        if (i % 4 == 0)
+            dev.link().tx().corruptNextTransfer();
+        dev.writePage(i % 10, v);
+    }
+    dev.drainOffload();
+
+    EXPECT_GT(dev.transport().stats().retransmits, 0u);
+    EXPECT_EQ(dev.retention().size(), 0u); // everything shipped
+    EXPECT_TRUE(dev.backupStore().verifyFullChain());
+
+    DeviceHistory history(dev);
+    EXPECT_TRUE(history.verifyEvidenceChain());
+    EXPECT_EQ(history.entries().size(), 100u);
+}
+
+TEST(FailureInjection, RemoteFullStillRecoversFromLocalHolds)
+{
+    // When the remote budget is exhausted, RSSD keeps holds locally:
+    // writes may eventually fail, but nothing already written is
+    // lost and recovery still works from the local side.
+    RssdConfig cfg = config();
+    cfg.remote.capacityBytes = 24 * units::KiB; // a couple segments
+    VirtualClock clock;
+    RssdDevice dev(cfg, clock);
+
+    attack::VictimDataset victim(0, 32);
+    victim.populate(dev);
+    const std::uint64_t pre_attack = dev.opLog().totalAppended();
+
+    // Incompressible ciphertext fills the remote budget quickly.
+    attack::ClassicRansomware attack;
+    attack.run(dev, clock, victim);
+    dev.drainOffload();
+    ASSERT_TRUE(dev.offload().remoteFull());
+    ASSERT_GT(dev.retention().size(), 0u); // held locally instead
+
+    DeviceHistory history(dev);
+    EXPECT_TRUE(history.verifyEvidenceChain());
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverToLogSeq(pre_attack);
+    EXPECT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(victim.intactFraction(dev), 1.0);
+}
+
+TEST(FailureInjection, ForgedSegmentCannotEnterTheChain)
+{
+    VirtualClock clock;
+    RssdDevice dev(config(), clock);
+    for (int i = 0; i < 40; i++)
+        dev.writePage(i % 4, {});
+    dev.drainOffload();
+    const std::size_t stored = dev.backupStore().segmentCount();
+
+    // Attacker forges a segment with their own key.
+    log::SegmentCodec rogue = log::SegmentCodec::fromSeed("rogue");
+    log::Segment forged;
+    forged.id = stored;
+    forged.prevId = stored - 1;
+    Tick ack = 0;
+    EXPECT_FALSE(dev.backupStore().ingestSegment(rogue.seal(forged),
+                                                 clock.now(), ack));
+    EXPECT_EQ(dev.backupStore().segmentCount(), stored);
+    EXPECT_TRUE(dev.backupStore().verifyFullChain());
+}
+
+TEST(FailureInjection, ReplayedDeviceSegmentIsRejected)
+{
+    VirtualClock clock;
+    RssdDevice dev(config(), clock);
+    for (int i = 0; i < 40; i++)
+        dev.writePage(i % 4, {});
+    dev.drainOffload();
+    ASSERT_GT(dev.backupStore().segmentCount(), 1u);
+
+    // Even a *genuine* old segment can't be replayed to truncate
+    // history: ordering is enforced.
+    const log::SealedSegment old_seg =
+        dev.backupStore().sealedSegment(0);
+    Tick ack = 0;
+    EXPECT_FALSE(
+        dev.backupStore().ingestSegment(old_seg, clock.now(), ack));
+}
+
+TEST(FailureInjection, AttackerChurnAfterIncidentCannotEraseEvidence)
+{
+    VirtualClock clock;
+    RssdDevice dev(config(), clock);
+    attack::VictimDataset victim(0, 96);
+    victim.populate(dev);
+    const std::uint64_t pre_attack = dev.opLog().totalAppended();
+
+    attack::ClassicRansomware attack;
+    attack.run(dev, clock, victim);
+
+    // The attacker tries to bury the evidence under churn (a form of
+    // GC attack against the log itself).
+    Rng rng(11);
+    for (int i = 0; i < 10000; i++)
+        dev.writePage(100 + rng.below(500), {});
+
+    dev.drainOffload();
+    DeviceHistory history(dev);
+    ASSERT_TRUE(history.verifyEvidenceChain());
+
+    PostAttackAnalyzer analyzer(history);
+    const AnalysisReport report = analyzer.analyze();
+    ASSERT_TRUE(report.finding.detected);
+    EXPECT_EQ(report.finding.firstSuspectSeq, pre_attack);
+
+    RecoveryEngine engine(history);
+    ASSERT_TRUE(engine.recoverToLogSeq(pre_attack).ok());
+    EXPECT_DOUBLE_EQ(victim.intactFraction(dev), 1.0);
+}
+
+TEST(FailureInjection, MultiPageCommandsKeepInvariants)
+{
+    VirtualClock clock;
+    RssdDevice dev(config(), clock);
+
+    nvme::Command w;
+    w.op = nvme::Opcode::Write;
+    w.lpa = 10;
+    w.npages = 16;
+    ASSERT_TRUE(dev.submit(w).ok());
+
+    nvme::Command t;
+    t.op = nvme::Opcode::Trim;
+    t.lpa = 10;
+    t.npages = 16;
+    ASSERT_TRUE(dev.submit(t).ok());
+
+    // 16 writes + 16 trims logged; 16 versions retained.
+    EXPECT_EQ(dev.opLog().totalAppended(), 32u);
+    const std::uint64_t retained = dev.retention().size() +
+        dev.offload().stats().pagesOffloaded;
+    EXPECT_EQ(retained, 16u);
+    EXPECT_TRUE(dev.opLog().verifyHeldChain());
+}
+
+} // namespace
+} // namespace rssd::core

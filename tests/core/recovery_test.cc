@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Recovery engine tests: point-in-time rollback correctness across
+ * local and remote version sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/ransomware.hh"
+#include "core/recovery.hh"
+#include "core/rssd_device.hh"
+
+namespace rssd::core {
+namespace {
+
+class RecoveryTest : public ::testing::Test
+{
+  protected:
+    RecoveryTest() : dev_(config(), clock_) {}
+
+    static RssdConfig
+    config()
+    {
+        RssdConfig cfg = RssdConfig::forTests();
+        cfg.segmentPages = 8;
+        cfg.pumpThreshold = 8;
+        return cfg;
+    }
+
+    std::vector<std::uint8_t>
+    page(std::uint8_t fill)
+    {
+        return std::vector<std::uint8_t>(dev_.pageSize(), fill);
+    }
+
+    RecoveryReport
+    recoverTo(std::uint64_t seq)
+    {
+        DeviceHistory history(dev_);
+        RecoveryEngine engine(history);
+        return engine.recoverToLogSeq(seq);
+    }
+
+    VirtualClock clock_;
+    RssdDevice dev_;
+};
+
+TEST_F(RecoveryTest, RollbackSingleOverwrite)
+{
+    dev_.writePage(1, page(0x01)); // logSeq 0
+    dev_.writePage(1, page(0x02)); // logSeq 1
+    const RecoveryReport r = recoverTo(1);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(dev_.readPage(1).data, page(0x01));
+    EXPECT_EQ(r.pagesRestored, 1u);
+}
+
+TEST_F(RecoveryTest, RollbackToZeroRestoresEmptyDevice)
+{
+    dev_.writePage(1, page(0x01));
+    dev_.writePage(2, page(0x02));
+    const RecoveryReport r = recoverTo(0);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(dev_.readPage(1).data, page(0x00));
+    EXPECT_EQ(dev_.readPage(2).data, page(0x00));
+    EXPECT_EQ(r.unmappedRestored, 2u);
+}
+
+TEST_F(RecoveryTest, RollbackAcrossManyVersions)
+{
+    // 10 versions of the same page; roll back to each in turn.
+    for (int v = 0; v < 10; v++)
+        dev_.writePage(4, page(static_cast<std::uint8_t>(0x10 + v)));
+    for (int target = 10; target >= 1; target--) {
+        const RecoveryReport r =
+            recoverTo(static_cast<std::uint64_t>(target));
+        ASSERT_TRUE(r.ok()) << "target " << target;
+        EXPECT_EQ(dev_.readPage(4).data,
+                  page(static_cast<std::uint8_t>(0x10 + target - 1)))
+            << "target " << target;
+    }
+}
+
+TEST_F(RecoveryTest, RestoresFromRemoteSegments)
+{
+    dev_.writePage(3, page(0xAA));
+    for (int i = 0; i < 30; i++)
+        dev_.writePage(3, page(static_cast<std::uint8_t>(i)));
+    dev_.drainOffload();
+    ASSERT_GT(dev_.backupStore().segmentCount(), 0u);
+
+    const RecoveryReport r = recoverTo(1);
+    EXPECT_TRUE(r.ok());
+    EXPECT_GT(r.restoredFromRemote, 0u);
+    EXPECT_EQ(dev_.readPage(3).data, page(0xAA));
+}
+
+TEST_F(RecoveryTest, TrimRollbackBothDirections)
+{
+    dev_.writePage(6, page(0x44)); // seq 0
+    dev_.trimPage(6);              // seq 1
+    dev_.writePage(6, page(0x55)); // seq 2
+
+    // State after the trim: unmapped.
+    RecoveryReport r = recoverTo(2);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(dev_.readPage(6).data, page(0x00));
+
+    // State before the trim: the original data. Note the recovery
+    // writes above appended to the log; roll back using the original
+    // seq, which still identifies the pre-trim state.
+    r = recoverTo(1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(dev_.readPage(6).data, page(0x44));
+}
+
+TEST_F(RecoveryTest, RecoverToTimeFindsBoundary)
+{
+    dev_.writePage(7, page(0x01));
+    clock_.advance(units::SEC);
+    const Tick boundary = clock_.now();
+    clock_.advance(units::SEC);
+    dev_.writePage(7, page(0x02));
+
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverToTime(boundary);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(dev_.readPage(7).data, page(0x01));
+}
+
+TEST_F(RecoveryTest, ClassicAttackFullRecovery)
+{
+    attack::VictimDataset victim(0, 200);
+    victim.populate(dev_);
+    const std::uint64_t pre_attack = dev_.opLog().totalAppended();
+
+    attack::ClassicRansomware attack;
+    attack.run(dev_, clock_, victim);
+    ASSERT_DOUBLE_EQ(victim.intactFraction(dev_), 0.0);
+
+    const RecoveryReport r = recoverTo(pre_attack);
+    EXPECT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(victim.intactFraction(dev_), 1.0);
+    EXPECT_EQ(r.pagesRestored, 200u);
+}
+
+TEST_F(RecoveryTest, TimingAttackFullRecovery)
+{
+    attack::VictimDataset victim(0, 64);
+    victim.populate(dev_);
+    const Tick attack_start = clock_.now();
+
+    attack::TimingAttack::Params params;
+    params.encryptionInterval = units::SEC;
+    params.benignOpsPerEncrypt = 8;
+    attack::TimingAttack attack(params);
+    attack.run(dev_, clock_, victim);
+
+    dev_.drainOffload();
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverToTime(attack_start);
+    EXPECT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(victim.intactFraction(dev_), 1.0);
+}
+
+TEST_F(RecoveryTest, ReportAccountsSources)
+{
+    dev_.writePage(1, page(0x01));
+    dev_.writePage(1, page(0x02)); // old version held locally
+    const RecoveryReport r = recoverTo(1);
+    EXPECT_EQ(r.pagesRestored, 1u);
+    EXPECT_EQ(r.restoredFromLocal + r.restoredFromRemote, 1u);
+    EXPECT_GT(r.finishedAt, r.startedAt);
+}
+
+TEST_F(RecoveryTest, IdempotentWhenAlreadyAtTarget)
+{
+    dev_.writePage(1, page(0x01));
+    const RecoveryReport r = recoverTo(1);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.pagesRestored, 0u);
+    EXPECT_EQ(r.unmappedRestored, 0u);
+}
+
+} // namespace
+} // namespace rssd::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CRC32C against known vectors and corruption-detection properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/crc32.hh"
+
+namespace rssd::crypto {
+namespace {
+
+TEST(Crc32c, KnownVectors)
+{
+    // "123456789" -> 0xE3069283 (iSCSI CRC32C check value).
+    const std::string msg = "123456789";
+    EXPECT_EQ(crc32c(msg.data(), msg.size()), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero)
+{
+    EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32c, AllZeros32Bytes)
+{
+    std::vector<std::uint8_t> zeros(32, 0);
+    EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, AllOnes32Bytes)
+{
+    std::vector<std::uint8_t> ones(32, 0xFF);
+    EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32c, DetectsSingleBitFlip)
+{
+    std::vector<std::uint8_t> data(1024);
+    for (std::size_t i = 0; i < data.size(); i++)
+        data[i] = static_cast<std::uint8_t>(i);
+    const std::uint32_t clean = crc32c(data);
+    for (std::size_t byte : {0u, 100u, 1023u}) {
+        for (int bit = 0; bit < 8; bit++) {
+            data[byte] ^= 1u << bit;
+            EXPECT_NE(crc32c(data), clean);
+            data[byte] ^= 1u << bit;
+        }
+    }
+}
+
+TEST(Crc32c, DetectsSwappedBytes)
+{
+    std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+    const std::uint32_t clean = crc32c(data);
+    std::swap(data[1], data[3]);
+    EXPECT_NE(crc32c(data), clean);
+}
+
+} // namespace
+} // namespace rssd::crypto

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Detector tests, including the paper's central evasion claims: the
+ * timing attack defeats windowed online detectors but not the
+ * offline cumulative auditor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/detector.hh"
+
+namespace rssd::detect {
+namespace {
+
+IoEvent
+writeEvent(std::uint64_t seq, Lpa lpa, Tick t, float entropy,
+           float prev_entropy)
+{
+    IoEvent ev;
+    ev.kind = EventKind::Write;
+    ev.lpa = lpa;
+    ev.seq = seq;
+    ev.timestamp = t;
+    ev.entropy = entropy;
+    ev.prevEntropy = prev_entropy;
+    ev.overwrite = prev_entropy >= 0.0f;
+    return ev;
+}
+
+IoEvent
+readEvent(std::uint64_t seq, Lpa lpa, Tick t)
+{
+    IoEvent ev;
+    ev.kind = EventKind::Read;
+    ev.lpa = lpa;
+    ev.seq = seq;
+    ev.timestamp = t;
+    return ev;
+}
+
+IoEvent
+trimEvent(std::uint64_t seq, Lpa lpa, Tick t)
+{
+    IoEvent ev;
+    ev.kind = EventKind::Trim;
+    ev.lpa = lpa;
+    ev.seq = seq;
+    ev.timestamp = t;
+    return ev;
+}
+
+// ---------------------------------------------------------------------
+// EntropyOverwriteDetector
+// ---------------------------------------------------------------------
+
+TEST(EntropyOverwrite, AlarmsOnEncryptionBurst)
+{
+    EntropyOverwriteDetector det;
+    for (std::uint64_t i = 0; i < 200; i++)
+        det.observe(writeEvent(i, i, i * 1000, 7.9f, 4.0f));
+    EXPECT_TRUE(det.alarmed());
+    // The first flagged event is implicated.
+    EXPECT_LE(det.alarms()[0].firstSuspectSeq, 32u);
+}
+
+TEST(EntropyOverwrite, SilentOnBenignWrites)
+{
+    EntropyOverwriteDetector det;
+    for (std::uint64_t i = 0; i < 5000; i++)
+        det.observe(writeEvent(i, i % 50, i * 1000, 4.5f, 4.0f));
+    EXPECT_FALSE(det.alarmed());
+}
+
+TEST(EntropyOverwrite, SilentOnFreshHighEntropyWrites)
+{
+    // New (non-overwrite) high-entropy data — e.g. storing archives —
+    // must not alarm.
+    EntropyOverwriteDetector det;
+    for (std::uint64_t i = 0; i < 5000; i++)
+        det.observe(writeEvent(i, i, i * 1000, 7.9f, kNoEntropy));
+    EXPECT_FALSE(det.alarmed());
+}
+
+TEST(EntropyOverwrite, TimingAttackEvadesWindow)
+{
+    // One encryption per 100 benign ops: the windowed ratio never
+    // crosses the alarm threshold. This is the paper's timing attack.
+    EntropyOverwriteDetector det;
+    std::uint64_t seq = 0;
+    for (int victim = 0; victim < 200; victim++) {
+        det.observe(writeEvent(seq++, 10000 + victim,
+                               seq * 1000, 7.9f, 4.0f));
+        for (int b = 0; b < 100; b++)
+            det.observe(writeEvent(seq++, b % 64, seq * 1000, 4.5f,
+                                   4.5f));
+    }
+    EXPECT_FALSE(det.alarmed());
+    // ...but the damage was done:
+    EXPECT_EQ(det.flaggedTotal(), 200u);
+}
+
+TEST(EntropyOverwrite, ResetClearsState)
+{
+    EntropyOverwriteDetector det;
+    for (std::uint64_t i = 0; i < 200; i++)
+        det.observe(writeEvent(i, i, i, 7.9f, 4.0f));
+    ASSERT_TRUE(det.alarmed());
+    det.reset();
+    EXPECT_FALSE(det.alarmed());
+    EXPECT_EQ(det.flaggedTotal(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// CumulativeEntropyAuditor
+// ---------------------------------------------------------------------
+
+TEST(CumulativeAuditor, CatchesTimingAttack)
+{
+    // Same dilution that evaded the windowed detector above.
+    CumulativeEntropyAuditor auditor;
+    std::uint64_t seq = 0;
+    std::uint64_t first_victim_seq = 0;
+    for (int victim = 0; victim < 200; victim++) {
+        if (victim == 0)
+            first_victim_seq = seq;
+        auditor.observe(writeEvent(seq++, 10000 + victim, seq * 1000,
+                                   7.9f, 4.0f));
+        for (int b = 0; b < 100; b++)
+            auditor.observe(writeEvent(seq++, b % 64, seq * 1000,
+                                       4.5f, 4.5f));
+    }
+    ASSERT_TRUE(auditor.alarmed());
+    EXPECT_EQ(auditor.suspiciousCount(), 200u);
+    EXPECT_EQ(auditor.alarms()[0].firstSuspectSeq, first_victim_seq);
+    EXPECT_EQ(auditor.implicatedSeqs().size(), 200u);
+}
+
+TEST(CumulativeAuditor, ToleratesOccasionalHighEntropy)
+{
+    CumulativeEntropyAuditor auditor;
+    // 30 suspicious overwrites over a long history: below the alarm
+    // count (64), e.g. a user occasionally rewriting zip files.
+    for (std::uint64_t i = 0; i < 30; i++)
+        auditor.observe(writeEvent(i, i, i, 7.9f, 4.0f));
+    EXPECT_FALSE(auditor.alarmed());
+}
+
+// ---------------------------------------------------------------------
+// ReadOverwriteDetector
+// ---------------------------------------------------------------------
+
+TEST(ReadOverwrite, AlarmsOnClassicPattern)
+{
+    ReadOverwriteDetector det;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 100; i++) {
+        det.observe(readEvent(seq++, i, i * units::MS));
+        det.observe(writeEvent(seq++, i, i * units::MS + units::US,
+                               7.9f, 4.0f));
+    }
+    EXPECT_TRUE(det.alarmed());
+}
+
+TEST(ReadOverwrite, SilentWhenOverwriteIsLowEntropy)
+{
+    ReadOverwriteDetector det;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 100; i++) {
+        det.observe(readEvent(seq++, i, i * units::MS));
+        det.observe(writeEvent(seq++, i, i * units::MS + units::US,
+                               4.0f, 4.0f));
+    }
+    EXPECT_FALSE(det.alarmed());
+}
+
+TEST(ReadOverwrite, SilentWhenGapExceedsWindow)
+{
+    ReadOverwriteDetector det;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 100; i++) {
+        const Tick t = i * units::MINUTE;
+        det.observe(readEvent(seq++, i, t));
+        // Overwrite a page read a full minute ago.
+        if (i > 0) {
+            det.observe(writeEvent(seq++, i - 1, t, 7.9f, 4.0f));
+        }
+    }
+    EXPECT_FALSE(det.alarmed());
+}
+
+// ---------------------------------------------------------------------
+// WriteBurstDetector
+// ---------------------------------------------------------------------
+
+TEST(WriteBurst, AlarmsOnFlood)
+{
+    WriteBurstDetector::Config cfg;
+    cfg.maxWritesPerWindow = 1000;
+    WriteBurstDetector det(cfg);
+    for (std::uint64_t i = 0; i < 2000; i++)
+        det.observe(writeEvent(i, i, i, 4.0f, kNoEntropy));
+    EXPECT_TRUE(det.alarmed());
+}
+
+TEST(WriteBurst, SilentOnSpreadWrites)
+{
+    WriteBurstDetector::Config cfg;
+    cfg.maxWritesPerWindow = 1000;
+    WriteBurstDetector det(cfg);
+    for (std::uint64_t i = 0; i < 5000; i++)
+        det.observe(writeEvent(i, i, i * 10 * units::MS, 4.0f,
+                               kNoEntropy));
+    EXPECT_FALSE(det.alarmed());
+}
+
+// ---------------------------------------------------------------------
+// TrimAbuseDetector
+// ---------------------------------------------------------------------
+
+TEST(TrimAbuse, AlarmsOnReadThenTrimFlood)
+{
+    TrimAbuseDetector det;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 200; i++) {
+        det.observe(readEvent(seq++, i, i * units::MS));
+        det.observe(trimEvent(seq++, i, i * units::MS + units::US));
+    }
+    EXPECT_TRUE(det.alarmed());
+}
+
+TEST(TrimAbuse, SilentOnOrdinaryTrims)
+{
+    // Filesystem discard of never-read blocks (e.g. deleting temp
+    // files) is not the attack signature.
+    TrimAbuseDetector det;
+    for (std::uint64_t i = 0; i < 2000; i++)
+        det.observe(trimEvent(i, i, i * units::MS));
+    EXPECT_FALSE(det.alarmed());
+}
+
+} // namespace
+} // namespace rssd::detect

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Geometry decomposition and addressing tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/geometry.hh"
+#include "flash/nand.hh"
+
+namespace rssd::flash {
+namespace {
+
+TEST(Geometry, DerivedCounts)
+{
+    Geometry g;
+    g.channels = 2;
+    g.chipsPerChannel = 3;
+    g.planesPerChip = 2;
+    g.blocksPerPlane = 10;
+    g.pagesPerBlock = 64;
+    g.pageSize = 4096;
+
+    EXPECT_EQ(g.chipsTotal(), 6u);
+    EXPECT_EQ(g.blocksPerChip(), 20u);
+    EXPECT_EQ(g.totalBlocks(), 120u);
+    EXPECT_EQ(g.totalPages(), 120u * 64u);
+    EXPECT_EQ(g.capacityBytes(), 120ull * 64 * 4096);
+    EXPECT_EQ(g.blockBytes(), 64u * 4096u);
+}
+
+TEST(Geometry, BlockPageMapping)
+{
+    Geometry g = testGeometry();
+    EXPECT_EQ(g.blockOf(0), 0u);
+    EXPECT_EQ(g.pageInBlock(0), 0u);
+    EXPECT_EQ(g.blockOf(g.pagesPerBlock), 1u);
+    EXPECT_EQ(g.firstPpaOf(3), 3ull * g.pagesPerBlock);
+    EXPECT_EQ(g.pageInBlock(g.firstPpaOf(3) + 7), 7u);
+}
+
+TEST(Geometry, DecomposeRoundtrip)
+{
+    Geometry g = testGeometry();
+    for (Ppa ppa = 0; ppa < g.totalPages(); ppa += 13) {
+        const PageCoord c = g.decompose(ppa);
+        EXPECT_LT(c.channel, g.channels);
+        EXPECT_LT(c.chip, g.chipsPerChannel);
+        EXPECT_LT(c.plane, g.planesPerChip);
+        EXPECT_LT(c.block, g.blocksPerPlane);
+        EXPECT_LT(c.page, g.pagesPerBlock);
+
+        // Recompose: the hierarchy is page-major then block, plane,
+        // chip, channel.
+        const Ppa back =
+            ((((static_cast<Ppa>(c.channel) * g.chipsPerChannel +
+                c.chip) *
+                   g.planesPerChip +
+               c.plane) *
+                  g.blocksPerPlane +
+              c.block) *
+                 g.pagesPerBlock +
+             c.page);
+        EXPECT_EQ(back, ppa);
+    }
+}
+
+TEST(Geometry, ChannelAssignmentCoversAllChannels)
+{
+    Geometry g = testGeometry();
+    std::vector<bool> seen(g.channels, false);
+    for (Ppa ppa = 0; ppa < g.totalPages(); ppa += g.pagesPerBlock)
+        seen[g.channelOf(ppa)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Geometry, BenchGeometryApproximatesRequestedSize)
+{
+    const Geometry g = benchGeometry(8);
+    const double gib =
+        static_cast<double>(g.capacityBytes()) / units::GiB;
+    EXPECT_GT(gib, 4.0);
+    EXPECT_LE(gib, 8.5);
+}
+
+TEST(Geometry, TestGeometryIsSmall)
+{
+    const Geometry g = testGeometry();
+    EXPECT_LE(g.capacityBytes(), 64 * units::MiB);
+}
+
+} // namespace
+} // namespace rssd::flash

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Core FTL behaviour: mapping, overwrite invalidation, reads of
+ * unmapped LBAs, trim, content round trips and stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ftl/ftl.hh"
+
+namespace rssd::ftl {
+namespace {
+
+FtlConfig
+smallConfig()
+{
+    FtlConfig cfg;
+    cfg.geometry = flash::testGeometry();
+    cfg.opFraction = 0.12;
+    cfg.gcLowWater = 2;
+    cfg.gcHighWater = 4;
+    return cfg;
+}
+
+class FtlTest : public ::testing::Test
+{
+  protected:
+    FtlTest() : ftl_(smallConfig(), clock_) {}
+
+    Bytes
+    page(std::uint8_t fill)
+    {
+        return Bytes(ftl_.config().geometry.pageSize, fill);
+    }
+
+    VirtualClock clock_;
+    PageMappedFtl ftl_;
+};
+
+TEST_F(FtlTest, LogicalCapacityReflectsOverProvisioning)
+{
+    const auto &geom = ftl_.config().geometry;
+    EXPECT_LT(ftl_.logicalPages(), geom.totalPages());
+    EXPECT_NEAR(static_cast<double>(ftl_.logicalPages()),
+                geom.totalPages() * 0.88, geom.pagesPerBlock);
+}
+
+TEST_F(FtlTest, FreshLpaIsUnmapped)
+{
+    EXPECT_EQ(ftl_.mappingOf(0), flash::kInvalidPpa);
+    const IoResult r = ftl_.read(0, 0);
+    EXPECT_EQ(r.status, Status::Unmapped);
+}
+
+TEST_F(FtlTest, WriteThenReadReturnsContent)
+{
+    const Bytes data = page(0x5A);
+    const IoResult w = ftl_.write(10, data, 0);
+    ASSERT_TRUE(w.ok());
+    EXPECT_NE(ftl_.mappingOf(10), flash::kInvalidPpa);
+
+    const IoResult r = ftl_.read(10, w.completeAt);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(ftl_.lastReadContent(), data);
+}
+
+TEST_F(FtlTest, OverwriteRemapsAndBumpsSeq)
+{
+    ftl_.write(5, page(1), 0);
+    const flash::Ppa first = ftl_.mappingOf(5);
+    const std::uint64_t seq1 = ftl_.nand().oob(first).seq;
+
+    ftl_.write(5, page(2), 0);
+    const flash::Ppa second = ftl_.mappingOf(5);
+    EXPECT_NE(first, second);
+    EXPECT_GT(ftl_.nand().oob(second).seq, seq1);
+
+    ftl_.read(5, 0);
+    EXPECT_EQ(ftl_.lastReadContent(), page(2));
+}
+
+TEST_F(FtlTest, OverwriteWithoutPolicyDiscardsOldPage)
+{
+    ftl_.write(5, {}, 0);
+    const flash::Ppa old = ftl_.mappingOf(5);
+    ftl_.write(5, {}, 0);
+    EXPECT_FALSE(ftl_.isValid(old));
+    EXPECT_FALSE(ftl_.isHeld(old));
+    EXPECT_EQ(ftl_.heldPageCount(), 0u);
+}
+
+TEST_F(FtlTest, TrimUnmaps)
+{
+    ftl_.write(7, page(9), 0);
+    const IoResult t = ftl_.trim(7, 0);
+    EXPECT_TRUE(t.ok());
+    EXPECT_EQ(ftl_.mappingOf(7), flash::kInvalidPpa);
+    EXPECT_EQ(ftl_.read(7, 0).status, Status::Unmapped);
+}
+
+TEST_F(FtlTest, TrimOfUnmappedIsNoop)
+{
+    const IoResult t = ftl_.trim(3, 0);
+    EXPECT_TRUE(t.ok());
+    EXPECT_EQ(ftl_.stats().hostTrims, 1u);
+}
+
+TEST_F(FtlTest, SequenceNumbersAreUniqueAndOrdered)
+{
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 50; i++) {
+        ftl_.write(i, {}, 0);
+        const std::uint64_t seq =
+            ftl_.nand().oob(ftl_.mappingOf(i)).seq;
+        if (i > 0)
+            EXPECT_GT(seq, prev);
+        prev = seq;
+    }
+}
+
+TEST_F(FtlTest, OobCarriesReverseMap)
+{
+    ftl_.write(33, {}, 1234);
+    const flash::Oob &oob = ftl_.nand().oob(ftl_.mappingOf(33));
+    EXPECT_EQ(oob.lpa, 33u);
+    EXPECT_EQ(oob.writeTick, 1234u);
+}
+
+TEST_F(FtlTest, ValidCountsTrackLiveData)
+{
+    for (int i = 0; i < 20; i++)
+        ftl_.write(i, {}, 0);
+    EXPECT_EQ(ftl_.validPageCount(), 20u);
+    for (int i = 0; i < 5; i++)
+        ftl_.write(i, {}, 0); // overwrites
+    EXPECT_EQ(ftl_.validPageCount(), 20u);
+    ftl_.trim(0, 0);
+    EXPECT_EQ(ftl_.validPageCount(), 19u);
+}
+
+TEST_F(FtlTest, StatsCount)
+{
+    ftl_.write(1, {}, 0);
+    ftl_.write(1, {}, 0);
+    ftl_.read(1, 0);
+    ftl_.trim(1, 0);
+    const FtlStats &s = ftl_.stats();
+    EXPECT_EQ(s.hostWrites, 2u);
+    EXPECT_EQ(s.hostReads, 1u);
+    EXPECT_EQ(s.hostTrims, 1u);
+}
+
+TEST_F(FtlTest, WafStartsAtOne)
+{
+    ftl_.write(1, {}, 0);
+    EXPECT_DOUBLE_EQ(ftl_.stats().waf(), 1.0);
+}
+
+TEST_F(FtlTest, FillEntireLogicalSpace)
+{
+    // Writing every logical page once must succeed without GC help.
+    for (flash::Lpa lpa = 0; lpa < ftl_.logicalPages(); lpa++) {
+        const IoResult r = ftl_.write(lpa, {}, 0);
+        ASSERT_TRUE(r.ok()) << "lpa " << lpa;
+    }
+    EXPECT_EQ(ftl_.validPageCount(), ftl_.logicalPages());
+}
+
+TEST_F(FtlTest, LatencyIncludesProgramTime)
+{
+    const IoResult w = ftl_.write(0, {}, 0);
+    EXPECT_GE(w.completeAt, 600 * units::US);
+}
+
+using FtlDeathTest = FtlTest;
+
+TEST_F(FtlDeathTest, OutOfRangeLpaPanics)
+{
+    EXPECT_DEATH(ftl_.write(ftl_.logicalPages(), {}, 0), "range");
+    EXPECT_DEATH(ftl_.read(ftl_.logicalPages(), 0), "range");
+}
+
+TEST_F(FtlDeathTest, BadConfigIsFatal)
+{
+    FtlConfig cfg = smallConfig();
+    cfg.opFraction = 0.0;
+    VirtualClock clock;
+    EXPECT_EXIT(PageMappedFtl(cfg, clock),
+                ::testing::ExitedWithCode(1), "provisioning");
+}
+
+} // namespace
+} // namespace rssd::ftl

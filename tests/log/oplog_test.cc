@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Operation-log tests: hash-chain integrity, tamper detection,
+ * truncation, and the two sequence domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "log/oplog.hh"
+
+namespace rssd::log {
+namespace {
+
+TEST(OpLog, StartsEmptyAtGenesis)
+{
+    OperationLog log;
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.headDigest(), OperationLog::genesisDigest());
+    EXPECT_EQ(log.anchorDigest(), OperationLog::genesisDigest());
+    EXPECT_TRUE(log.verifyHeldChain());
+}
+
+TEST(OpLog, AppendAssignsDenseSeqs)
+{
+    OperationLog log;
+    for (int i = 0; i < 10; i++) {
+        const LogEntry &e =
+            log.append(OpKind::Write, i, i, kNoDataSeq, i * 100, 4.0f);
+        EXPECT_EQ(e.logSeq, static_cast<std::uint64_t>(i));
+    }
+    EXPECT_EQ(log.size(), 10u);
+    EXPECT_EQ(log.totalAppended(), 10u);
+}
+
+TEST(OpLog, ChainVerifies)
+{
+    OperationLog log;
+    for (int i = 0; i < 100; i++)
+        log.append(i % 3 ? OpKind::Write : OpKind::Trim, i % 7, i,
+                   i ? i - 1 : kNoDataSeq, i * 10, 3.5f);
+    EXPECT_TRUE(log.verifyHeldChain());
+}
+
+TEST(OpLog, TamperedEntryIsDetected)
+{
+    OperationLog log;
+    for (int i = 0; i < 20; i++)
+        log.append(OpKind::Write, i, i, kNoDataSeq, i, 1.0f);
+
+    // Forge a run with one modified field.
+    std::vector<LogEntry> run(log.entries().begin(),
+                              log.entries().end());
+    ASSERT_TRUE(OperationLog::verifyRun(OperationLog::genesisDigest(),
+                                        run));
+    run[7].lpa = 999; // attacker edits history
+    EXPECT_FALSE(OperationLog::verifyRun(
+        OperationLog::genesisDigest(), run));
+}
+
+TEST(OpLog, ReorderedEntriesAreDetected)
+{
+    OperationLog log;
+    for (int i = 0; i < 10; i++)
+        log.append(OpKind::Write, i, i, kNoDataSeq, i, 1.0f);
+    std::vector<LogEntry> run(log.entries().begin(),
+                              log.entries().end());
+    std::swap(run[2], run[3]);
+    EXPECT_FALSE(OperationLog::verifyRun(
+        OperationLog::genesisDigest(), run));
+}
+
+TEST(OpLog, DeletedEntryIsDetected)
+{
+    OperationLog log;
+    for (int i = 0; i < 10; i++)
+        log.append(OpKind::Write, i, i, kNoDataSeq, i, 1.0f);
+    std::vector<LogEntry> run(log.entries().begin(),
+                              log.entries().end());
+    run.erase(run.begin() + 4); // splice out one operation
+    EXPECT_FALSE(OperationLog::verifyRun(
+        OperationLog::genesisDigest(), run));
+}
+
+TEST(OpLog, WrongAnchorIsDetected)
+{
+    OperationLog log;
+    log.append(OpKind::Write, 0, 0, kNoDataSeq, 0, 1.0f);
+    std::vector<LogEntry> run(log.entries().begin(),
+                              log.entries().end());
+    crypto::Digest bogus{};
+    EXPECT_FALSE(OperationLog::verifyRun(bogus, run));
+}
+
+TEST(OpLog, TruncationKeepsTailVerifiable)
+{
+    OperationLog log;
+    for (int i = 0; i < 50; i++)
+        log.append(OpKind::Write, i, i, kNoDataSeq, i, 1.0f);
+
+    const crypto::Digest head_before = log.headDigest();
+    log.truncateBefore(30);
+
+    EXPECT_EQ(log.size(), 20u);
+    EXPECT_EQ(log.firstHeldSeq(), 30u);
+    EXPECT_FALSE(log.holds(29));
+    EXPECT_TRUE(log.holds(30));
+    EXPECT_TRUE(log.verifyHeldChain());
+    EXPECT_EQ(log.headDigest(), head_before);
+    EXPECT_EQ(log.at(30).logSeq, 30u);
+}
+
+TEST(OpLog, TruncateEverything)
+{
+    OperationLog log;
+    for (int i = 0; i < 5; i++)
+        log.append(OpKind::Write, i, i, kNoDataSeq, i, 1.0f);
+    log.truncateBefore(5);
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_TRUE(log.verifyHeldChain());
+    // Appending after truncation continues the chain seamlessly.
+    log.append(OpKind::Trim, 1, kNoDataSeq, 0, 99, -1.0f);
+    EXPECT_TRUE(log.verifyHeldChain());
+    EXPECT_EQ(log.firstHeldSeq(), 5u);
+}
+
+TEST(OpLog, EntropyQuantizationInBody)
+{
+    LogEntry a, b;
+    a.entropy = 7.991f;
+    b.entropy = 7.992f;
+    // Quantized to 1/1000 bits: these differ in the hashed body.
+    EXPECT_NE(a.serializeBody(), b.serializeBody());
+}
+
+TEST(OpLog, BodyCoversAllFields)
+{
+    LogEntry base;
+    base.logSeq = 1;
+    base.lpa = 2;
+    base.dataSeq = 3;
+    base.prevDataSeq = 4;
+    base.timestamp = 5;
+    base.entropy = 6.0f;
+    base.op = OpKind::Write;
+
+    auto change = [&](auto mutate) {
+        LogEntry e = base;
+        mutate(e);
+        return e.serializeBody();
+    };
+    const auto original = base.serializeBody();
+    EXPECT_NE(change([](LogEntry &e) { e.logSeq = 9; }), original);
+    EXPECT_NE(change([](LogEntry &e) { e.lpa = 9; }), original);
+    EXPECT_NE(change([](LogEntry &e) { e.dataSeq = 9; }), original);
+    EXPECT_NE(change([](LogEntry &e) { e.prevDataSeq = 9; }),
+              original);
+    EXPECT_NE(change([](LogEntry &e) { e.timestamp = 9; }), original);
+    EXPECT_NE(change([](LogEntry &e) { e.op = OpKind::Trim; }),
+              original);
+}
+
+TEST(OpLog, OpKindNames)
+{
+    EXPECT_STREQ(opKindName(OpKind::Write), "WRITE");
+    EXPECT_STREQ(opKindName(OpKind::Trim), "TRIM");
+}
+
+} // namespace
+} // namespace rssd::log

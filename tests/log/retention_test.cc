@@ -1,0 +1,126 @@
+/**
+ * @file
+ * RetentionIndex tests: time ordering, relocation tracking, batch
+ * extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "log/retention.hh"
+
+namespace rssd::log {
+namespace {
+
+RetainedPage
+page(std::uint64_t seq, Ppa ppa, Tick invalidated = 0)
+{
+    RetainedPage p;
+    p.dataSeq = seq;
+    p.lpa = seq * 10;
+    p.ppa = ppa;
+    p.invalidatedAt = invalidated;
+    return p;
+}
+
+TEST(Retention, StartsEmpty)
+{
+    RetentionIndex idx;
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.size(), 0u);
+    EXPECT_TRUE(idx.takeOldest(10).empty());
+    EXPECT_EQ(idx.oldestAge(100), 0u);
+}
+
+TEST(Retention, TakeOldestIsSeqOrdered)
+{
+    RetentionIndex idx;
+    // Insert out of order; extraction must be in dataSeq order (the
+    // paper's "time order" offload requirement).
+    idx.add(page(5, 105));
+    idx.add(page(1, 101));
+    idx.add(page(3, 103));
+
+    const auto batch = idx.takeOldest(2);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].dataSeq, 1u);
+    EXPECT_EQ(batch[1].dataSeq, 3u);
+    EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(Retention, TakeMoreThanAvailable)
+{
+    RetentionIndex idx;
+    idx.add(page(1, 11));
+    const auto batch = idx.takeOldest(100);
+    EXPECT_EQ(batch.size(), 1u);
+    EXPECT_TRUE(idx.empty());
+}
+
+TEST(Retention, RelocationUpdatesPpa)
+{
+    RetentionIndex idx;
+    idx.add(page(7, 70));
+    EXPECT_TRUE(idx.tracksPpa(70));
+
+    idx.onRelocated(70, 99);
+    EXPECT_FALSE(idx.tracksPpa(70));
+    EXPECT_TRUE(idx.tracksPpa(99));
+
+    const auto found = idx.findByDataSeq(7);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->ppa, 99u);
+}
+
+TEST(Retention, RelocationChain)
+{
+    RetentionIndex idx;
+    idx.add(page(1, 10));
+    idx.onRelocated(10, 20);
+    idx.onRelocated(20, 30);
+    EXPECT_EQ(idx.findByDataSeq(1)->ppa, 30u);
+    const auto batch = idx.takeOldest(1);
+    EXPECT_EQ(batch[0].ppa, 30u);
+    EXPECT_FALSE(idx.tracksPpa(30));
+}
+
+TEST(Retention, FindMissingReturnsNullopt)
+{
+    RetentionIndex idx;
+    EXPECT_FALSE(idx.findByDataSeq(42).has_value());
+}
+
+TEST(Retention, OldestAge)
+{
+    RetentionIndex idx;
+    idx.add(page(2, 22, 100));
+    idx.add(page(1, 11, 50));
+    EXPECT_EQ(idx.oldestAge(300), 250u); // oldest by seq is seq 1
+}
+
+TEST(Retention, TotalAddedCounts)
+{
+    RetentionIndex idx;
+    idx.add(page(1, 11));
+    idx.add(page(2, 12));
+    idx.takeOldest(2);
+    idx.add(page(3, 13));
+    EXPECT_EQ(idx.totalAdded(), 3u);
+}
+
+using RetentionDeathTest = ::testing::Test;
+
+TEST(RetentionDeathTest, DuplicateSeqPanics)
+{
+    RetentionIndex idx;
+    idx.add(page(1, 11));
+    EXPECT_DEATH(idx.add(page(1, 12)), "duplicate");
+}
+
+TEST(RetentionDeathTest, RelocateUntrackedPanics)
+{
+    RetentionIndex idx;
+    EXPECT_DEATH(idx.onRelocated(5, 6), "untracked");
+}
+
+} // namespace
+} // namespace rssd::log

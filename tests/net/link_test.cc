@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ethernet link model tests: bandwidth, framing overhead,
+ * serialization of transfers, duplex independence, fault arming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/link.hh"
+
+namespace rssd::net {
+namespace {
+
+TEST(Link, TransferTimeMatchesBandwidth)
+{
+    LinkConfig cfg;
+    cfg.gbps = 10.0;
+    cfg.propagationDelay = 0;
+    cfg.mtu = 9000;
+    cfg.frameOverhead = 0;
+    LinkDirection dir(cfg);
+
+    // 125 MB at 10 Gb/s = 0.1 s.
+    const Tick done = dir.transmit(125 * 1000 * 1000, 0);
+    EXPECT_NEAR(units::toSeconds(done), 0.1, 0.001);
+}
+
+TEST(Link, PropagationDelayAdds)
+{
+    LinkConfig cfg;
+    cfg.propagationDelay = 500 * units::US;
+    LinkDirection dir(cfg);
+    const Tick done = dir.transmit(1, 0);
+    EXPECT_GE(done, 500 * units::US);
+}
+
+TEST(Link, FramingOverheadCounted)
+{
+    LinkConfig cfg;
+    cfg.mtu = 1000;
+    cfg.frameOverhead = 38;
+    LinkDirection dir(cfg);
+    dir.transmit(2500, 0); // 3 frames
+    EXPECT_EQ(dir.stats().framesSent, 3u);
+    EXPECT_EQ(dir.stats().payloadBytes, 2500u);
+    EXPECT_EQ(dir.stats().wireBytes, 2500u + 3 * 38u);
+}
+
+TEST(Link, BackToBackTransfersSerialize)
+{
+    LinkConfig cfg;
+    cfg.propagationDelay = 0;
+    LinkDirection dir(cfg);
+    const Tick d1 = dir.transmit(units::MiB, 0);
+    const Tick d2 = dir.transmit(units::MiB, 0);
+    EXPECT_NEAR(static_cast<double>(d2),
+                2.0 * static_cast<double>(d1), d1 * 0.01);
+}
+
+TEST(Link, DirectionsAreIndependent)
+{
+    EthernetLink link{LinkConfig{}};
+    const Tick tx_done = link.tx().transmit(10 * units::MiB, 0);
+    // rx is idle: a small transfer completes long before tx.
+    const Tick rx_done = link.rx().transmit(64, 0);
+    EXPECT_LT(rx_done, tx_done);
+}
+
+TEST(Link, CorruptionFlagIsOneShot)
+{
+    LinkDirection dir{LinkConfig{}};
+    dir.corruptNextTransfer();
+    dir.transmit(100, 0);
+    EXPECT_TRUE(dir.lastTransferCorrupted());
+    EXPECT_EQ(dir.stats().corruptedFrames, 1u);
+    dir.transmit(100, 0);
+    EXPECT_FALSE(dir.lastTransferCorrupted());
+}
+
+TEST(Link, FasterLinkIsFaster)
+{
+    LinkConfig slow;
+    slow.gbps = 1.0;
+    slow.propagationDelay = 0;
+    LinkConfig fast;
+    fast.gbps = 40.0;
+    fast.propagationDelay = 0;
+    LinkDirection s(slow), f(fast);
+    EXPECT_GT(s.transmit(units::MiB, 0), f.transmit(units::MiB, 0));
+}
+
+} // namespace
+} // namespace rssd::net

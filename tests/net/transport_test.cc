@@ -1,0 +1,171 @@
+/**
+ * @file
+ * NVMe-oE transport tests: delivery, ack timing, retransmission on
+ * corruption, rejection propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/transport.hh"
+
+namespace rssd::net {
+namespace {
+
+/** Scriptable far end. */
+class FakeTarget : public CapsuleTarget
+{
+  public:
+    bool
+    ingestSegment(const log::SealedSegment &segment, Tick arrive_at,
+                  Tick &ack_ready_at) override
+    {
+        received.push_back(segment.id);
+        arriveTimes.push_back(arrive_at);
+        ack_ready_at = arrive_at + processing;
+        return accept;
+    }
+
+    std::vector<std::uint64_t> received;
+    std::vector<Tick> arriveTimes;
+    Tick processing = 10 * units::US;
+    bool accept = true;
+};
+
+log::SealedSegment
+segmentOfSize(std::size_t payload, std::uint64_t id = 0)
+{
+    log::SealedSegment seg;
+    seg.id = id;
+    seg.payload.assign(payload, 0xAB);
+    return seg;
+}
+
+TEST(Transport, DeliversAndAcks)
+{
+    EthernetLink link{LinkConfig{}};
+    FakeTarget target;
+    NvmeOeTransport transport({}, link, target);
+
+    const log::SubmitResult r =
+        transport.submitSegment(segmentOfSize(100000, 7), 0);
+    EXPECT_TRUE(r.accepted);
+    ASSERT_EQ(target.received.size(), 1u);
+    EXPECT_EQ(target.received[0], 7u);
+    // Ack arrives after delivery + processing + reverse trip.
+    EXPECT_GT(r.ackAt, target.arriveTimes[0] + target.processing);
+    EXPECT_EQ(transport.stats().segmentsAccepted, 1u);
+}
+
+TEST(Transport, RejectionPropagates)
+{
+    EthernetLink link{LinkConfig{}};
+    FakeTarget target;
+    target.accept = false;
+    NvmeOeTransport transport({}, link, target);
+
+    const log::SubmitResult r =
+        transport.submitSegment(segmentOfSize(1000), 0);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_EQ(transport.stats().segmentsRejected, 1u);
+}
+
+TEST(Transport, CorruptionTriggersRetransmit)
+{
+    EthernetLink link{LinkConfig{}};
+    FakeTarget target;
+    NvmeOeTransport transport({}, link, target);
+
+    link.tx().corruptNextTransfer();
+    const log::SubmitResult r =
+        transport.submitSegment(segmentOfSize(1000), 0);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(transport.stats().retransmits, 1u);
+    // Delivered exactly once to the target (corrupted copy dropped).
+    EXPECT_EQ(target.received.size(), 1u);
+}
+
+TEST(Transport, RetransmitCostsTime)
+{
+    EthernetLink clean_link{LinkConfig{}};
+    FakeTarget t1;
+    NvmeOeTransport clean({}, clean_link, t1);
+    const Tick clean_ack =
+        clean.submitSegment(segmentOfSize(100000), 0).ackAt;
+
+    EthernetLink lossy_link{LinkConfig{}};
+    FakeTarget t2;
+    NvmeOeTransport lossy({}, lossy_link, t2);
+    lossy_link.tx().corruptNextTransfer();
+    const Tick lossy_ack =
+        lossy.submitSegment(segmentOfSize(100000), 0).ackAt;
+
+    EXPECT_GT(lossy_ack, clean_ack);
+}
+
+TEST(Transport, BackToBackSegmentsPipeline)
+{
+    EthernetLink link{LinkConfig{}};
+    FakeTarget target;
+    NvmeOeTransport transport({}, link, target);
+
+    Tick prev_ack = 0;
+    for (int i = 0; i < 5; i++) {
+        const log::SubmitResult r = transport.submitSegment(
+            segmentOfSize(500000, i), prev_ack);
+        ASSERT_TRUE(r.accepted);
+        EXPECT_GT(r.ackAt, prev_ack);
+        prev_ack = r.ackAt;
+    }
+    EXPECT_EQ(target.received.size(), 5u);
+    EXPECT_EQ(transport.stats().segmentsAccepted, 5u);
+}
+
+TEST(Transport, RetryBudgetExhaustionRejects)
+{
+    EthernetLink link{LinkConfig{}};
+    FakeTarget target;
+    TransportConfig cfg;
+    cfg.maxRetries = 3;
+    NvmeOeTransport transport(cfg, link, target);
+
+    // Corrupt every attempt (initial + 3 retries = 4 transmissions).
+    link.tx().corruptNextTransfers(10);
+    const log::SubmitResult r =
+        transport.submitSegment(segmentOfSize(1000), 0);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_TRUE(target.received.empty()); // never delivered clean
+    EXPECT_EQ(transport.stats().segmentsSent, 4u);
+    EXPECT_EQ(transport.stats().segmentsRejected, 1u);
+}
+
+TEST(Transport, RecoversAfterBurstOfCorruption)
+{
+    EthernetLink link{LinkConfig{}};
+    FakeTarget target;
+    NvmeOeTransport transport({}, link, target);
+
+    link.tx().corruptNextTransfers(2); // two bad, third clean
+    const log::SubmitResult r =
+        transport.submitSegment(segmentOfSize(1000, 5), 0);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(transport.stats().retransmits, 2u);
+    ASSERT_EQ(target.received.size(), 1u);
+    EXPECT_EQ(target.received[0], 5u);
+}
+
+TEST(Transport, StatsCountBytes)
+{
+    EthernetLink link{LinkConfig{}};
+    FakeTarget target;
+    TransportConfig cfg;
+    NvmeOeTransport transport(cfg, link, target);
+    const auto seg = segmentOfSize(1000);
+    transport.submitSegment(seg, 0);
+    EXPECT_EQ(transport.stats().bytesSent,
+              seg.wireSize() + cfg.capsuleHeaderBytes);
+}
+
+} // namespace
+} // namespace rssd::net

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Block-command layer tests: validation, convenience wrappers,
+ * naming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvme/local_ssd.hh"
+
+namespace rssd::nvme {
+namespace {
+
+ftl::FtlConfig
+smallConfig()
+{
+    ftl::FtlConfig cfg;
+    cfg.geometry = flash::testGeometry();
+    cfg.opFraction = 0.12;
+    return cfg;
+}
+
+TEST(Command, OpcodeNames)
+{
+    EXPECT_STREQ(opcodeName(Opcode::Read), "READ");
+    EXPECT_STREQ(opcodeName(Opcode::Write), "WRITE");
+    EXPECT_STREQ(opcodeName(Opcode::Trim), "TRIM");
+    EXPECT_STREQ(opcodeName(Opcode::Flush), "FLUSH");
+}
+
+TEST(Command, OutOfRangeIsRejected)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+
+    Command cmd;
+    cmd.op = Opcode::Write;
+    cmd.lpa = dev.capacityPages() - 1;
+    cmd.npages = 2;
+    EXPECT_EQ(dev.submit(cmd).status, HostStatus::InvalidField);
+}
+
+TEST(Command, ZeroPagesIsRejected)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    Command cmd;
+    cmd.op = Opcode::Read;
+    cmd.lpa = 0;
+    cmd.npages = 0;
+    EXPECT_EQ(dev.submit(cmd).status, HostStatus::InvalidField);
+}
+
+TEST(Command, MismatchedPayloadIsRejected)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    Command cmd;
+    cmd.op = Opcode::Write;
+    cmd.lpa = 0;
+    cmd.npages = 2;
+    cmd.data.assign(dev.pageSize(), 0); // one page for a 2-page write
+    EXPECT_EQ(dev.submit(cmd).status, HostStatus::InvalidField);
+}
+
+TEST(Command, FlushSucceeds)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    Command cmd;
+    cmd.op = Opcode::Flush;
+    const Completion comp = dev.submit(cmd);
+    EXPECT_TRUE(comp.ok());
+    EXPECT_GT(comp.completedAt, comp.submittedAt);
+}
+
+TEST(Command, ConvenienceWrappersRoundtrip)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    std::vector<std::uint8_t> data(dev.pageSize(), 0x77);
+
+    ASSERT_TRUE(dev.writePage(9, data).ok());
+    const Completion read = dev.readPage(9);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.data, data);
+    ASSERT_TRUE(dev.trimPage(9).ok());
+    const Completion after = dev.readPage(9);
+    EXPECT_EQ(after.data, std::vector<std::uint8_t>(dev.pageSize(), 0));
+}
+
+TEST(Command, LatencyIsNonNegativeAndOrdered)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    const Completion w = dev.writePage(0, {});
+    EXPECT_GE(w.completedAt, w.submittedAt);
+    EXPECT_EQ(w.latency(), w.completedAt - w.submittedAt);
+}
+
+} // namespace
+} // namespace rssd::nvme

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * LocalSsd (undefended baseline) behaviour, including the
+ * vulnerability properties the paper's attacks rely on: GC erases
+ * stale data, trim physically drops it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvme/local_ssd.hh"
+#include "sim/rng.hh"
+
+namespace rssd::nvme {
+namespace {
+
+ftl::FtlConfig
+smallConfig()
+{
+    ftl::FtlConfig cfg;
+    cfg.geometry = flash::testGeometry();
+    cfg.opFraction = 0.12;
+    cfg.gcLowWater = 2;
+    cfg.gcHighWater = 4;
+    return cfg;
+}
+
+TEST(LocalSsd, MultiPageCommands)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    const std::uint32_t n = 8;
+
+    Command w;
+    w.op = Opcode::Write;
+    w.lpa = 16;
+    w.npages = n;
+    w.data.resize(std::size_t(n) * dev.pageSize());
+    for (std::size_t i = 0; i < w.data.size(); i++)
+        w.data[i] = static_cast<std::uint8_t>(i / dev.pageSize());
+    ASSERT_TRUE(dev.submit(w).ok());
+
+    Command r;
+    r.op = Opcode::Read;
+    r.lpa = 16;
+    r.npages = n;
+    const Completion comp = dev.submit(r);
+    ASSERT_TRUE(comp.ok());
+    EXPECT_EQ(comp.data, w.data);
+}
+
+TEST(LocalSsd, ClockAdvancesWithIo)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    const Tick before = clock.now();
+    dev.writePage(0, {});
+    EXPECT_GT(clock.now(), before);
+}
+
+TEST(LocalSsd, UnmappedReadsReturnZeros)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    const Completion comp = dev.readPage(5);
+    EXPECT_TRUE(comp.ok());
+    EXPECT_EQ(comp.data,
+              std::vector<std::uint8_t>(dev.pageSize(), 0));
+}
+
+TEST(LocalSsd, StaleDataIsPhysicallyErasedByGc)
+{
+    // The undefended property the GC attack exploits: after enough
+    // churn, no copy of the overwritten data remains anywhere in the
+    // flash array.
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    const std::uint32_t page_size = dev.pageSize();
+
+    std::vector<std::uint8_t> secret(page_size, 0xAA);
+    dev.writePage(0, secret);
+    dev.writePage(0, std::vector<std::uint8_t>(page_size, 0xBB));
+
+    // Churn over a range that includes the secret's block neighbours
+    // so its block eventually becomes an all-garbage GC victim.
+    Rng rng(1);
+    for (int i = 0; i < 30000; i++)
+        dev.writePage(rng.below(96), {});
+
+    ASSERT_GT(dev.ftl().stats().gcErases, 0u);
+
+    // Scan all programmed pages: the secret must be gone.
+    const auto &nand = dev.ftl().nand();
+    const auto &geom = dev.ftl().config().geometry;
+    bool found = false;
+    for (flash::Ppa ppa = 0; ppa < geom.totalPages(); ppa++) {
+        if (nand.state(ppa) == flash::PageState::Programmed &&
+            nand.content(ppa) == secret) {
+            found = true;
+        }
+    }
+    EXPECT_FALSE(found);
+}
+
+TEST(LocalSsd, TrimmedMappingIsGone)
+{
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    std::vector<std::uint8_t> data(dev.pageSize(), 0xCD);
+    dev.writePage(3, data);
+    dev.trimPage(3);
+    const Completion comp = dev.readPage(3);
+    EXPECT_EQ(comp.data,
+              std::vector<std::uint8_t>(dev.pageSize(), 0));
+}
+
+TEST(LocalSsd, FullDeviceChurnNeverFails)
+{
+    // Without holds, the undefended SSD must never report NoSpace.
+    VirtualClock clock;
+    LocalSsd dev(smallConfig(), clock);
+    Rng rng(2);
+    for (flash::Lpa lpa = 0; lpa < dev.capacityPages(); lpa++)
+        ASSERT_TRUE(dev.writePage(lpa, {}).ok());
+    for (int i = 0; i < 20000; i++) {
+        ASSERT_TRUE(
+            dev.writePage(rng.below(dev.capacityPages()), {}).ok());
+    }
+}
+
+} // namespace
+} // namespace rssd::nvme

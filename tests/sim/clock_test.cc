@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for VirtualClock and BusyResource (the latency-accounting
+ * primitives everything else builds on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+
+namespace rssd {
+namespace {
+
+TEST(VirtualClock, StartsAtZero)
+{
+    VirtualClock c;
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(VirtualClock, AdvanceAccumulates)
+{
+    VirtualClock c;
+    c.advance(10);
+    c.advance(5);
+    EXPECT_EQ(c.now(), 15u);
+}
+
+TEST(VirtualClock, AdvanceToNeverGoesBackward)
+{
+    VirtualClock c;
+    c.advanceTo(100);
+    EXPECT_EQ(c.now(), 100u);
+    c.advanceTo(50);
+    EXPECT_EQ(c.now(), 100u);
+}
+
+TEST(VirtualClock, Reset)
+{
+    VirtualClock c;
+    c.advance(77);
+    c.reset();
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(BusyResource, IdleServesImmediately)
+{
+    BusyResource r;
+    EXPECT_EQ(r.serve(100, 10), 110u);
+}
+
+TEST(BusyResource, QueuesBehindBusyHorizon)
+{
+    BusyResource r;
+    EXPECT_EQ(r.serve(0, 100), 100u);
+    // Arrives at 10, but the resource is busy until 100.
+    EXPECT_EQ(r.serve(10, 5), 105u);
+}
+
+TEST(BusyResource, LateArrivalStartsAtArrival)
+{
+    BusyResource r;
+    r.serve(0, 10);
+    EXPECT_EQ(r.serve(50, 10), 60u);
+}
+
+TEST(BusyResource, PipelineOfRequests)
+{
+    BusyResource r;
+    Tick done = 0;
+    for (int i = 0; i < 10; i++)
+        done = r.serve(0, 7);
+    EXPECT_EQ(done, 70u);
+}
+
+} // namespace
+} // namespace rssd

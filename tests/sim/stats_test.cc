@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for Summary, LatencyHistogram and formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace rssd {
+namespace {
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, TracksMoments)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Summary, MergeEquivalentToCombinedStream)
+{
+    Summary a, b, all;
+    for (int i = 0; i < 10; i++) {
+        a.add(i);
+        all.add(i);
+    }
+    for (int i = 10; i < 25; i++) {
+        b.add(i);
+        all.add(i);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(LatencyHistogram, EmptyPercentileIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentileNs(50), 0u);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LatencyHistogram, SingleValue)
+{
+    LatencyHistogram h;
+    h.add(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.maxNs(), 1000u);
+    // p50 is bounded by the max sample.
+    EXPECT_LE(h.percentileNs(50), 1000u);
+    EXPECT_GT(h.percentileNs(50), 500u);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone)
+{
+    LatencyHistogram h;
+    for (Tick v = 1; v <= 100000; v += 17)
+        h.add(v);
+    Tick prev = 0;
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        const Tick v = h.percentileNs(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        prev = v;
+    }
+}
+
+TEST(LatencyHistogram, P99ReflectsTail)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 990; i++)
+        h.add(100);
+    for (int i = 0; i < 10; i++)
+        h.add(1000000);
+    EXPECT_LT(h.percentileNs(50), 200u);
+    EXPECT_GT(h.percentileNs(99.5), 100000u);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts)
+{
+    LatencyHistogram a, b;
+    a.add(10);
+    b.add(20);
+    b.add(30);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.maxNs(), 30u);
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(3 * units::MiB), "3.00 MiB");
+    EXPECT_EQ(formatBytes(5 * units::GiB), "5.00 GiB");
+    EXPECT_EQ(formatBytes(2 * units::TiB), "2.00 TiB");
+}
+
+TEST(Format, Time)
+{
+    EXPECT_EQ(formatTime(100), "100 ns");
+    EXPECT_EQ(formatTime(5 * units::US), "5.00 us");
+    EXPECT_EQ(formatTime(3 * units::MS), "3.000 ms");
+    EXPECT_EQ(formatTime(2 * units::SEC), "2.000 s");
+}
+
+TEST(Units, TransferTime)
+{
+    // 1 GiB at 8 Gb/s ~= 1.07 s.
+    const Tick t = units::transferTimeNs(units::GiB, 8.0);
+    EXPECT_NEAR(units::toSeconds(t), 1.074, 0.01);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(units::toDays(units::DAY), 1.0);
+    EXPECT_DOUBLE_EQ(units::toGiB(units::GiB), 1.0);
+    EXPECT_DOUBLE_EQ(units::toMiB(512 * units::KiB), 0.5);
+}
+
+} // namespace
+} // namespace rssd

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Trace profile and generator/replayer tests: the synthetic streams
+ * must actually realize the statistics Figure 2 depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvme/local_ssd.hh"
+#include "workload/generator.hh"
+
+namespace rssd::workload {
+namespace {
+
+ftl::FtlConfig
+smallConfig()
+{
+    ftl::FtlConfig cfg;
+    cfg.geometry = flash::testGeometry();
+    cfg.opFraction = 0.12;
+    return cfg;
+}
+
+TEST(Profiles, ElevenPaperTraces)
+{
+    EXPECT_EQ(paperTraces().size(), 11u);
+    for (const TraceProfile &t : paperTraces()) {
+        EXPECT_FALSE(t.name.empty());
+        EXPECT_GT(t.dailyWriteGiB, 0.0);
+        EXPECT_GT(t.writeFraction, 0.0);
+        EXPECT_LE(t.writeFraction, 1.0);
+        EXPECT_GE(t.meanReqPages, 1.0);
+        EXPECT_GT(t.workingSetFraction, 0.0);
+        EXPECT_LE(t.workingSetFraction, 1.0);
+    }
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(traceByName("hm").name, "hm");
+    EXPECT_EQ(traceByName("fiu-webusers").name, "fiu-webusers");
+    EXPECT_EXIT(traceByName("nope"), ::testing::ExitedWithCode(1),
+                "unknown");
+}
+
+TEST(Generator, WriteFractionRealized)
+{
+    const TraceProfile &prof = traceByName("rsrch"); // 0.91 writes
+    TraceGenerator gen(prof, 100000, 1);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        writes += gen.next().op == nvme::Opcode::Write;
+    EXPECT_NEAR(writes / double(n), prof.writeFraction, 0.02);
+}
+
+TEST(Generator, RequestsStayInBounds)
+{
+    for (const TraceProfile &prof : paperTraces()) {
+        TraceGenerator gen(prof, 5000, 7);
+        for (int i = 0; i < 2000; i++) {
+            const Request r = gen.next();
+            EXPECT_GE(r.npages, 1u);
+            EXPECT_LE(r.lpa + r.npages, 5000u);
+        }
+    }
+}
+
+TEST(Generator, MeanRequestSizeTracksProfile)
+{
+    const TraceProfile &prof = traceByName("src"); // 7.3 pages
+    TraceGenerator gen(prof, 1000000, 3);
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        total += gen.next().npages;
+    EXPECT_NEAR(total / n, prof.meanReqPages, 1.2);
+}
+
+TEST(Generator, SkewConcentratesAccesses)
+{
+    const TraceProfile &prof = traceByName("wdev"); // skew 1.05
+    TraceGenerator gen(prof, 1000000, 5);
+    std::map<flash::Lpa, int> hits;
+    const int n = 30000;
+    for (int i = 0; i < n; i++)
+        hits[gen.next().lpa]++;
+    // A skewed workload touches far fewer distinct pages than ops.
+    EXPECT_LT(hits.size(), static_cast<std::size_t>(n) / 2);
+}
+
+TEST(Generator, DeterministicForSeed)
+{
+    const TraceProfile &prof = traceByName("usr");
+    TraceGenerator a(prof, 10000, 9), b(prof, 10000, 9);
+    for (int i = 0; i < 500; i++) {
+        const Request ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.op, rb.op);
+        EXPECT_EQ(ra.lpa, rb.lpa);
+        EXPECT_EQ(ra.npages, rb.npages);
+    }
+}
+
+TEST(Generator, InterarrivalRealizesDailyVolume)
+{
+    const TraceProfile &prof = traceByName("hm");
+    TraceGenerator gen(prof, 1000000, 1);
+    const Tick gap = gen.meanInterarrival();
+    // requests/day * writeFraction * meanReqPages * 4KiB ~ daily GiB.
+    const double reqs_per_day =
+        static_cast<double>(units::DAY) / static_cast<double>(gap);
+    const double daily_gib = reqs_per_day * prof.writeFraction *
+        prof.meanReqPages * 4096.0 / units::GiB;
+    EXPECT_NEAR(daily_gib, prof.dailyWriteGiB,
+                prof.dailyWriteGiB * 0.05);
+}
+
+TEST(Replay, CollectsStats)
+{
+    VirtualClock clock;
+    nvme::LocalSsd dev(smallConfig(), clock);
+    TraceGenerator gen(traceByName("ts"), dev.capacityPages(), 11);
+
+    ReplayOptions opts;
+    opts.maxRequests = 2000;
+    const ReplayStats stats = replay(dev, clock, gen, opts);
+
+    EXPECT_EQ(stats.requests, 2000u);
+    EXPECT_GT(stats.pagesWritten, 0u);
+    EXPECT_GT(stats.pagesRead, 0u);
+    EXPECT_EQ(stats.errors, 0u);
+    EXPECT_GT(stats.elapsed, 0u);
+    EXPECT_GT(stats.writeLatency.count(), 0u);
+    EXPECT_GT(stats.writeMiBps(dev.pageSize()), 0.0);
+}
+
+TEST(Replay, OpenLoopIsSlowerThanClosedLoop)
+{
+    VirtualClock c1, c2;
+    nvme::LocalSsd d1(smallConfig(), c1), d2(smallConfig(), c2);
+    TraceGenerator g1(traceByName("ts"), d1.capacityPages(), 13);
+    TraceGenerator g2(traceByName("ts"), d2.capacityPages(), 13);
+
+    ReplayOptions closed;
+    closed.maxRequests = 500;
+    ReplayOptions open = closed;
+    open.openLoop = true;
+
+    const ReplayStats s_closed = replay(d1, c1, g1, closed);
+    const ReplayStats s_open = replay(d2, c2, g2, open);
+    EXPECT_GT(s_open.elapsed, s_closed.elapsed);
+}
+
+TEST(Generator, TrimFractionRealized)
+{
+    TraceProfile prof = traceByName("usr"); // 2% trims
+    TraceGenerator gen(prof, 100000, 23);
+    int trims = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++)
+        trims += gen.next().op == nvme::Opcode::Trim;
+    EXPECT_NEAR(trims / double(n), prof.trimFraction, 0.005);
+}
+
+TEST(Replay, TrimsFlowThroughDevice)
+{
+    VirtualClock clock;
+    nvme::LocalSsd dev(smallConfig(), clock);
+    TraceProfile prof = traceByName("usr");
+    prof.trimFraction = 0.2; // exaggerate for the test
+    TraceGenerator gen(prof, dev.capacityPages(), 29);
+    ReplayOptions opts;
+    opts.maxRequests = 2000;
+    const ReplayStats stats = replay(dev, clock, gen, opts);
+    EXPECT_GT(stats.pagesTrimmed, 0u);
+    EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Replay, WithContentAttachesPayloads)
+{
+    VirtualClock clock;
+    nvme::LocalSsd dev(smallConfig(), clock);
+    TraceGenerator gen(traceByName("web"), dev.capacityPages(), 17);
+
+    ReplayOptions opts;
+    opts.maxRequests = 300;
+    opts.withContent = true;
+    const ReplayStats stats = replay(dev, clock, gen, opts);
+    EXPECT_EQ(stats.errors, 0u);
+
+    // Some written page must hold real (nonzero) content.
+    bool nonzero = false;
+    const auto &nand = dev.ftl().nand();
+    const auto &geom = dev.ftl().config().geometry;
+    for (flash::Ppa p = 0; p < geom.totalPages() && !nonzero; p++) {
+        if (nand.state(p) == flash::PageState::Programmed &&
+            !nand.content(p).empty()) {
+            nonzero = true;
+        }
+    }
+    EXPECT_TRUE(nonzero);
+}
+
+} // namespace
+} // namespace rssd::workload
