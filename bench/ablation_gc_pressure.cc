@@ -1,6 +1,6 @@
 /**
  * @file
- * Ablation A2 (DESIGN.md §4): GC pressure under retention holds.
+ * Ablation A2 (docs/ARCHITECTURE.md, experiment A2): GC pressure under retention holds.
  * Sweeps over-provisioning and flood intensity, comparing how the
  * undefended SSD and RSSD absorb a GC attack: the baseline sacrifices
  * stale data, RSSD converts the pressure into offload backpressure.
@@ -37,8 +37,8 @@ main()
             dev.writePage(lpa, {});
     };
 
-    for (const double op : {0.07, 0.14, 0.28}) {
-        for (const double flood : {1.0, 2.0, 4.0}) {
+    for (const double op : bench::sweep({0.07, 0.14, 0.28})) {
+        for (const double flood : bench::sweep({1.0, 2.0, 4.0})) {
             // Baseline.
             ftl::FtlConfig base_cfg;
             base_cfg.geometry = flash::testGeometry();

@@ -1,6 +1,6 @@
 /**
  * @file
- * Ablation A1 (DESIGN.md §4): segment size for offload batching.
+ * Ablation A1 (docs/ARCHITECTURE.md, experiment A1): segment size for offload batching.
  * Larger segments amortize capsule/ack overhead and compress better
  * but hold retention (and its flash holds) longer before release.
  */
@@ -26,7 +26,7 @@ main()
                 "--------------\n");
 
     for (const std::uint32_t seg_pages :
-         {16u, 64u, 256u, 1024u, 4096u}) {
+         bench::sweep({16u, 64u, 256u, 1024u, 4096u})) {
         core::RssdConfig cfg = core::RssdConfig::forTests();
         cfg.ftl.geometry.blocksPerPlane = 64;
         cfg.segmentPages = seg_pages;
@@ -38,7 +38,8 @@ main()
 
         // Steady overwrite stream; track how long holds live.
         Summary hold_ages;
-        const int kOps = 9000;
+        const int kOps =
+            static_cast<int>(bench::smokeScale(9000));
         Tick last = 0;
         for (int i = 0; i < kOps; i++) {
             dev.writePage(i % 128, gen.page(dev.pageSize()));

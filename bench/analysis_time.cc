@@ -2,7 +2,7 @@
  * @file
  * Reproduces the paper's analysis claim: "enables efficient
  * post-attack analysis by building a trusted chain of I/O
- * operations" (EXPERIMENTS.md §P4).
+ * operations" (docs/ARCHITECTURE.md, experiment P4).
  *
  * Sweeps operation-history length and measures, in simulated time,
  * the full trusted-analysis pipeline: fetch all sealed segments,
@@ -34,8 +34,8 @@ main()
     std::printf("-----------+-----------+------------+-------------"
                 "-+-----------+---------\n");
 
-    for (const std::uint64_t history_ops :
-         {1000ull, 5000ull, 20000ull, 50000ull, 100000ull}) {
+    for (const std::uint64_t history_ops : bench::sweep(
+             {1000ull, 5000ull, 20000ull, 50000ull, 100000ull})) {
         core::RssdConfig cfg = core::RssdConfig::forTests();
         cfg.ftl.geometry.blocksPerPlane = 64;
         cfg.segmentPages = 256;

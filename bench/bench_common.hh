@@ -7,7 +7,10 @@
 #ifndef RSSD_BENCH_BENCH_COMMON_HH
 #define RSSD_BENCH_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -17,6 +20,41 @@
 
 namespace rssd::bench {
 
+/**
+ * True when RSSD_SMOKE is set in the environment. The ctest smoke
+ * suite sets it so every bench runs in a seconds-long configuration;
+ * the numbers it prints are then *not* paper-comparable.
+ */
+inline bool
+smoke()
+{
+    static const bool on = std::getenv("RSSD_SMOKE") != nullptr;
+    return on;
+}
+
+/** Scale an iteration/request count down for smoke runs. */
+inline std::uint64_t
+smokeScale(std::uint64_t full, std::uint64_t divisor = 10)
+{
+    if (!smoke())
+        return full;
+    const std::uint64_t scaled = full / divisor;
+    return scaled > 0 ? scaled : 1;
+}
+
+/**
+ * A parameter sweep that collapses to its first point in smoke runs,
+ * so each bench still exercises its full code path once.
+ */
+template <typename T>
+inline std::vector<T>
+sweep(std::initializer_list<T> points)
+{
+    if (smoke() && points.size() > 1)
+        return {*points.begin()};
+    return std::vector<T>(points);
+}
+
 /** Print a bench banner. */
 inline void
 banner(const std::string &title, const std::string &what)
@@ -25,6 +63,9 @@ banner(const std::string &title, const std::string &what)
                 "=============================\n");
     std::printf("%s\n", title.c_str());
     std::printf("%s\n", what.c_str());
+    if (smoke())
+        std::printf("[RSSD_SMOKE: tiny configuration — numbers are "
+                    "not paper-comparable]\n");
     std::printf("==================================================="
                 "===========================\n");
 }

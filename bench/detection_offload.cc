@@ -36,7 +36,8 @@ main()
     std::printf("----------+--------------------+------------------"
                 "--+-------------------\n");
 
-    for (const std::uint32_t dilution : {0u, 4u, 16u, 64u, 256u}) {
+    for (const std::uint32_t dilution :
+         bench::sweep({0u, 4u, 16u, 64u, 256u})) {
         VirtualClock clock;
         core::RssdConfig cfg = core::RssdConfig::forTests();
         cfg.ftl.geometry.blocksPerPlane = 64;

@@ -6,7 +6,7 @@
  * LocalSSD+Compression (local spare space, compressed), and RSSD
  * (retention offloaded to the remote store over NVMe-oE).
  *
- * Method (see EXPERIMENTS.md §F2): for each trace profile we run a
+ * Method (see docs/ARCHITECTURE.md, experiment F2): for each trace profile we run a
  * scaled simulation through the real FTL to *measure* the stale-data
  * production rate (invalidated+trimmed bytes per host-written byte)
  * and the real LZ compressor to measure the trace's compression
@@ -55,13 +55,13 @@ measure(const workload::TraceProfile &profile)
 
     // Warm up: reach steady-state overwrite behaviour.
     workload::ReplayOptions warm;
-    warm.maxRequests = 20000;
+    warm.maxRequests = bench::smokeScale(20000);
     workload::replay(dev, clock, gen, warm);
     const std::uint64_t writes0 = dev.ftl().stats().hostWrites;
     const std::uint64_t valid0 = dev.ftl().validPageCount();
 
     workload::ReplayOptions run;
-    run.maxRequests = 30000;
+    run.maxRequests = bench::smokeScale(30000);
     workload::replay(dev, clock, gen, run);
     const std::uint64_t writes =
         dev.ftl().stats().hostWrites - writes0;

@@ -1,7 +1,7 @@
 /**
  * @file
  * Reproduces the paper's lifetime claim: "minimal impact on device
- * lifetime" (EXPERIMENTS.md §P2).
+ * lifetime" (docs/ARCHITECTURE.md, experiment P2).
  *
  * Device lifetime is governed by write amplification (extra program/
  * erase work beyond host writes) and erase-count spread. RSSD's
@@ -44,7 +44,7 @@ main()
     for (const workload::TraceProfile &profile :
          workload::paperTraces()) {
         workload::ReplayOptions opts;
-        opts.maxRequests = 60000;
+        opts.maxRequests = bench::smokeScale(60000);
 
         VirtualClock c_base;
         nvme::LocalSsd base(ftl_cfg, c_base);

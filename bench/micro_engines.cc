@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hh"
 #include "compress/datagen.hh"
 #include "compress/lz.hh"
 #include "crypto/chacha20.hh"
@@ -130,4 +131,20 @@ BENCHMARK(BM_Entropy);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a near-zero min-time in smoke runs so the
+// ctest smoke entry finishes in seconds.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    char min_time[] = "--benchmark_min_time=0.01";
+    if (rssd::bench::smoke())
+        args.push_back(min_time);
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,7 +1,7 @@
 /**
  * @file
  * Characterizes the hardware-isolated NVMe-oE offload path of
- * Figure 1 (EXPERIMENTS.md §X1): sustained offload throughput as a
+ * Figure 1 (docs/ARCHITECTURE.md, experiment X1): sustained offload throughput as a
  * function of link bandwidth and content compressibility, plus the
  * wire-level accounting (frames, retransmissions, compression).
  */
@@ -39,7 +39,7 @@ run(double gbps, double compressibility)
     // Accumulate a retention backlog, then time the drain: that
     // isolates the offload path (flash reads -> sealing -> wire ->
     // ack) from the host write stream that produced the data.
-    const int kOps = 6000;
+    const int kOps = static_cast<int>(bench::smokeScale(6000));
     for (int i = 0; i < kOps; i++)
         dev.writePage(i % 64, gen.page(dev.pageSize()));
 
@@ -73,8 +73,9 @@ main()
     std::printf("---------+----------------+--------------+---------"
                 "-----+----------\n");
 
-    for (const double gbps : {1.0, 10.0, 25.0, 40.0}) {
-        for (const double compressibility : {0.0, 0.55, 0.9}) {
+    for (const double gbps : bench::sweep({1.0, 10.0, 25.0, 40.0})) {
+        for (const double compressibility :
+             bench::sweep({0.0, 0.55, 0.9})) {
             const Result r = run(gbps, compressibility);
             const char *label = compressibility == 0.0
                 ? "incompressible"

@@ -1,7 +1,7 @@
 /**
  * @file
  * Reproduces the paper's performance claim: "less than 1% negative
- * impact on storage performance" (EXPERIMENTS.md §P1).
+ * impact on storage performance" (docs/ARCHITECTURE.md, experiment P1).
  *
  * Replays each trace profile closed-loop through the undefended
  * LocalSSD and through RSSD on identical geometry, and reports
@@ -36,7 +36,7 @@ main()
     for (const workload::TraceProfile &profile :
          workload::paperTraces()) {
         workload::ReplayOptions opts;
-        opts.maxRequests = 20000;
+        opts.maxRequests = bench::smokeScale(20000);
         opts.withContent = true;
 
         VirtualClock c_base;

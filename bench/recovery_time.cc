@@ -1,7 +1,7 @@
 /**
  * @file
  * Reproduces the paper's recovery claim: "performs fast data
- * recovery after attacks" (EXPERIMENTS.md §P3).
+ * recovery after attacks" (docs/ARCHITECTURE.md, experiment P3).
  *
  * Sweeps the volume of data encrypted by a classic attack and
  * measures the full recovery pipeline on simulated time: fetch the
@@ -34,7 +34,7 @@ main()
                 "---+-----------\n");
 
     for (const std::uint32_t victim_pages :
-         {128u, 256u, 512u, 1024u, 2048u}) {
+         bench::sweep({128u, 256u, 512u, 1024u, 2048u})) {
         core::RssdConfig cfg = core::RssdConfig::forTests();
         // Size the device to hold the victim set comfortably.
         cfg.ftl.geometry.blocksPerPlane =

@@ -3,7 +3,7 @@
  * Reproduces Table 1 of the paper: every defense vs. the three
  * Ransomware 2.0 attacks (plus the classic baseline attack), with
  * measured recovery fractions, the paper's recovery glyph, and
- * forensics availability. See EXPERIMENTS.md §T1.
+ * forensics availability. See docs/ARCHITECTURE.md, experiment T1.
  */
 
 #include <cstdio>
@@ -78,7 +78,7 @@ main()
         "\nPaper's Table 1 (for comparison): RSSD is the only row "
         "with Y Y Y,\nfull recovery and forensics; FlashGuard/TimeSSD "
         "defend GC only;\nCloudBackup defends timing only; software "
-        "defenses defend nothing.\nSee EXPERIMENTS.md for the two "
+        "defenses defend nothing.\nSee docs/ARCHITECTURE.md for the two "
         "cells where our harsher parameters\ndiffer from the paper's "
         "qualitative judgment (TimeSSD GC).\n");
     return 0;

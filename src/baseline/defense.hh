@@ -13,7 +13,7 @@
  * The models are *behavioural*: each reproduces the documented
  * mechanism of the original system (detection windows, bounded
  * shadow/backup space, firmware retention heuristics) at the level
- * of fidelity the Table 1 comparison needs. See DESIGN.md §2.
+ * of fidelity the Table 1 comparison needs. See docs/ARCHITECTURE.md ("Table 1 defense properties").
  */
 
 #ifndef RSSD_BASELINE_DEFENSE_HH

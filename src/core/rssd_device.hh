@@ -23,6 +23,26 @@
  *    *remote* budget is truly exhausted.
  *  - *Timing-attack resilience*: nothing to detect in real time is
  *    needed; the full history is preserved for offline analysis.
+ *
+ * Ownership and threading:
+ *
+ *  - An RssdDevice exclusively owns everything behind the host
+ *    interface: the FTL, operation log, retention index, segment
+ *    codec, Ethernet link, NVMe-oE transport, offload engine and the
+ *    remote BackupStore. It is non-copyable and non-movable; the
+ *    component accessors below return references whose lifetime is
+ *    bounded by the device's.
+ *  - The two externally-owned collaborators are *borrowed*: the
+ *    VirtualClock passed at construction (the caller keeps it alive
+ *    for the device's whole lifetime) and any Detector passed to
+ *    attachDetector() (never freed by the device; detach by
+ *    destroying the device first).
+ *  - The device is NOT thread-safe. The whole simulator is
+ *    single-threaded by design: every call advances the shared
+ *    VirtualClock, so concurrent submit() calls would race on
+ *    simulated time itself. Run one device (and its clock) per
+ *    thread, or externally serialize all access. Distinct devices
+ *    with distinct clocks are fully independent.
  */
 
 #ifndef RSSD_CORE_RSSD_DEVICE_HH

@@ -4,7 +4,8 @@
  *
  * Used for the hardware-assisted log's hash chain: each log entry's
  * digest covers the entry payload concatenated with the previous
- * digest, making the operation log tamper-evident (DESIGN.md §5.4).
+ * digest, making the operation log tamper-evident (docs/ARCHITECTURE.md, "Table 1 defense
+ * properties": tamper-evident forensics).
  */
 
 #ifndef RSSD_CRYPTO_SHA256_HH

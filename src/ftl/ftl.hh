@@ -11,7 +11,7 @@
  *     "held", in which case GC may relocate it but never discard it.
  *
  * Holds are the mechanism behind RSSD's conservative retention of
- * stale data (DESIGN.md §5.2): the RSSD policy holds every
+ * stale data (docs/ARCHITECTURE.md: zero data loss): the RSSD policy holds every
  * invalidated page until its content has been offloaded over NVMe-oE;
  * baseline policies hold nothing (LocalSSD) or hold with a local
  * drop-when-full rule (FlashGuard-like).

@@ -9,7 +9,8 @@
  * results — daily write volume (retention ingest rate), read/write
  * mix, request sizes, access skew and content compressibility — and
  * the generator synthesizes an equivalent request stream
- * (DESIGN.md §2, trace substitution).
+ * (docs/ARCHITECTURE.md, "Experiment matrix";
+ * trace substitution).
  */
 
 #ifndef RSSD_WORKLOAD_PROFILES_HH

@@ -3,7 +3,7 @@
  * Table 1 shape test: the measured defense matrix must reproduce the
  * paper's qualitative comparison — RSSD defends all three new
  * attacks with full recovery and forensics; every baseline fails at
- * least one column. (EXPERIMENTS.md discusses the two cells where
+ * least one column. (docs/ARCHITECTURE.md discusses the two cells where
  * our harsher attack parameters differ from the paper's judgment.)
  */
 
@@ -70,8 +70,9 @@ TEST_F(Table1Test, RssdDefendsEverythingWithForensics)
 TEST_F(Table1Test, OnlyRssdHasForensics)
 {
     for (const Table1Row &r : *rows_) {
-        if (r.defense != "RSSD")
+        if (r.defense != "RSSD") {
             EXPECT_FALSE(r.forensics) << r.defense;
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * GC-attack tests against RSSD (DESIGN.md §5.2): capacity pressure
+ * GC-attack tests against RSSD (docs/ARCHITECTURE.md: zero data loss): capacity pressure
  * becomes offload backpressure, never loss of retained data.
  */
 

@@ -94,8 +94,9 @@ TEST_F(OffloadTest, SegmentsArriveInTimeOrder)
         const log::Segment seg = store.openSegment(id);
         EXPECT_EQ(seg.id, id);
         for (const log::PageRecord &p : seg.pages) {
-            if (!first)
+            if (!first) {
                 EXPECT_GT(p.dataSeq, prev_seq);
+            }
             prev_seq = p.dataSeq;
             first = false;
         }

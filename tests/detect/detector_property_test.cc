@@ -60,8 +60,9 @@ TEST_P(DilutionSweep, WindowedDetectorMonotoneInDilution)
     EntropyOverwriteDetector at_d, at_4d;
     const bool alarmed_d = runDiluted(at_d, d);
     const bool alarmed_4d = runDiluted(at_4d, d * 4 + 1);
-    if (!alarmed_d)
+    if (!alarmed_d) {
         EXPECT_FALSE(alarmed_4d) << "dilution " << d;
+    }
 }
 
 TEST_P(DilutionSweep, AuditorImmuneToDilution)

@@ -88,11 +88,14 @@ TEST(EntropyOverwrite, TimingAttackEvadesWindow)
     EntropyOverwriteDetector det;
     std::uint64_t seq = 0;
     for (int victim = 0; victim < 200; victim++) {
-        det.observe(writeEvent(seq++, 10000 + victim,
-                               seq * 1000, 7.9f, 4.0f));
-        for (int b = 0; b < 100; b++)
-            det.observe(writeEvent(seq++, b % 64, seq * 1000, 4.5f,
-                                   4.5f));
+        const std::uint64_t vs = seq++;
+        det.observe(
+            writeEvent(vs, 10000 + victim, vs * 1000, 7.9f, 4.0f));
+        for (int b = 0; b < 100; b++) {
+            const std::uint64_t bs = seq++;
+            det.observe(
+                writeEvent(bs, b % 64, bs * 1000, 4.5f, 4.5f));
+        }
     }
     EXPECT_FALSE(det.alarmed());
     // ...but the damage was done:
@@ -123,11 +126,14 @@ TEST(CumulativeAuditor, CatchesTimingAttack)
     for (int victim = 0; victim < 200; victim++) {
         if (victim == 0)
             first_victim_seq = seq;
-        auditor.observe(writeEvent(seq++, 10000 + victim, seq * 1000,
-                                   7.9f, 4.0f));
-        for (int b = 0; b < 100; b++)
-            auditor.observe(writeEvent(seq++, b % 64, seq * 1000,
-                                       4.5f, 4.5f));
+        const std::uint64_t vs = seq++;
+        auditor.observe(
+            writeEvent(vs, 10000 + victim, vs * 1000, 7.9f, 4.0f));
+        for (int b = 0; b < 100; b++) {
+            const std::uint64_t bs = seq++;
+            auditor.observe(
+                writeEvent(bs, b % 64, bs * 1000, 4.5f, 4.5f));
+        }
     }
     ASSERT_TRUE(auditor.alarmed());
     EXPECT_EQ(auditor.suspiciousCount(), 200u);

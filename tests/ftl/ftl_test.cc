@@ -112,8 +112,9 @@ TEST_F(FtlTest, SequenceNumbersAreUniqueAndOrdered)
         ftl_.write(i, {}, 0);
         const std::uint64_t seq =
             ftl_.nand().oob(ftl_.mappingOf(i)).seq;
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GT(seq, prev);
+        }
         prev = seq;
     }
 }

@@ -1,7 +1,7 @@
 /**
  * @file
  * Property-based tests: randomized operation sequences against the
- * RSSD invariants the design depends on (DESIGN.md §5).
+ * RSSD invariants the design depends on (docs/ARCHITECTURE.md).
  *
  *  P1  Zero data loss: at any point, every previously written
  *      version is reachable (live, held locally, or remote).
