@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/rssd_config.hh"
@@ -54,6 +55,88 @@ sweep(std::initializer_list<T> points)
         return {*points.begin()};
     return std::vector<T>(points);
 }
+
+/**
+ * Machine-readable bench results. When RSSD_BENCH_JSON=<path> is set
+ * in the environment, record() appends one JSON object per line to
+ * <path> (JSON-Lines), e.g.:
+ *
+ *   {"bench":"offload_path",
+ *    "config":{"link_gbps":"25","content":"typical"},
+ *    "metrics":{"offload_MiBps":812.4,"wire_MiBps":433.1}}
+ *
+ * so the perf trajectory can be tracked across PRs by diffing or
+ * plotting the artifacts. Without the variable every call is a no-op,
+ * keeping human-readable output the default.
+ */
+class JsonReport
+{
+  public:
+    static JsonReport &
+    instance()
+    {
+        static JsonReport r;
+        return r;
+    }
+
+    bool enabled() const { return file_ != nullptr; }
+
+    void
+    record(const std::string &bench,
+           const std::vector<std::pair<std::string, std::string>> &config,
+           const std::vector<std::pair<std::string, double>> &metrics)
+    {
+        if (!file_)
+            return;
+        std::fprintf(file_, "{\"bench\":\"%s\",\"config\":{",
+                     escaped(bench).c_str());
+        const char *sep = "";
+        for (const auto &[k, v] : config) {
+            std::fprintf(file_, "%s\"%s\":\"%s\"", sep,
+                         escaped(k).c_str(), escaped(v).c_str());
+            sep = ",";
+        }
+        std::fprintf(file_, "},\"metrics\":{");
+        sep = "";
+        for (const auto &[k, v] : metrics) {
+            std::fprintf(file_, "%s\"%s\":%.17g", sep,
+                         escaped(k).c_str(), v);
+            sep = ",";
+        }
+        std::fprintf(file_, "}}\n");
+        std::fflush(file_);
+    }
+
+  private:
+    JsonReport()
+    {
+        if (const char *path = std::getenv("RSSD_BENCH_JSON"))
+            file_ = std::fopen(path, "a");
+    }
+
+    ~JsonReport()
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+
+    static std::string
+    escaped(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            if (static_cast<unsigned char>(c) < 0x20)
+                continue; // bench names never need control chars
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::FILE *file_ = nullptr;
+};
 
 /** Print a bench banner. */
 inline void

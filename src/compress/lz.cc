@@ -1,6 +1,7 @@
 #include "compress/lz.hh"
 
 #include <array>
+#include <bit>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -19,6 +20,34 @@ hash4(const std::uint8_t *p)
     std::uint32_t v;
     std::memcpy(&v, p, 4);
     return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/**
+ * Length of the common prefix of [a, a+limit) and [b, b+limit),
+ * compared 8 bytes at a time: one 64-bit XOR finds the first
+ * differing byte via countr_zero. Identical to the byte-at-a-time
+ * scan for every input (little-endian hosts; byte fallback
+ * otherwise).
+ */
+std::size_t
+commonPrefix(const std::uint8_t *a, const std::uint8_t *b,
+             std::size_t limit)
+{
+    std::size_t n = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+        while (n + 8 <= limit) {
+            std::uint64_t wa, wb;
+            std::memcpy(&wa, a + n, 8);
+            std::memcpy(&wb, b + n, 8);
+            const std::uint64_t x = wa ^ wb;
+            if (x != 0)
+                return n + (std::countr_zero(x) >> 3);
+            n += 8;
+        }
+    }
+    while (n < limit && a[n] == b[n])
+        n++;
+    return n;
 }
 
 /** Emit a literal run [start, end) as one or more literal tokens. */
@@ -65,11 +94,12 @@ lzCompress(const Bytes &input)
             std::memcmp(&input[cand], &input[pos], kMinMatch) == 0) {
             // Extend the match as far as the format allows.
             const std::size_t limit = std::min(kMaxMatch, n - pos);
-            match_len = kMinMatch;
-            while (match_len < limit &&
-                   input[cand + match_len] == input[pos + match_len]) {
-                match_len++;
-            }
+            // data() arithmetic, not operator[]: pos + kMinMatch may
+            // be exactly input.size() (an empty extension window).
+            match_len = kMinMatch +
+                commonPrefix(input.data() + cand + kMinMatch,
+                             input.data() + pos + kMinMatch,
+                             limit - kMinMatch);
         }
 
         if (match_len >= kMinMatch) {
@@ -99,8 +129,13 @@ lzCompress(const Bytes &input)
 Bytes
 lzDecompress(const Bytes &input, std::size_t expected_size)
 {
-    Bytes out;
-    out.reserve(expected_size);
+    // The caller's framing records the original size, so the output
+    // buffer is allocated (and value-initialized) exactly once and
+    // every token lands through a raw cursor — no per-token growth
+    // checks or reallocation.
+    Bytes out(expected_size);
+    std::uint8_t *const ob = out.data();
+    std::size_t wpos = 0;
 
     std::size_t pos = 0;
     const std::size_t n = input.size();
@@ -109,8 +144,10 @@ lzDecompress(const Bytes &input, std::size_t expected_size)
         if (ctrl < 0x80) {
             const std::size_t run = static_cast<std::size_t>(ctrl) + 1;
             panicIf(pos + run > n, "lz: truncated literal run");
-            out.insert(out.end(), input.begin() + pos,
-                       input.begin() + pos + run);
+            panicIf(run > expected_size - wpos,
+                    "lz: decompressed size mismatch");
+            std::memcpy(ob + wpos, input.data() + pos, run);
+            wpos += run;
             pos += run;
         } else {
             panicIf(pos + 2 > n, "lz: truncated match token");
@@ -118,17 +155,32 @@ lzDecompress(const Bytes &input, std::size_t expected_size)
             const std::size_t dist = static_cast<std::size_t>(input[pos]) |
                 (static_cast<std::size_t>(input[pos + 1]) << 8);
             pos += 2;
-            panicIf(dist == 0 || dist > out.size(),
+            panicIf(dist == 0 || dist > wpos,
                     "lz: invalid match distance");
-            // Byte-by-byte copy: matches may overlap themselves.
-            std::size_t src = out.size() - dist;
-            for (std::size_t i = 0; i < len; i++)
-                out.push_back(out[src + i]);
+            panicIf(len > expected_size - wpos,
+                    "lz: decompressed size mismatch");
+            const std::uint8_t *src = ob + (wpos - dist);
+            std::uint8_t *dst = ob + wpos;
+            if (dist >= 8) {
+                // Non-overlapping at 8-byte granularity: each chunk's
+                // source lies wholly before the write cursor, so
+                // chunked memcpy is exact.
+                std::size_t i = 0;
+                for (; i + 8 <= len; i += 8)
+                    std::memcpy(dst + i, src + i, 8);
+                if (i < len)
+                    std::memcpy(dst + i, src + i, len - i);
+            } else {
+                // Self-overlapping match (RLE-style): must copy
+                // byte-by-byte so earlier output feeds later bytes.
+                for (std::size_t i = 0; i < len; i++)
+                    dst[i] = src[i];
+            }
+            wpos += len;
         }
     }
 
-    panicIf(out.size() != expected_size,
-            "lz: decompressed size mismatch");
+    panicIf(wpos != expected_size, "lz: decompressed size mismatch");
     return out;
 }
 

@@ -1,6 +1,7 @@
 #include "core/offload.hh"
 
 #include <algorithm>
+#include <span>
 
 namespace rssd::core {
 
@@ -54,11 +55,14 @@ OffloadEngine::sealOne(Tick now, bool force)
 
     // Ship every not-yet-shipped log entry along with the pages. The
     // log tail always starts at firstHeldSeq because entries are
-    // truncated exactly when their segment is acknowledged.
+    // truncated exactly when their segment is acknowledged. The tail
+    // is borrowed, not copied: nothing appends to the log between
+    // here and seal() (the engine runs between host commands), so the
+    // span stays valid for the whole sealing pass.
+    const std::span<const log::LogEntry> tail = oplog_.entries();
     seg.chainAnchor = oplog_.anchorDigest();
-    seg.entries.assign(oplog_.entries().begin(), oplog_.entries().end());
-    seg.chainTail = seg.entries.empty() ? seg.chainAnchor
-                                        : seg.entries.back().chain;
+    seg.borrowEntries(tail);
+    seg.chainTail = tail.empty() ? seg.chainAnchor : tail.back().chain;
 
     // Read each retained page's content off the flash array — this
     // is the data path that mildly contends with host I/O.
@@ -77,9 +81,9 @@ OffloadEngine::sealOne(Tick now, bool force)
         seg.pages.push_back(std::move(rec));
     }
 
-    const std::uint64_t shipped_entries = seg.entries.size();
+    const std::uint64_t shipped_entries = tail.size();
     const std::uint64_t last_entry_seq =
-        shipped_entries > 0 ? seg.entries.back().logSeq : 0;
+        shipped_entries > 0 ? tail.back().logSeq : 0;
 
     log::SealedSegment sealed = codec_.seal(seg);
 

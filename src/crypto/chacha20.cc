@@ -76,10 +76,34 @@ ChaCha20::refill()
 void
 ChaCha20::apply(std::uint8_t *data, std::size_t len)
 {
-    for (std::size_t i = 0; i < len; i++) {
+    apply(data, data, len);
+}
+
+void
+ChaCha20::apply(const std::uint8_t *src, std::uint8_t *dst,
+                std::size_t len)
+{
+    while (len > 0) {
         if (keystreamPos_ == 64)
             refill();
-        data[i] ^= keystream_[keystreamPos_++];
+        std::size_t take = 64 - keystreamPos_;
+        if (take > len)
+            take = len;
+        const std::uint8_t *ks = keystream_.data() + keystreamPos_;
+        std::size_t i = 0;
+        for (; i + 8 <= take; i += 8) {
+            std::uint64_t d, k;
+            std::memcpy(&d, src + i, 8);
+            std::memcpy(&k, ks + i, 8);
+            d ^= k;
+            std::memcpy(dst + i, &d, 8);
+        }
+        for (; i < take; i++)
+            dst[i] = static_cast<std::uint8_t>(src[i] ^ ks[i]);
+        keystreamPos_ += take;
+        src += take;
+        dst += take;
+        len -= take;
     }
 }
 

@@ -41,6 +41,14 @@ class ChaCha20
     /** XOR the keystream into @p len bytes at @p data, in place. */
     void apply(std::uint8_t *data, std::size_t len);
 
+    /**
+     * XOR the keystream over @p len bytes at @p src into @p dst.
+     * @p dst must not partially overlap @p src (equal is fine); lets
+     * decrypt-and-copy run as one pass instead of copy-then-decrypt.
+     */
+    void apply(const std::uint8_t *src, std::uint8_t *dst,
+               std::size_t len);
+
     /** Convenience: encrypt/decrypt a whole vector in place. */
     void apply(std::vector<std::uint8_t> &data);
 

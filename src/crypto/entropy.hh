@@ -36,11 +36,17 @@ class EntropyAccumulator
     /** Entropy (bits/byte) of everything added so far. */
     double entropy() const;
 
-    std::uint64_t totalBytes() const { return _total; }
+    std::uint64_t totalBytes() const { return total_; }
 
   private:
-    std::uint64_t counts_[256] = {};
-    std::uint64_t _total = 0;
+    /**
+     * Four interleaved count sub-tables. Consecutive bytes land in
+     * different tables, so repeated bytes (long runs are common in
+     * user data) no longer serialize on one counter's
+     * store-to-load-forward chain. entropy() sums them back up.
+     */
+    std::uint64_t counts_[4][256] = {};
+    std::uint64_t total_ = 0;
 };
 
 } // namespace rssd::crypto

@@ -44,19 +44,15 @@ Sha256::Sha256()
 void
 Sha256::processBlock(const std::uint8_t *block)
 {
-    std::uint32_t w[64];
+    // Rolling 16-word message schedule: w[] is a ring holding the
+    // last 16 schedule words, so the expansion runs fused with the
+    // rounds instead of materializing all 64 words up front.
+    std::uint32_t w[16];
     for (int i = 0; i < 16; i++) {
         w[i] = (std::uint32_t(block[i * 4]) << 24) |
                (std::uint32_t(block[i * 4 + 1]) << 16) |
                (std::uint32_t(block[i * 4 + 2]) << 8) |
                std::uint32_t(block[i * 4 + 3]);
-    }
-    for (int i = 16; i < 64; i++) {
-        const std::uint32_t s0 =
-            rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-        const std::uint32_t s1 =
-            rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
     }
 
     std::uint32_t a = state_[0], b = state_[1], c = state_[2],
@@ -64,9 +60,22 @@ Sha256::processBlock(const std::uint8_t *block)
                   g = state_[6], h = state_[7];
 
     for (int i = 0; i < 64; i++) {
+        std::uint32_t wi;
+        if (i < 16) {
+            wi = w[i];
+        } else {
+            const std::uint32_t w15 = w[(i - 15) & 15];
+            const std::uint32_t w2 = w[(i - 2) & 15];
+            const std::uint32_t s0 =
+                rotr(w15, 7) ^ rotr(w15, 18) ^ (w15 >> 3);
+            const std::uint32_t s1 =
+                rotr(w2, 17) ^ rotr(w2, 19) ^ (w2 >> 10);
+            wi = w[i & 15] + s0 + w[(i - 7) & 15] + s1;
+            w[i & 15] = wi;
+        }
         const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
         const std::uint32_t ch = (e & f) ^ (~e & g);
-        const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+        const std::uint32_t t1 = h + s1 + ch + kK[i] + wi;
         const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
         const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
         const std::uint32_t t2 = s0 + maj;
@@ -171,9 +180,7 @@ Sha256::hash(const std::vector<std::uint8_t> &data)
     return hash(data.data(), data.size());
 }
 
-Digest
-hmacSha256(const std::uint8_t *key, std::size_t key_len,
-           const void *data, std::size_t len)
+HmacSha256::HmacSha256(const std::uint8_t *key, std::size_t key_len)
 {
     std::array<std::uint8_t, 64> k{};
     if (key_len > 64) {
@@ -183,21 +190,51 @@ hmacSha256(const std::uint8_t *key, std::size_t key_len,
         std::memcpy(k.data(), key, key_len);
     }
 
-    std::array<std::uint8_t, 64> ipad, opad;
-    for (int i = 0; i < 64; i++) {
-        ipad[i] = k[i] ^ 0x36;
-        opad[i] = k[i] ^ 0x5c;
-    }
+    std::array<std::uint8_t, 64> pad;
+    for (int i = 0; i < 64; i++)
+        pad[i] = k[i] ^ 0x36;
+    innerInit_.update(pad.data(), pad.size());
+    for (int i = 0; i < 64; i++)
+        pad[i] = k[i] ^ 0x5c;
+    outerInit_.update(pad.data(), pad.size());
 
-    Sha256 inner;
-    inner.update(ipad.data(), ipad.size());
-    inner.update(data, len);
-    const Digest inner_digest = inner.finish();
+    ctx_ = innerInit_;
+}
 
-    Sha256 outer;
-    outer.update(opad.data(), opad.size());
+void
+HmacSha256::update(const void *data, std::size_t len)
+{
+    ctx_.update(data, len);
+}
+
+void
+HmacSha256::update(const std::vector<std::uint8_t> &data)
+{
+    ctx_.update(data.data(), data.size());
+}
+
+Digest
+HmacSha256::finish()
+{
+    const Digest inner_digest = ctx_.finish();
+    Sha256 outer = outerInit_;
     outer.update(inner_digest.data(), inner_digest.size());
     return outer.finish();
+}
+
+void
+HmacSha256::reset()
+{
+    ctx_ = innerInit_;
+}
+
+Digest
+hmacSha256(const std::uint8_t *key, std::size_t key_len,
+           const void *data, std::size_t len)
+{
+    HmacSha256 mac(key, key_len);
+    mac.update(data, len);
+    return mac.finish();
 }
 
 std::string

@@ -49,7 +49,41 @@ class Sha256
     bool finished_ = false;
 };
 
-/** HMAC-SHA256 (RFC 2104) over @p data with @p key. */
+/**
+ * Incremental HMAC-SHA256 (RFC 2104) with a precomputed key schedule.
+ *
+ * Construction hashes the ipad/opad key blocks once; each message
+ * then costs only the message blocks plus one outer finalization.
+ * A long-lived keyed instance (e.g. a segment codec) amortizes the
+ * two key blocks across every segment it seals, and update() lets
+ * callers feed header + payload without concatenating them first.
+ *
+ * Reuse pattern: update()* -> finish(), then reset() to start the
+ * next message under the same key. Copying a keyed instance is cheap
+ * and copies the precomputed schedule, not the key bytes.
+ */
+class HmacSha256
+{
+  public:
+    HmacSha256(const std::uint8_t *key, std::size_t key_len);
+
+    /** Absorb message bytes. */
+    void update(const void *data, std::size_t len);
+    void update(const std::vector<std::uint8_t> &data);
+
+    /** Finalize the current message. Call reset() before reuse. */
+    Digest finish();
+
+    /** Restart for a new message under the same key. */
+    void reset();
+
+  private:
+    Sha256 innerInit_; ///< state after absorbing key ^ ipad
+    Sha256 outerInit_; ///< state after absorbing key ^ opad
+    Sha256 ctx_;       ///< running inner hash of the current message
+};
+
+/** One-shot HMAC-SHA256 over @p data with @p key. */
 Digest hmacSha256(const std::uint8_t *key, std::size_t key_len,
                   const void *data, std::size_t len);
 

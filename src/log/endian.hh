@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Little-endian field loads/stores for the log wire formats.
+ *
+ * One definition shared by the oplog entry body and the segment
+ * serializer/reader, so a portability fix (or a wire-format change)
+ * cannot silently fork the encoding between them. Single memcpy on
+ * little-endian hosts; byte-swapped on big-endian ones.
+ */
+
+#ifndef RSSD_LOG_ENDIAN_HH
+#define RSSD_LOG_ENDIAN_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace rssd::log {
+
+inline void
+storeLe32(std::uint8_t *p, std::uint32_t v)
+{
+    if constexpr (std::endian::native != std::endian::little)
+        v = __builtin_bswap32(v);
+    std::memcpy(p, &v, 4);
+}
+
+inline void
+storeLe64(std::uint8_t *p, std::uint64_t v)
+{
+    if constexpr (std::endian::native != std::endian::little)
+        v = __builtin_bswap64(v);
+    std::memcpy(p, &v, 8);
+}
+
+inline std::uint32_t
+loadLe32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    if constexpr (std::endian::native != std::endian::little)
+        v = __builtin_bswap32(v);
+    return v;
+}
+
+inline std::uint64_t
+loadLe64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    if constexpr (std::endian::native != std::endian::little)
+        v = __builtin_bswap64(v);
+    return v;
+}
+
+} // namespace rssd::log
+
+#endif // RSSD_LOG_ENDIAN_HH

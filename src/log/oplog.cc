@@ -2,27 +2,10 @@
 
 #include <cstring>
 
+#include "log/endian.hh"
 #include "sim/logging.hh"
 
 namespace rssd::log {
-
-namespace {
-
-void
-put64(std::uint8_t *p, std::uint64_t v)
-{
-    for (int i = 0; i < 8; i++)
-        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-void
-put32(std::uint8_t *p, std::uint32_t v)
-{
-    for (int i = 0; i < 4; i++)
-        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-} // namespace
 
 const char *
 opKindName(OpKind k)
@@ -39,18 +22,18 @@ std::array<std::uint8_t, LogEntry::kBodySize>
 LogEntry::serializeBody() const
 {
     std::array<std::uint8_t, kBodySize> out{};
-    put64(&out[0], logSeq);
+    storeLe64(&out[0], logSeq);
     out[8] = static_cast<std::uint8_t>(op);
-    put64(&out[9], lpa);
-    put64(&out[17], dataSeq);
-    put64(&out[25], prevDataSeq);
-    put64(&out[33], timestamp);
+    storeLe64(&out[9], lpa);
+    storeLe64(&out[17], dataSeq);
+    storeLe64(&out[25], prevDataSeq);
+    storeLe64(&out[33], timestamp);
     // Entropy is quantized to avoid float-format ambiguity in the
     // hashed body; the exact float travels beside the body in
     // segment serialization.
     const std::uint32_t q =
         static_cast<std::uint32_t>(entropy * 1000.0f);
-    put32(&out[41], q);
+    storeLe32(&out[41], q);
     return out;
 }
 
@@ -100,7 +83,7 @@ const LogEntry &
 OperationLog::at(std::uint64_t log_seq) const
 {
     panicIf(!holds(log_seq), "OperationLog::at: entry not held");
-    return entries_[log_seq - firstSeq_];
+    return entries_[headIdx_ + (log_seq - firstSeq_)];
 }
 
 bool
@@ -119,10 +102,21 @@ void
 OperationLog::truncateBefore(std::uint64_t upto)
 {
     panicIf(upto > nextSeq_, "truncateBefore past the head");
-    while (firstSeq_ < upto && !entries_.empty()) {
-        anchor_ = entries_.front().chain;
-        entries_.pop_front();
+    while (firstSeq_ < upto && headIdx_ < entries_.size()) {
+        anchor_ = entries_[headIdx_].chain;
+        headIdx_++;
         firstSeq_++;
+    }
+    // Reclaim the dead prefix only when it dominates the storage, so
+    // repeated partial truncations stay amortized O(1).
+    if (headIdx_ == entries_.size()) {
+        entries_.clear();
+        headIdx_ = 0;
+    } else if (headIdx_ >= 1024 && headIdx_ * 2 >= entries_.size()) {
+        entries_.erase(entries_.begin(),
+                       entries_.begin() +
+                           static_cast<std::ptrdiff_t>(headIdx_));
+        headIdx_ = 0;
     }
 }
 
@@ -130,7 +124,7 @@ bool
 OperationLog::verifyHeldChain() const
 {
     crypto::Digest prev = anchor_;
-    for (const LogEntry &e : entries_) {
+    for (const LogEntry &e : entries()) {
         if (chainDigest(prev, e) != e.chain)
             return false;
         prev = e.chain;

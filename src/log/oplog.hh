@@ -21,7 +21,7 @@
 #define RSSD_LOG_OPLOG_HH
 
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "crypto/sha256.hh"
@@ -79,7 +79,7 @@ class OperationLog
                            float entropy);
 
     /** Number of entries currently held (after truncation). */
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return entries_.size() - headIdx_; }
 
     /** Total entries ever appended. */
     std::uint64_t totalAppended() const { return nextSeq_; }
@@ -93,8 +93,17 @@ class OperationLog
     /** Whether @p log_seq is still held locally. */
     bool holds(std::uint64_t log_seq) const;
 
-    /** All locally held entries, oldest first. */
-    const std::deque<LogEntry> &entries() const { return entries_; }
+    /**
+     * All locally held entries, oldest first, as a view over the
+     * log's contiguous storage. The offload engine seals directly
+     * from this span without copying the tail. Invalidated by
+     * append() and truncateBefore().
+     */
+    std::span<const LogEntry>
+    entries() const
+    {
+        return {entries_.data() + headIdx_, entries_.size() - headIdx_};
+    }
 
     /** Digest of the newest entry (genesis digest when empty). */
     const crypto::Digest &headDigest() const;
@@ -131,11 +140,18 @@ class OperationLog
                                       const LogEntry &entry);
 
   private:
-    std::deque<LogEntry> entries_;
+    /**
+     * Contiguous storage with a logically popped prefix: truncation
+     * advances headIdx_ instead of erasing, and compaction runs only
+     * when the dead prefix dominates, keeping truncateBefore
+     * amortized O(1) while entries() stays a flat span.
+     */
+    std::vector<LogEntry> entries_;
+    std::size_t headIdx_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t firstSeq_ = 0;
-    crypto::Digest anchor_;  ///< digest just before entries_.front()
-    crypto::Digest head_;    ///< digest of entries_.back()
+    crypto::Digest anchor_;  ///< digest just before the first held entry
+    crypto::Digest head_;    ///< digest of the last held entry
 };
 
 } // namespace rssd::log

@@ -13,7 +13,7 @@ RetentionIndex::add(const RetainedPage &page)
     panicIf(!pinserted, "RetentionIndex: duplicate ppa");
     (void)it;
     (void)pit;
-    _totalAdded++;
+    totalAdded_++;
 }
 
 void
@@ -33,12 +33,16 @@ RetentionIndex::onRelocated(Ppa from, Ppa to)
 std::vector<RetainedPage>
 RetentionIndex::takeOldest(std::size_t max_pages)
 {
+    // Popping bySeq_.begin() from a std::map is O(log n) per page —
+    // there is no vector-style front-erase shuffle here, so draining
+    // k pages costs O(k log n), not O(k·n). Audited for the offload
+    // hot path; keep this a node-based ordered container.
     std::vector<RetainedPage> out;
     out.reserve(std::min(max_pages, bySeq_.size()));
     while (out.size() < max_pages && !bySeq_.empty()) {
         const auto it = bySeq_.begin();
-        out.push_back(it->second);
-        byPpa_.erase(it->second.ppa);
+        out.push_back(std::move(it->second));
+        byPpa_.erase(out.back().ppa);
         bySeq_.erase(it);
     }
     return out;

@@ -78,12 +78,12 @@ class RetentionIndex
     Tick oldestAge(Tick now) const;
 
     /** Total pages ever added (for retention-rate accounting). */
-    std::uint64_t totalAdded() const { return _totalAdded; }
+    std::uint64_t totalAdded() const { return totalAdded_; }
 
   private:
     std::map<std::uint64_t, RetainedPage> bySeq_;
     std::unordered_map<Ppa, std::uint64_t> byPpa_;
-    std::uint64_t _totalAdded = 0;
+    std::uint64_t totalAdded_ = 0;
 };
 
 } // namespace rssd::log

@@ -4,6 +4,7 @@
 
 #include "compress/lz.hh"
 #include "crypto/crc32.hh"
+#include "log/endian.hh"
 #include "sim/logging.hh"
 
 namespace rssd::log {
@@ -12,27 +13,63 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x52535347u; // "RSSG"
 
-void
-put32(Bytes &out, std::uint32_t v)
-{
-    for (int i = 0; i < 4; i++)
-        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
+// Serialized layout sizes (little-endian, packed).
+constexpr std::size_t kSegmentHeaderSize = 4 + 8 + 8 + 32 + 32 + 4 + 4;
+constexpr std::size_t kEntryWireSize = LogEntry::kBodySize + 32 + 4;
+constexpr std::size_t kPageFixedSize = 8 + 8 + 8 + 8 + 1 + 4;
 
-void
-put64(Bytes &out, std::uint64_t v)
+/**
+ * Cursor-based little-endian writer over a pre-sized buffer. The
+ * caller sizes the buffer with Segment::serializedSize() once; every
+ * field then lands with a fixed-size memcpy instead of per-byte
+ * push_back.
+ */
+class Writer
 {
-    for (int i = 0; i < 8; i++)
-        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
+  public:
+    explicit Writer(std::uint8_t *p) : p_(p) {}
 
-void
-putDigest(Bytes &out, const crypto::Digest &d)
-{
-    out.insert(out.end(), d.begin(), d.end());
-}
+    void
+    u32(std::uint32_t v)
+    {
+        storeLe32(p_, v);
+        p_ += 4;
+    }
 
-/** Bounds-checked little-endian reader. */
+    void
+    u64(std::uint64_t v)
+    {
+        storeLe64(p_, v);
+        p_ += 8;
+    }
+
+    void
+    u8(std::uint8_t v)
+    {
+        *p_++ = v;
+    }
+
+    void
+    bytes(const void *src, std::size_t n)
+    {
+        if (n > 0)
+            std::memcpy(p_, src, n);
+        p_ += n;
+    }
+
+    void
+    digest(const crypto::Digest &d)
+    {
+        bytes(d.data(), d.size());
+    }
+
+    const std::uint8_t *cursor() const { return p_; }
+
+  private:
+    std::uint8_t *p_;
+};
+
+/** Bounds-checked little-endian reader with word-at-a-time loads. */
 class Reader
 {
   public:
@@ -42,9 +79,7 @@ class Reader
     get32()
     {
         need(4);
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; i++)
-            v |= std::uint32_t(data_[pos_ + i]) << (8 * i);
+        const std::uint32_t v = loadLe32(data_.data() + pos_);
         pos_ += 4;
         return v;
     }
@@ -53,9 +88,7 @@ class Reader
     get64()
     {
         need(8);
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; i++)
-            v |= std::uint64_t(data_[pos_ + i]) << (8 * i);
+        const std::uint64_t v = loadLe64(data_.data() + pos_);
         pos_ += 8;
         return v;
     }
@@ -92,7 +125,10 @@ class Reader
     void
     need(std::size_t n) const
     {
-        panicIf(pos_ + n > data_.size(), "segment: truncated field");
+        // Subtract on the trusted side: pos_ <= size() always holds,
+        // so a hostile length field cannot wrap the comparison the
+        // way `pos_ + n > size()` could.
+        panicIf(n > data_.size() - pos_, "segment: truncated field");
     }
 
     const Bytes &data_;
@@ -101,39 +137,55 @@ class Reader
 
 } // namespace
 
+std::size_t
+Segment::serializedSize() const
+{
+    std::size_t total = kSegmentHeaderSize;
+    total += entrySpan().size() * kEntryWireSize;
+    total += pages.size() * kPageFixedSize;
+    for (const PageRecord &p : pages)
+        total += p.content.size();
+    return total;
+}
+
 Bytes
 Segment::serialize() const
 {
-    Bytes out;
-    put32(out, kMagic);
-    put64(out, id);
-    put64(out, prevId);
-    putDigest(out, chainAnchor);
-    putDigest(out, chainTail);
-    put32(out, static_cast<std::uint32_t>(entries.size()));
-    put32(out, static_cast<std::uint32_t>(pages.size()));
+    Bytes out(serializedSize());
+    Writer w(out.data());
 
-    for (const LogEntry &e : entries) {
+    const std::span<const LogEntry> ents = entrySpan();
+    w.u32(kMagic);
+    w.u64(id);
+    w.u64(prevId);
+    w.digest(chainAnchor);
+    w.digest(chainTail);
+    w.u32(static_cast<std::uint32_t>(ents.size()));
+    w.u32(static_cast<std::uint32_t>(pages.size()));
+
+    for (const LogEntry &e : ents) {
         const auto body = e.serializeBody();
-        out.insert(out.end(), body.begin(), body.end());
-        putDigest(out, e.chain);
+        w.bytes(body.data(), body.size());
+        w.digest(e.chain);
         // The float entropy rides separately from the quantized body
         // field so deserialization is lossless for analysis.
         std::uint32_t bits;
         static_assert(sizeof(bits) == sizeof(e.entropy));
         std::memcpy(&bits, &e.entropy, 4);
-        put32(out, bits);
+        w.u32(bits);
     }
 
     for (const PageRecord &p : pages) {
-        put64(out, p.lpa);
-        put64(out, p.dataSeq);
-        put64(out, p.writtenAt);
-        put64(out, p.invalidatedAt);
-        out.push_back(static_cast<std::uint8_t>(p.cause));
-        put32(out, static_cast<std::uint32_t>(p.content.size()));
-        out.insert(out.end(), p.content.begin(), p.content.end());
+        w.u64(p.lpa);
+        w.u64(p.dataSeq);
+        w.u64(p.writtenAt);
+        w.u64(p.invalidatedAt);
+        w.u8(static_cast<std::uint8_t>(p.cause));
+        w.u32(static_cast<std::uint32_t>(p.content.size()));
+        w.bytes(p.content.data(), p.content.size());
     }
+    panicIf(w.cursor() != out.data() + out.size(),
+            "segment: serializedSize mismatch");
     return out;
 }
 
@@ -189,17 +241,31 @@ SegmentCodec::fromSeed(const std::string &seed)
     return SegmentCodec(crypto::ChaCha20::deriveKey(seed));
 }
 
-Bytes
+SegmentCodec::Header
 SegmentCodec::headerBytes(const SealedSegment &sealed) const
 {
-    Bytes h;
-    put64(h, sealed.id);
-    put64(h, sealed.prevId);
-    putDigest(h, sealed.chainAnchor);
-    putDigest(h, sealed.chainTail);
-    put64(h, sealed.rawSize);
-    put64(h, sealed.payload.size());
+    Header h;
+    Writer w(h.data());
+    w.u64(sealed.id);
+    w.u64(sealed.prevId);
+    w.digest(sealed.chainAnchor);
+    w.digest(sealed.chainTail);
+    w.u64(sealed.rawSize);
+    w.u64(sealed.payload.size());
     return h;
+}
+
+crypto::Digest
+SegmentCodec::macOf(const SealedSegment &sealed) const
+{
+    // Copying the keyed schedule reuses the precomputed ipad/opad
+    // states; header and payload stream through without ever being
+    // concatenated into a scratch buffer.
+    crypto::HmacSha256 mac = hmac_;
+    const Header h = headerBytes(sealed);
+    mac.update(h.data(), h.size());
+    mac.update(sealed.payload.data(), sealed.payload.size());
+    return mac.finish();
 }
 
 SealedSegment
@@ -219,12 +285,7 @@ SegmentCodec::seal(const Segment &segment) const
                                 segment.id));
     cipher.apply(sealed.payload);
     sealed.crc = crypto::crc32c(sealed.payload);
-
-    Bytes mac_input = headerBytes(sealed);
-    mac_input.insert(mac_input.end(), sealed.payload.begin(),
-                     sealed.payload.end());
-    sealed.hmac = crypto::hmacSha256(key_.data(), key_.size(),
-                                     mac_input.data(), mac_input.size());
+    sealed.hmac = macOf(sealed);
     return sealed;
 }
 
@@ -233,23 +294,21 @@ SegmentCodec::verify(const SealedSegment &sealed) const
 {
     if (crypto::crc32c(sealed.payload) != sealed.crc)
         return false;
-    Bytes mac_input = headerBytes(sealed);
-    mac_input.insert(mac_input.end(), sealed.payload.begin(),
-                     sealed.payload.end());
-    const crypto::Digest want = crypto::hmacSha256(
-        key_.data(), key_.size(), mac_input.data(), mac_input.size());
-    return want == sealed.hmac;
+    return macOf(sealed) == sealed.hmac;
 }
 
 Segment
 SegmentCodec::open(const SealedSegment &sealed) const
 {
     panicIf(!verify(sealed), "segment: HMAC/CRC verification failed");
-    Bytes plain = sealed.payload;
+    // Decrypt on the fly: the keystream XOR reads the sealed payload
+    // and writes the plaintext buffer in one pass, with no
+    // copy-then-decrypt round trip.
+    Bytes plain(sealed.payload.size());
     crypto::ChaCha20 cipher(key_,
                             crypto::ChaCha20::nonceFromSequence(
                                 sealed.id));
-    cipher.apply(plain);
+    cipher.apply(sealed.payload.data(), plain.data(), plain.size());
     const Bytes raw = compress::lzDecompress(plain, sealed.rawSize);
     return Segment::deserialize(raw);
 }

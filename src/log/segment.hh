@@ -16,6 +16,7 @@
 #define RSSD_LOG_SEGMENT_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "crypto/chacha20.hh"
@@ -51,11 +52,47 @@ struct Segment
     crypto::Digest chainTail{};
     /** Log-chain digest immediately before the first entry. */
     crypto::Digest chainAnchor{};
+    /**
+     * Owned entries. CAUTION: empty (not the truth) on a segment
+     * that went through borrowEntries() — read via entrySpan(),
+     * which is correct for both owned and borrowed segments.
+     * Borrowed segments exist only transiently on the offload
+     * engine's seal path; segments from deserialize() always own.
+     */
     std::vector<LogEntry> entries;
     std::vector<PageRecord> pages;
 
+    /**
+     * Borrow the entry list from external contiguous storage (the
+     * operation log's tail) instead of copying it into `entries`.
+     * The storage must stay alive and unmodified until the segment
+     * has been serialized/sealed. Zero-copy path for the offload
+     * engine; tests and deserialize keep using the owned vector.
+     */
+    void
+    borrowEntries(std::span<const LogEntry> view)
+    {
+        borrowedEntries_ = view;
+        borrowed_ = true;
+    }
+
+    /** The entries this segment carries: borrowed view if set. */
+    std::span<const LogEntry>
+    entrySpan() const
+    {
+        return borrowed_ ? borrowedEntries_
+                         : std::span<const LogEntry>(entries);
+    }
+
+    /** Exact byte size serialize() will produce. */
+    std::size_t serializedSize() const;
+
     Bytes serialize() const;
     static Segment deserialize(const Bytes &raw);
+
+  private:
+    std::span<const LogEntry> borrowedEntries_{};
+    bool borrowed_ = false;
 };
 
 /** Encrypted, authenticated wire form of a segment. */
@@ -81,7 +118,10 @@ struct SealedSegment
 class SegmentCodec
 {
   public:
-    explicit SegmentCodec(const crypto::Key256 &key) : key_(key) {}
+    explicit SegmentCodec(const crypto::Key256 &key)
+        : key_(key), hmac_(key.data(), key.size())
+    {
+    }
 
     /** Derive a codec from a passphrase (tests / examples). */
     static SegmentCodec fromSeed(const std::string &seed);
@@ -98,9 +138,19 @@ class SegmentCodec
     bool verify(const SealedSegment &sealed) const;
 
   private:
-    Bytes headerBytes(const SealedSegment &sealed) const;
+    /** Fixed-size authenticated header: id, prevId, chain digests,
+     *  raw and payload sizes. */
+    static constexpr std::size_t kHeaderSize = 8 + 8 + 32 + 32 + 8 + 8;
+    using Header = std::array<std::uint8_t, kHeaderSize>;
+    Header headerBytes(const SealedSegment &sealed) const;
+
+    /** HMAC over header + payload without concatenating them. */
+    crypto::Digest macOf(const SealedSegment &sealed) const;
 
     crypto::Key256 key_;
+    /** Keyed HMAC schedule: the two key blocks are hashed once per
+     *  codec, not once per segment. */
+    crypto::HmacSha256 hmac_;
 };
 
 /** Result of handing a sealed segment to a sink. */

@@ -21,12 +21,18 @@ namespace rssd {
 namespace detail {
 
 [[noreturn]] inline void
-die(const char *kind, const std::string &msg, bool core_dump)
+die(const char *kind, const char *msg, bool core_dump)
 {
-    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    std::fprintf(stderr, "%s: %s\n", kind, msg);
     if (core_dump)
         std::abort();
     std::exit(1);
+}
+
+[[noreturn]] inline void
+die(const char *kind, const std::string &msg, bool core_dump)
+{
+    die(kind, msg.c_str(), core_dump);
 }
 
 } // namespace detail
@@ -37,6 +43,12 @@ die(const char *kind, const std::string &msg, bool core_dump)
  */
 [[noreturn]] inline void
 panic(const std::string &msg)
+{
+    detail::die("panic", msg, true);
+}
+
+[[noreturn]] inline void
+panic(const char *msg)
 {
     detail::die("panic", msg, true);
 }
@@ -65,12 +77,25 @@ inform(const std::string &msg)
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
-/** Abort with a message unless @p cond holds. Cheap enough to keep on. */
+/**
+ * Abort with a message unless @p cond holds. Cheap enough to keep on:
+ * the const char* overload keeps literal messages out of std::string
+ * — hot paths (LZ tokens, segment fields, FTL ops) assert every few
+ * bytes, and a >15-char literal would otherwise heap-allocate on
+ * every single call.
+ */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond) [[unlikely]]
+        panic(msg);
+}
+
 inline void
 panicIf(bool cond, const std::string &msg)
 {
-    if (cond)
-        panic(msg);
+    if (cond) [[unlikely]]
+        panic(msg.c_str());
 }
 
 } // namespace rssd

@@ -130,5 +130,73 @@ TEST(Lz, RatioHelper)
     EXPECT_DOUBLE_EQ(compressionRatio(100, 0), 1.0);
 }
 
+TEST(Lz, FuzzRoundtripSizeSweepTo64KiB)
+{
+    // Fuzz-style sweep: pseudo-random content whose redundancy varies
+    // with the size, covering every power-of-two boundary (the 8-byte
+    // match-extension and chunked-copy fast paths have their edge
+    // cases at word boundaries) up to and past 64 KiB.
+    rssd::Rng rng(20260726);
+    for (std::size_t size = 0; size <= 70000;
+         size = size < 96 ? size + 1 : size * 17 / 13 + 1) {
+        Bytes input(size);
+        const double zero_frac = (size % 97) / 96.0;
+        for (auto &b : input) {
+            b = rng.uniform() < zero_frac
+                ? 0
+                : static_cast<std::uint8_t>(rng.next() & 0x1f);
+        }
+        const Bytes packed = lzCompress(input);
+        const Bytes unpacked = lzDecompress(packed, input.size());
+        ASSERT_EQ(unpacked, input) << "size " << size;
+    }
+}
+
+TEST(Lz, SelfOverlappingMatchesAllShortDistances)
+{
+    // Period-p content forces matches with dist == p < 8: the
+    // decompressor must take the byte-by-byte path and reproduce the
+    // run exactly, including when a match token crosses the period.
+    for (std::size_t period = 1; period <= 9; period++) {
+        Bytes input;
+        for (std::size_t i = 0; i < 3000; i++)
+            input.push_back(static_cast<std::uint8_t>(
+                'A' + (i % period)));
+        const Bytes packed = lzCompress(input);
+        const Bytes unpacked = lzDecompress(packed, input.size());
+        ASSERT_EQ(unpacked, input) << "period " << period;
+    }
+}
+
+TEST(Lz, MixedOverlapAndLiteralTail)
+{
+    // Runs + uncompressible tails at sizes straddling the 8-byte
+    // chunk boundary of the decompressor's copy loop.
+    rssd::Rng rng(7);
+    for (std::size_t run_len :
+         {4u, 7u, 8u, 9u, 15u, 16u, 17u, 127u, 131u, 132u, 133u}) {
+        Bytes input;
+        for (int rep = 0; rep < 40; rep++) {
+            input.insert(input.end(), run_len,
+                         static_cast<std::uint8_t>(rep));
+            for (int j = 0; j < 5; j++)
+                input.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+        const Bytes packed = lzCompress(input);
+        ASSERT_EQ(lzDecompress(packed, input.size()), input)
+            << "run_len " << run_len;
+    }
+}
+
+TEST(LzDeathTest, OversizedStreamPanics)
+{
+    // A stream that decodes to more bytes than the framing promised
+    // must panic, not write past the pre-sized output buffer.
+    Bytes input(64, 0x11);
+    const Bytes packed = lzCompress(input);
+    EXPECT_DEATH(lzDecompress(packed, 10), "size mismatch");
+    EXPECT_DEATH(lzDecompress(packed, 1000), "size mismatch");
+}
+
 } // namespace
 } // namespace rssd::compress

@@ -59,5 +59,66 @@ TEST(Crc32c, DetectsSwappedBytes)
     EXPECT_NE(crc32c(data), clean);
 }
 
+TEST(Crc32c, Rfc3720Vectors)
+{
+    // RFC 3720 B.4 test patterns (32 bytes each).
+    std::vector<std::uint8_t> inc(32), dec(32);
+    for (int i = 0; i < 32; i++) {
+        inc[i] = static_cast<std::uint8_t>(i);
+        dec[i] = static_cast<std::uint8_t>(31 - i);
+    }
+    EXPECT_EQ(crc32c(inc), 0x46DD794Eu);
+    EXPECT_EQ(crc32c(dec), 0x113FDB5Cu);
+}
+
+TEST(Crc32c, DispatchedMatchesReferenceEverywhere)
+{
+    // The dispatched fast path (slicing-by-8/16 or SSE4.2) must be
+    // bit-identical to the byte-at-a-time reference for every length,
+    // alignment and seed — this is the determinism invariant.
+    std::vector<std::uint8_t> data(1024 + 64);
+    for (std::size_t i = 0; i < data.size(); i++)
+        data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+
+    for (std::size_t offset : {0u, 1u, 3u, 7u, 8u}) {
+        for (std::size_t len = 0; len <= 128; len++) {
+            ASSERT_EQ(crc32c(data.data() + offset, len),
+                      crc32cReference(data.data() + offset, len))
+                << "offset " << offset << " len " << len;
+        }
+        for (std::size_t len : {255u, 256u, 257u, 1000u, 1024u}) {
+            ASSERT_EQ(crc32c(data.data() + offset, len),
+                      crc32cReference(data.data() + offset, len))
+                << "offset " << offset << " len " << len;
+        }
+    }
+
+    for (std::uint32_t seed : {0u, 1u, 0xdeadbeefu}) {
+        EXPECT_EQ(crc32c(data.data(), 777, seed),
+                  crc32cReference(data.data(), 777, seed));
+    }
+}
+
+TEST(Crc32c, IncrementalSeedingMatchesOneShot)
+{
+    std::vector<std::uint8_t> data(300);
+    for (std::size_t i = 0; i < data.size(); i++)
+        data[i] = static_cast<std::uint8_t>(i ^ 0x5a);
+    const std::uint32_t whole = crc32c(data.data(), data.size());
+    for (std::size_t split : {0u, 1u, 7u, 8u, 150u, 299u, 300u}) {
+        const std::uint32_t first = crc32c(data.data(), split);
+        EXPECT_EQ(crc32c(data.data() + split, data.size() - split,
+                         first),
+                  whole)
+            << "split " << split;
+    }
+}
+
+TEST(Crc32c, ImplNameIsKnown)
+{
+    const std::string name = crc32cImplName();
+    EXPECT_TRUE(name == "slicing8" || name == "sse4.2") << name;
+}
+
 } // namespace
 } // namespace rssd::crypto

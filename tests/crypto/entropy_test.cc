@@ -88,5 +88,30 @@ TEST(EntropyAccumulator, ResetClears)
     EXPECT_EQ(acc.entropy(), 0.0);
 }
 
+TEST(EntropyAccumulator, SubTableSplitInvisibleAtEveryLength)
+{
+    // The interleaved count sub-tables and the 8-byte main loop must
+    // be invisible: entropy over any prefix length (hitting every
+    // main-loop/tail split) equals a strictly byte-at-a-time
+    // accumulation of the same bytes.
+    rssd::Rng rng(11);
+    std::vector<std::uint8_t> buf(67);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.below(5) * 50);
+
+    for (std::size_t len = 0; len <= buf.size(); len++) {
+        EntropyAccumulator bulk;
+        bulk.add(buf.data(), len);
+
+        EntropyAccumulator bytewise;
+        for (std::size_t i = 0; i < len; i++)
+            bytewise.add(buf.data() + i, 1);
+
+        EXPECT_DOUBLE_EQ(bulk.entropy(), bytewise.entropy())
+            << "len " << len;
+        EXPECT_EQ(bulk.totalBytes(), bytewise.totalBytes());
+    }
+}
+
 } // namespace
 } // namespace rssd::crypto

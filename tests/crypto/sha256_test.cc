@@ -127,5 +127,85 @@ TEST(HmacSha256, KeySensitivity)
               toHex(hmacSha256(k2, 3, msg.data(), msg.size())));
 }
 
+TEST(HmacSha256, Rfc4231Case3)
+{
+    // 20 bytes of 0xaa, 50 bytes of 0xdd.
+    std::uint8_t key[20];
+    std::memset(key, 0xaa, sizeof(key));
+    std::uint8_t msg[50];
+    std::memset(msg, 0xdd, sizeof(msg));
+    EXPECT_EQ(toHex(hmacSha256(key, sizeof(key), msg, sizeof(msg))),
+              "773ea91e36800e46854db8ebd09181a7"
+              "2959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case4)
+{
+    std::uint8_t key[25];
+    for (int i = 0; i < 25; i++)
+        key[i] = static_cast<std::uint8_t>(i + 1);
+    std::uint8_t msg[50];
+    std::memset(msg, 0xcd, sizeof(msg));
+    EXPECT_EQ(toHex(hmacSha256(key, sizeof(key), msg, sizeof(msg))),
+              "82558a389a443c0ea4cc819899f2083a"
+              "85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case7LongKeyAndData)
+{
+    std::uint8_t key[131];
+    std::memset(key, 0xaa, sizeof(key));
+    const std::string msg =
+        "This is a test using a larger than block-size key and a "
+        "larger than block-size data. The key needs to be hashed "
+        "before being used by the HMAC algorithm.";
+    EXPECT_EQ(toHex(hmacSha256(key, sizeof(key), msg.data(),
+                               msg.size())),
+              "9b09ffa71b942fcb27635fbcd5b0e944"
+              "bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacSha256, StreamingMatchesOneShotAtEverySplit)
+{
+    const std::string key = "segment-codec-key";
+    const std::string msg =
+        "header bytes | compressed encrypted payload bytes .........";
+    const auto *kp = reinterpret_cast<const std::uint8_t *>(key.data());
+    const Digest want =
+        hmacSha256(kp, key.size(), msg.data(), msg.size());
+
+    HmacSha256 mac(kp, key.size());
+    for (std::size_t split = 0; split <= msg.size(); split++) {
+        mac.reset();
+        mac.update(msg.data(), split);
+        mac.update(msg.data() + split, msg.size() - split);
+        EXPECT_EQ(toHex(mac.finish()), toHex(want))
+            << "split at " << split;
+    }
+}
+
+TEST(HmacSha256, KeyedInstanceIsReusableAndCopyable)
+{
+    const std::uint8_t key[32] = {9, 8, 7};
+    HmacSha256 proto(key, sizeof(key));
+
+    const std::string a = "first message";
+    const std::string b = "second message";
+
+    HmacSha256 m1 = proto; // copy precomputed schedule
+    m1.update(a.data(), a.size());
+    const Digest da = m1.finish();
+
+    HmacSha256 m2 = proto;
+    m2.update(b.data(), b.size());
+    const Digest db = m2.finish();
+
+    EXPECT_EQ(toHex(da),
+              toHex(hmacSha256(key, sizeof(key), a.data(), a.size())));
+    EXPECT_EQ(toHex(db),
+              toHex(hmacSha256(key, sizeof(key), b.data(), b.size())));
+    EXPECT_NE(toHex(da), toHex(db));
+}
+
 } // namespace
 } // namespace rssd::crypto

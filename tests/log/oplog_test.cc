@@ -165,5 +165,41 @@ TEST(OpLog, OpKindNames)
     EXPECT_STREQ(opKindName(OpKind::Trim), "TRIM");
 }
 
+TEST(OpLog, EntriesSpanIsContiguousAndOrdered)
+{
+    OperationLog log;
+    for (int i = 0; i < 40; i++)
+        log.append(OpKind::Write, i, i, kNoDataSeq, i, 1.0f);
+    log.truncateBefore(15);
+
+    const std::span<const LogEntry> tail = log.entries();
+    ASSERT_EQ(tail.size(), 25u);
+    for (std::size_t i = 0; i < tail.size(); i++) {
+        EXPECT_EQ(tail[i].logSeq, 15 + i);
+        // Contiguity: the span really is flat storage.
+        EXPECT_EQ(&tail[i], tail.data() + i);
+    }
+}
+
+TEST(OpLog, ManyPartialTruncationsStayConsistent)
+{
+    // Crosses the internal compaction threshold several times; the
+    // observable state (seqs, chain, anchor) must never notice.
+    OperationLog log;
+    std::uint64_t appended = 0, truncated = 0;
+    for (int round = 0; round < 40; round++) {
+        for (int i = 0; i < 200; i++)
+            log.append(OpKind::Write, i, appended++, kNoDataSeq, i,
+                       0.5f);
+        truncated += 150;
+        log.truncateBefore(truncated);
+        ASSERT_EQ(log.firstHeldSeq(), truncated);
+        ASSERT_EQ(log.size(), appended - truncated);
+        ASSERT_TRUE(log.verifyHeldChain());
+        ASSERT_EQ(log.entries().front().logSeq, truncated);
+        ASSERT_EQ(log.at(truncated).logSeq, truncated);
+    }
+}
+
 } // namespace
 } // namespace rssd::log

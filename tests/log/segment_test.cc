@@ -81,6 +81,40 @@ TEST(Segment, SerializeRoundtrip)
     expectSegmentsEqual(seg, back);
 }
 
+TEST(Segment, SerializedSizeIsExact)
+{
+    for (auto [e, p] : {std::pair<std::size_t, std::size_t>{0, 0},
+                        {1, 0},
+                        {0, 1},
+                        {17, 5},
+                        {100, 32}}) {
+        const Segment seg = sampleSegment(e, p);
+        EXPECT_EQ(seg.serialize().size(), seg.serializedSize())
+            << e << " entries, " << p << " pages";
+    }
+}
+
+TEST(Segment, BorrowedEntriesSerializeIdentically)
+{
+    // The offload engine seals from a span over the oplog's storage;
+    // the bytes must match an owned-entries segment exactly.
+    const Segment owned = sampleSegment(23, 4);
+
+    Segment borrowing;
+    borrowing.id = owned.id;
+    borrowing.prevId = owned.prevId;
+    borrowing.chainAnchor = owned.chainAnchor;
+    borrowing.chainTail = owned.chainTail;
+    borrowing.pages = owned.pages;
+    borrowing.borrowEntries({owned.entries.data(),
+                             owned.entries.size()});
+
+    EXPECT_EQ(borrowing.entrySpan().size(), owned.entries.size());
+    EXPECT_EQ(borrowing.serialize(), owned.serialize());
+    expectSegmentsEqual(owned,
+                        Segment::deserialize(borrowing.serialize()));
+}
+
 TEST(Segment, EmptySegmentRoundtrip)
 {
     const Segment seg = sampleSegment(0, 0);
