@@ -62,11 +62,15 @@ sweep(std::initializer_list<T> points)
  * <path> (JSON-Lines), e.g.:
  *
  *   {"bench":"offload_path",
+ *    "meta":{"build":"Release","native":1,"smoke":1},
  *    "config":{"link_gbps":"25","content":"typical"},
  *    "metrics":{"offload_MiBps":812.4,"wire_MiBps":433.1}}
  *
  * so the perf trajectory can be tracked across PRs by diffing or
- * plotting the artifacts. Without the variable every call is a no-op,
+ * plotting the artifacts. Every record carries a "meta" stamp (build
+ * type, RSSD_NATIVE, smoke flag) so CI artifacts are self-describing:
+ * a smoke-mode or Debug number can never masquerade as a
+ * paper-comparable one. Without the variable every call is a no-op,
  * keeping human-readable output the default.
  */
 class JsonReport
@@ -88,8 +92,21 @@ class JsonReport
     {
         if (!file_)
             return;
-        std::fprintf(file_, "{\"bench\":\"%s\",\"config\":{",
-                     escaped(bench).c_str());
+#ifdef RSSD_BUILD_TYPE_NAME
+        const char *build_type = RSSD_BUILD_TYPE_NAME;
+#else
+        const char *build_type = "unknown";
+#endif
+#ifdef RSSD_NATIVE
+        const int native = 1;
+#else
+        const int native = 0;
+#endif
+        std::fprintf(file_,
+                     "{\"bench\":\"%s\",\"meta\":{\"build\":\"%s\","
+                     "\"native\":%d,\"smoke\":%d},\"config\":{",
+                     escaped(bench).c_str(), escaped(build_type).c_str(),
+                     native, smoke() ? 1 : 0);
         const char *sep = "";
         for (const auto &[k, v] : config) {
             std::fprintf(file_, "%s\"%s\":\"%s\"", sep,

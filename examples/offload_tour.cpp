@@ -6,20 +6,26 @@
  * into the remote store, with wire-level accounting — including a
  * corrupted-frame retransmission and a rejected forged segment.
  *
- *   build/examples/offload_tour
+ *   build/examples/example_offload_tour [--seed S]
  */
 
 #include <cstdio>
 
 #include "compress/datagen.hh"
 #include "core/rssd_device.hh"
+#include "examples/argparse.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 
 using namespace rssd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    examples::ArgParser args(argc, argv);
+    Rng rng(args.u64("--seed", 3));
+    args.finish("offload_tour [--seed S]");
+
     core::RssdConfig config = core::RssdConfig::forTests();
     config.segmentPages = 64;
     config.pumpThreshold = 1u << 30; // manual pumping only
@@ -27,7 +33,7 @@ main()
     core::RssdDevice ssd(config, clock);
 
     // Produce retention: overwrite user-like data repeatedly.
-    compress::DataGenerator gen(3, 0.6);
+    compress::DataGenerator gen(rng.next(), 0.6);
     for (int round = 0; round < 4; round++) {
         for (flash::Lpa lpa = 0; lpa < 64; lpa++)
             ssd.writePage(lpa, gen.page(ssd.pageSize()));

@@ -3,20 +3,27 @@
  * Quickstart: create an RSSD, do ordinary I/O, watch the
  * ransomware-aware machinery work underneath.
  *
- *   build/examples/quickstart
+ *   build/examples/example_quickstart [--seed S]
  */
 
 #include <cstdio>
 
+#include "compress/datagen.hh"
 #include "core/recovery.hh"
 #include "core/rssd_device.hh"
+#include "examples/argparse.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 
 using namespace rssd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    examples::ArgParser args(argc, argv);
+    Rng rng(args.u64("--seed", 1));
+    args.finish("quickstart [--seed S]");
+
     // 1. Configure and create the device. forTests() gives a small
     //    16 MiB SSD with an in-process remote store behind a
     //    simulated 10 GbE NVMe-oE link.
@@ -42,9 +49,12 @@ main()
                 formatTime(read.latency()).c_str());
 
     // 3. Overwrite and trim — on a normal SSD both would eventually
-    //    destroy the old data. RSSD retains every version.
-    std::vector<std::uint8_t> v2(ssd.pageSize(), 0xEE);
-    ssd.writePage(0, v2);
+    //    destroy the old data. RSSD retains every version. The
+    //    overwrite content comes from the seeded RNG stream, so
+    //    different --seed values exercise different payloads while
+    //    any fixed seed reproduces byte-identical segments.
+    compress::DataGenerator gen(rng.next(), 0.6);
+    ssd.writePage(0, gen.page(ssd.pageSize()));
     ssd.trimPage(0);
 
     std::printf("after overwrite+trim: %zu versions retained, "

@@ -4,7 +4,7 @@
  * against the undefended LocalSSD, and compare what survives.
  * This is the paper's headline demonstration in one binary.
  *
- *   build/examples/ransomware_drill
+ *   build/examples/example_ransomware_drill [--seed S]
  */
 
 #include <cstdio>
@@ -13,6 +13,8 @@
 #include "attack/ransomware.hh"
 #include "baseline/rssd_defense.hh"
 #include "baseline/software_defenses.hh"
+#include "examples/argparse.hh"
+#include "sim/rng.hh"
 
 using namespace rssd;
 
@@ -28,30 +30,36 @@ plainConfig()
 }
 
 std::unique_ptr<attack::Ransomware>
-makeAttack(int which)
+makeAttack(int which, const attack::AttackConfig &cfg)
 {
     switch (which) {
-      case 0: return std::make_unique<attack::ClassicRansomware>();
+      case 0: return std::make_unique<attack::ClassicRansomware>(cfg);
       case 1: {
         attack::GcAttack::Params p;
         p.floodCapacityMultiple = 1.0;
         p.floodSpanFraction = 0.4;
-        return std::make_unique<attack::GcAttack>(p);
+        return std::make_unique<attack::GcAttack>(p, cfg);
       }
       case 2: {
         attack::TimingAttack::Params p;
         p.benignOpsPerEncrypt = 24;
-        return std::make_unique<attack::TimingAttack>(p);
+        return std::make_unique<attack::TimingAttack>(p, cfg);
       }
-      default: return std::make_unique<attack::TrimmingAttack>();
+      default:
+        return std::make_unique<attack::TrimmingAttack>(
+            attack::TrimmingAttack::Params(), cfg);
     }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    examples::ArgParser args(argc, argv);
+    Rng rng(args.u64("--seed", 42));
+    args.finish("ransomware_drill [--seed S]");
+
     std::printf("Ransomware drill: 128 victim pages, four attacks, "
                 "two devices.\n\n");
     std::printf("%-16s | %-22s | %-22s\n", "attack",
@@ -62,22 +70,29 @@ main()
                 "---------------\n");
 
     for (int which = 0; which < 4; which++) {
+        // One seed stream per round: the same victim dataset and
+        // attacker randomness hit both devices, so the comparison is
+        // apples to apples.
+        const std::uint64_t victim_seed = rng.next();
+        attack::AttackConfig attack_cfg;
+        attack_cfg.rngSeed = rng.next();
+
         // Undefended baseline.
         VirtualClock c1;
         baseline::PlainSsdDefense plain(plainConfig(), c1);
-        attack::VictimDataset v1(0, 128);
+        attack::VictimDataset v1(0, 128, 0.7, victim_seed);
         v1.populate(plain.device());
-        auto a1 = makeAttack(which);
+        auto a1 = makeAttack(which, attack_cfg);
         a1->run(plain.device(), c1, v1);
         const double plain_intact = v1.intactFraction(plain.device());
 
         // RSSD with the full analysis+recovery pipeline.
         VirtualClock c2;
         baseline::RssdDefense rssd(core::RssdConfig::forTests(), c2);
-        attack::VictimDataset v2(0, 128);
+        attack::VictimDataset v2(0, 128, 0.7, victim_seed);
         v2.populate(rssd.device());
         const Tick t0 = c2.now();
-        auto a2 = makeAttack(which);
+        auto a2 = makeAttack(which, attack_cfg);
         const attack::AttackReport report =
             a2->run(rssd.device(), c2, v2);
         rssd.attemptRecovery(v2, t0);

@@ -22,22 +22,52 @@ RssdConfig::forTests()
 }
 
 RssdDevice::RssdDevice(const RssdConfig &config, VirtualClock &clock)
+    : RssdDevice(config, clock, nullptr)
+{
+}
+
+RssdDevice::RssdDevice(const RssdConfig &config, VirtualClock &clock,
+                       net::CapsuleTarget &remote_target)
+    : RssdDevice(config, clock, &remote_target)
+{
+}
+
+RssdDevice::RssdDevice(const RssdConfig &config, VirtualClock &clock,
+                       net::CapsuleTarget *external_target)
     : config_(config),
       clock_(clock),
       codec_(log::SegmentCodec::fromSeed(config.keySeed)),
       ftl_(config.ftl, clock, this)
 {
     link_ = std::make_unique<net::EthernetLink>(config_.link);
-    store_ = std::make_unique<remote::BackupStore>(config_.remote,
-                                                   codec_);
+    net::CapsuleTarget *target = external_target;
+    if (target == nullptr) {
+        store_ = std::make_unique<remote::BackupStore>(config_.remote,
+                                                       codec_);
+        target = store_.get();
+    }
     transport_ = std::make_unique<net::NvmeOeTransport>(
-        config_.transport, *link_, *store_);
+        config_.transport, *link_, *target);
     offload_ = std::make_unique<OffloadEngine>(
         config_, ftl_, oplog_, retention_, codec_, *transport_, clock_);
     liveEntropy_.assign(ftl_.logicalPages(), detect::kNoEntropy);
 }
 
 RssdDevice::~RssdDevice() = default;
+
+remote::BackupStore &
+RssdDevice::backupStore()
+{
+    panicIf(!store_, "RssdDevice: no local store (fleet mode)");
+    return *store_;
+}
+
+const remote::BackupStore &
+RssdDevice::backupStore() const
+{
+    panicIf(!store_, "RssdDevice: no local store (fleet mode)");
+    return *store_;
+}
 
 std::uint64_t
 RssdDevice::capacityPages() const
@@ -239,6 +269,12 @@ RssdDevice::drainOffload()
 {
     offload_->pump(clock_.now(), /*force=*/true);
     clock_.advanceTo(offload_->lastAckAt());
+}
+
+void
+RssdDevice::pumpOffload()
+{
+    offload_->pump(clock_.now(), /*force=*/false);
 }
 
 } // namespace rssd::core

@@ -78,6 +78,17 @@ class RssdDevice : public nvme::BlockDevice, private ftl::FtlPolicy
 {
   public:
     RssdDevice(const RssdConfig &config, VirtualClock &clock);
+
+    /**
+     * Fleet-mode construction: the device still owns its Ethernet
+     * link and NVMe-oE transport, but the far end of the wire is the
+     * caller's @p remote_target (a shard-cluster portal) instead of a
+     * private in-process BackupStore. The target is borrowed and must
+     * outlive the device; backupStore() is unavailable in this mode.
+     */
+    RssdDevice(const RssdConfig &config, VirtualClock &clock,
+               net::CapsuleTarget &remote_target);
+
     ~RssdDevice() override;
 
     RssdDevice(const RssdDevice &) = delete;
@@ -93,6 +104,13 @@ class RssdDevice : public nvme::BlockDevice, private ftl::FtlPolicy
 
     /** Force-seal and ship everything pending. */
     void drainOffload();
+
+    /**
+     * Opportunistic offload tick (fleet scheduler hook): seal and
+     * ship any *full* segments without waiting for acknowledgments,
+     * exactly as the device does between host commands.
+     */
+    void pumpOffload();
 
     /**
      * Attach a live detector fed from the device's event tap (used
@@ -112,8 +130,11 @@ class RssdDevice : public nvme::BlockDevice, private ftl::FtlPolicy
     const log::RetentionIndex &retention() const { return retention_; }
     OffloadEngine &offload() { return *offload_; }
     const OffloadEngine &offload() const { return *offload_; }
-    remote::BackupStore &backupStore() { return *store_; }
-    const remote::BackupStore &backupStore() const { return *store_; }
+    /** True when the device owns an in-process remote store (single-
+     *  device mode); false in fleet mode (external cluster target). */
+    bool hasLocalStore() const { return store_ != nullptr; }
+    remote::BackupStore &backupStore();
+    const remote::BackupStore &backupStore() const;
     net::EthernetLink &link() { return *link_; }
     const net::NvmeOeTransport &transport() const { return *transport_; }
     const log::SegmentCodec &codec() const { return codec_; }
@@ -142,6 +163,11 @@ class RssdDevice : public nvme::BlockDevice, private ftl::FtlPolicy
     ftl::IoResult trimOne(flash::Lpa lpa);
 
     void tapEvent(const detect::IoEvent &event);
+
+    /** Shared construction: null @p external_target means "create an
+     *  in-process BackupStore and wire the transport to it". */
+    RssdDevice(const RssdConfig &config, VirtualClock &clock,
+               net::CapsuleTarget *external_target);
 
     RssdConfig config_;
     VirtualClock &clock_;

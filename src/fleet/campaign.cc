@@ -1,0 +1,176 @@
+#include "fleet/campaign.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rssd::fleet {
+
+const char *
+scenarioName(Scenario s)
+{
+    switch (s) {
+      case Scenario::Benign: return "benign";
+      case Scenario::Outbreak: return "outbreak";
+      case Scenario::Staggered: return "staggered";
+      case Scenario::ShardFlood: return "shard-flood";
+    }
+    return "?";
+}
+
+Scenario
+scenarioByName(const std::string &name)
+{
+    for (Scenario s : {Scenario::Benign, Scenario::Outbreak,
+                       Scenario::Staggered, Scenario::ShardFlood}) {
+        if (name == scenarioName(s))
+            return s;
+    }
+    fatal("unknown scenario \"" + name +
+          "\" (benign|outbreak|staggered|shard-flood)");
+}
+
+const char *
+roleName(DeviceRole role)
+{
+    switch (role) {
+      case DeviceRole::Benign: return "benign";
+      case DeviceRole::Encryptor: return "encryptor";
+      case DeviceRole::Flooder: return "flooder";
+    }
+    return "?";
+}
+
+std::vector<DevicePlan>
+planCampaign(const CampaignConfig &config, std::uint32_t devices,
+             const remote::BackupCluster &cluster)
+{
+    std::vector<DevicePlan> plans(devices);
+    switch (config.scenario) {
+      case Scenario::Benign:
+        break;
+
+      case Scenario::Outbreak:
+        for (auto &p : plans) {
+            p.role = DeviceRole::Encryptor;
+            p.attackStart = config.attackStart;
+        }
+        break;
+
+      case Scenario::Staggered:
+        for (std::uint32_t i = 0; i < devices; i++) {
+            plans[i].role = DeviceRole::Encryptor;
+            plans[i].attackStart =
+                config.attackStart + i * config.stagger;
+        }
+        break;
+
+      case Scenario::ShardFlood: {
+        // Target the shard carrying the most device streams (ties
+        // break toward the lowest shard id — deterministic).
+        remote::ShardId hot = 0;
+        std::size_t hot_count = 0;
+        for (remote::ShardId s = 0; s < cluster.shardCount(); s++) {
+            const std::size_t n = cluster.shardDevices(s).size();
+            if (n > hot_count) {
+                hot = s;
+                hot_count = n;
+            }
+        }
+        for (std::uint32_t i = 0; i < devices; i++) {
+            plans[i].role = cluster.shardOfDevice(i) == hot
+                ? DeviceRole::Flooder
+                : DeviceRole::Encryptor;
+            plans[i].attackStart = config.attackStart;
+        }
+        break;
+      }
+    }
+    return plans;
+}
+
+// ---------------------------------------------------------------------
+// FleetAttacker
+// ---------------------------------------------------------------------
+
+FleetAttacker::FleetAttacker(const Params &params,
+                             const attack::AttackConfig &config)
+    : Ransomware(config), params_(params)
+{
+    panicIf(params.role == DeviceRole::Benign,
+            "FleetAttacker: benign devices have no attacker");
+}
+
+const char *
+FleetAttacker::name() const
+{
+    return params_.role == DeviceRole::Flooder ? "shard-flood"
+                                               : "fleet-classic";
+}
+
+void
+FleetAttacker::begin(nvme::BlockDevice &device,
+                     const attack::VictimDataset &victim, Tick now)
+{
+    panicIf(begun_, "FleetAttacker: begin() twice");
+    begun_ = true;
+    victim_ = &victim;
+    report_.attack = name();
+    report_.startedAt = now;
+    report_.finishedAt = now;
+
+    if (params_.role == DeviceRole::Flooder) {
+        const std::uint64_t capacity = device.capacityPages();
+        floodSpan_ = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(capacity) *
+                   params_.floodSpanFraction));
+        floodBase_ = capacity - floodSpan_;
+        junk_ = std::make_unique<compress::DataGenerator>(rng_.next(),
+                                                          0.0);
+    }
+}
+
+bool
+FleetAttacker::done() const
+{
+    if (!begun_)
+        return false;
+    const bool enc_done = encIdx_ >= victim_->pages();
+    const std::uint64_t flood_total =
+        params_.role == DeviceRole::Flooder ? params_.floodPages : 0;
+    return enc_done && floodIdx_ >= flood_total;
+}
+
+void
+FleetAttacker::step(nvme::BlockDevice &device, VirtualClock &clock)
+{
+    panicIf(!begun_, "FleetAttacker: step() before begin()");
+    if (encIdx_ < victim_->pages()) {
+        encryptInPlace(device, victim_->firstLpa() + encIdx_, report_);
+        encIdx_++;
+    } else if (params_.role == DeviceRole::Flooder &&
+               floodIdx_ < params_.floodPages) {
+        const attack::Lpa lpa = floodBase_ + (floodIdx_ % floodSpan_);
+        const nvme::Completion comp =
+            device.writePage(lpa, junk_->page(device.pageSize()));
+        if (comp.ok())
+            report_.junkPagesWritten++;
+        else
+            report_.writeErrors++;
+        floodIdx_++;
+    }
+    report_.finishedAt = clock.now();
+}
+
+attack::AttackReport
+FleetAttacker::run(nvme::BlockDevice &device, VirtualClock &clock,
+                   const attack::VictimDataset &victim)
+{
+    begin(device, victim, clock.now());
+    while (!done())
+        step(device, clock);
+    return report_;
+}
+
+} // namespace rssd::fleet

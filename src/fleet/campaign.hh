@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fleet attack campaigns: which devices are infected, when each one
+ * turns, and what the malware does once it is active.
+ *
+ * The catalog composes the per-device models from attack/ into
+ * fleet-level scenarios:
+ *  - *outbreak*: every infected device starts encrypting at the same
+ *    instant (a worm detonating on a schedule).
+ *  - *staggered*: infection spreads laterally; device i turns
+ *    attackStart + i * stagger after the first.
+ *  - *shard-flood*: the fleet variant of the paper's GC attack. The
+ *    devices that consistent-hash onto the cluster's most-loaded
+ *    shard encrypt their victims and then flood junk writes, driving
+ *    that one shard's ingest queue into backpressure while the other
+ *    devices run the classic encryptor — a cross-device campaign
+ *    against shared remote capacity rather than local GC.
+ *  - *benign*: no infection (the fleet baseline).
+ *
+ * A campaign is a pure, deterministic function of (scenario, fleet
+ * size, cluster placement) — the scheduler replays it identically
+ * for a fixed seed.
+ */
+
+#ifndef RSSD_FLEET_CAMPAIGN_HH
+#define RSSD_FLEET_CAMPAIGN_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/ransomware.hh"
+#include "attack/victim.hh"
+#include "compress/datagen.hh"
+#include "remote/backup_cluster.hh"
+
+namespace rssd::fleet {
+
+enum class Scenario : std::uint8_t {
+    Benign,
+    Outbreak,
+    Staggered,
+    ShardFlood,
+};
+
+const char *scenarioName(Scenario s);
+
+/** Parse a CLI scenario name; fatal() on an unknown one. */
+Scenario scenarioByName(const std::string &name);
+
+/** What one device's malware does. */
+enum class DeviceRole : std::uint8_t {
+    Benign,    ///< not infected
+    Encryptor, ///< classic read->encrypt->overwrite
+    Flooder,   ///< encrypt, then junk-flood (shard-flood campaign)
+};
+
+const char *roleName(DeviceRole role);
+
+/** Campaign knobs. */
+struct CampaignConfig
+{
+    Scenario scenario = Scenario::Outbreak;
+
+    /** When the first device turns. */
+    Tick attackStart = 50 * units::MS;
+
+    /** Staggered: delay between successive devices turning. */
+    Tick stagger = 100 * units::MS;
+
+    /** Victim pages per infected device. */
+    std::uint32_t victimPages = 32;
+
+    /** Shard-flood: junk pages each flooder writes after encrypting. */
+    std::uint64_t floodPages = 2048;
+
+    /**
+     * Shard-flood: LBA span used for flooding (device fraction). A
+     * tight span makes the flood overwrite itself, so nearly every
+     * junk page enters the retention stream and lands on the hot
+     * shard — that is the attack.
+     */
+    double floodSpanFraction = 0.125;
+};
+
+/** One device's marching orders. */
+struct DevicePlan
+{
+    DeviceRole role = DeviceRole::Benign;
+    Tick attackStart = 0;
+};
+
+/**
+ * Resolve a campaign against a fleet of @p devices whose streams are
+ * already attached to @p cluster (shard-flood targets the placement).
+ */
+std::vector<DevicePlan> planCampaign(const CampaignConfig &config,
+                                     std::uint32_t devices,
+                                     const remote::BackupCluster &cluster);
+
+/**
+ * A Ransomware the fleet scheduler can advance one operation at a
+ * time, so N attacks interleave in virtual time. Inherits the real
+ * key-derivation/encryption machinery from attack::Ransomware; run()
+ * still works standalone (begin + step to completion).
+ */
+class FleetAttacker : public attack::Ransomware
+{
+  public:
+    struct Params
+    {
+        DeviceRole role = DeviceRole::Encryptor;
+        std::uint64_t floodPages = 0;
+        double floodSpanFraction = 0.5;
+    };
+
+    FleetAttacker(const Params &params,
+                  const attack::AttackConfig &config);
+
+    const char *name() const override;
+
+    attack::AttackReport run(nvme::BlockDevice &device,
+                             VirtualClock &clock,
+                             const attack::VictimDataset &victim)
+        override;
+
+    // -- Stepwise interface (fleet scheduler) -------------------------
+
+    /** Arm the attack against @p device / @p victim at time @p now. */
+    void begin(nvme::BlockDevice &device,
+               const attack::VictimDataset &victim, Tick now);
+
+    bool begun() const { return begun_; }
+
+    /** True once every victim page and flood page has been issued. */
+    bool done() const;
+
+    /** Issue the next attack operation at the device clock's time. */
+    void step(nvme::BlockDevice &device, VirtualClock &clock);
+
+    const attack::AttackReport &report() const { return report_; }
+
+  private:
+    Params params_;
+    const attack::VictimDataset *victim_ = nullptr;
+    std::unique_ptr<compress::DataGenerator> junk_;
+    attack::AttackReport report_;
+    std::uint64_t encIdx_ = 0;
+    std::uint64_t floodIdx_ = 0;
+    std::uint64_t floodSpan_ = 1;
+    attack::Lpa floodBase_ = 0;
+    bool begun_ = false;
+};
+
+} // namespace rssd::fleet
+
+#endif // RSSD_FLEET_CAMPAIGN_HH

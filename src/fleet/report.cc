@@ -1,0 +1,221 @@
+#include "fleet/report.hh"
+
+#include <cstdio>
+
+namespace rssd::fleet {
+namespace {
+
+/**
+ * Minimal JSON emission. Keys are emitted in call order, numbers via
+ * fixed printf formats, so the document is byte-stable for identical
+ * report contents.
+ */
+class JsonOut
+{
+  public:
+    explicit JsonOut(std::string &out) : out_(out) {}
+
+    void
+    raw(const char *s)
+    {
+        out_ += s;
+    }
+
+    void
+    key(const char *name)
+    {
+        sep();
+        out_ += '"';
+        out_ += name;
+        out_ += "\":";
+        fresh_ = true;
+    }
+
+    void
+    str(const std::string &v)
+    {
+        out_ += '"';
+        for (char c : v) {
+            if (c == '"' || c == '\\')
+                out_ += '\\';
+            if (static_cast<unsigned char>(c) >= 0x20)
+                out_ += c;
+        }
+        out_ += '"';
+        fresh_ = false; // a value ends the pair: next key needs ','
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(v));
+        out_ += buf;
+        fresh_ = false;
+    }
+
+    void
+    f64(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        out_ += buf;
+        fresh_ = false;
+    }
+
+    void
+    boolean(bool v)
+    {
+        out_ += v ? "true" : "false";
+        fresh_ = false;
+    }
+
+    void
+    open(char c)
+    {
+        out_ += c;
+        fresh_ = true;
+    }
+
+    void
+    close(char c)
+    {
+        out_ += c;
+        fresh_ = false;
+    }
+
+    /** Start an array/object element (comma management). */
+    void
+    elem()
+    {
+        sep();
+        fresh_ = true;
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (!fresh_)
+            out_ += ',';
+        fresh_ = false;
+    }
+
+    std::string &out_;
+    bool fresh_ = true;
+};
+
+void
+emitDevice(JsonOut &j, const DeviceReport &d)
+{
+    j.open('{');
+    j.key("device"); j.u64(d.device);
+    j.key("shard"); j.u64(d.shard);
+    j.key("role"); j.str(d.role);
+    j.key("attackStart"); j.u64(d.attackStart);
+    j.key("attack");
+    j.open('{');
+    j.key("name"); j.str(d.attack.attack);
+    j.key("pagesEncrypted"); j.u64(d.attack.pagesEncrypted);
+    j.key("pagesTrimmed"); j.u64(d.attack.pagesTrimmed);
+    j.key("junkPagesWritten"); j.u64(d.attack.junkPagesWritten);
+    j.key("writeErrors"); j.u64(d.attack.writeErrors);
+    j.key("startedAt"); j.u64(d.attack.startedAt);
+    j.key("finishedAt"); j.u64(d.attack.finishedAt);
+    j.close('}');
+    j.key("victimIntact"); j.f64(d.victimIntact);
+    j.key("alarms"); j.u64(d.alarms);
+    j.key("firstAlarmDetector"); j.str(d.firstAlarmDetector);
+    j.key("firstAlarmAt"); j.u64(d.firstAlarmAt);
+    j.key("benignOps"); j.u64(d.benignOps);
+    j.key("loggedWrites"); j.u64(d.rssd.loggedWrites);
+    j.key("loggedTrims"); j.u64(d.rssd.loggedTrims);
+    j.key("backpressureStalls"); j.u64(d.rssd.backpressureStalls);
+    j.key("deviceFullErrors"); j.u64(d.rssd.deviceFullErrors);
+    j.key("segmentsSealed"); j.u64(d.offload.segmentsSealed);
+    j.key("segmentsAccepted"); j.u64(d.offload.segmentsAccepted);
+    j.key("pagesOffloaded"); j.u64(d.offload.pagesOffloaded);
+    j.key("entriesOffloaded"); j.u64(d.offload.entriesOffloaded);
+    j.key("bytesRaw"); j.u64(d.offload.bytesRaw);
+    j.key("bytesSealed"); j.u64(d.offload.bytesSealed);
+    j.key("retransmits"); j.u64(d.transport.retransmits);
+    j.key("wireBytes"); j.u64(d.transport.bytesSent);
+    j.key("finishedAt"); j.u64(d.finishedAt);
+    j.close('}');
+}
+
+void
+emitShard(JsonOut &j, const ShardReport &s)
+{
+    j.open('{');
+    j.key("shard"); j.u64(s.shard);
+    j.key("devices"); j.u64(s.devices);
+    j.key("segmentsAccepted"); j.u64(s.segmentsAccepted);
+    j.key("segmentsRejected"); j.u64(s.segmentsRejected);
+    j.key("batches"); j.u64(s.batches);
+    j.key("meanBatchSegments"); j.f64(s.meanBatchSegments);
+    j.key("maxBatchFill"); j.u64(s.maxBatchFill);
+    j.key("backpressureStalls"); j.u64(s.backpressureStalls);
+    j.key("backlogP50Ns"); j.u64(s.backlogP50);
+    j.key("backlogP99Ns"); j.u64(s.backlogP99);
+    j.key("usedBytes"); j.u64(s.usedBytes);
+    j.key("capacityBytes"); j.u64(s.capacityBytes);
+    j.key("chainOk"); j.boolean(s.chainOk);
+    j.close('}');
+}
+
+} // namespace
+
+std::string
+FleetReport::toJson() const
+{
+    std::string out;
+    out.reserve(4096 + deviceReports.size() * 1024);
+    JsonOut j(out);
+
+    j.open('{');
+    j.key("fleet");
+    j.open('{');
+    j.key("devices"); j.u64(devices);
+    j.key("shards"); j.u64(shards);
+    j.key("scenario"); j.str(scenario);
+    j.key("seed"); j.u64(seed);
+    j.key("opsPerDevice"); j.u64(opsPerDevice);
+    j.close('}');
+
+    j.key("totals");
+    j.open('{');
+    j.key("pagesEncrypted"); j.u64(totalPagesEncrypted);
+    j.key("pagesTrimmed"); j.u64(totalPagesTrimmed);
+    j.key("junkPages"); j.u64(totalJunkPages);
+    j.key("alarms"); j.u64(totalAlarms);
+    j.key("segments"); j.u64(totalSegments);
+    j.key("bytesStored"); j.u64(totalBytesStored);
+    j.key("backpressureStalls"); j.u64(totalBackpressureStalls);
+    j.key("makespanNs"); j.u64(makespan);
+    j.key("allChainsOk"); j.boolean(allChainsOk);
+    j.close('}');
+
+    j.key("devices");
+    j.open('[');
+    for (const DeviceReport &d : deviceReports) {
+        j.elem();
+        emitDevice(j, d);
+    }
+    j.close(']');
+
+    j.key("shards");
+    j.open('[');
+    for (const ShardReport &s : shardReports) {
+        j.elem();
+        emitShard(j, s);
+    }
+    j.close(']');
+
+    j.close('}');
+    out += '\n';
+    return out;
+}
+
+} // namespace rssd::fleet

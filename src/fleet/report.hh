@@ -1,0 +1,103 @@
+/**
+ * @file
+ * FleetReport: the aggregate outcome of one fleet simulation —
+ * per-device attack ground truth, detector alarms and offload
+ * statistics, per-shard cluster ingest statistics, and fleet totals
+ * — rendered as JSON.
+ *
+ * Determinism contract: toJson() is a pure function of simulation
+ * state, which is itself a pure function of (config, seed). The same
+ * seed and config must produce a byte-identical JSON document; the
+ * golden test in tests/fleet/ pins one digest. Only virtual-time
+ * quantities appear — never wall-clock, pointers, or hash-map
+ * iteration order.
+ */
+
+#ifndef RSSD_FLEET_REPORT_HH
+#define RSSD_FLEET_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/ransomware.hh"
+#include "core/offload.hh"
+#include "core/rssd_device.hh"
+#include "net/transport.hh"
+#include "remote/backup_cluster.hh"
+
+namespace rssd::fleet {
+
+/** One device's slice of the fleet outcome. */
+struct DeviceReport
+{
+    std::uint32_t device = 0;
+    remote::ShardId shard = 0;
+    std::string role;
+    Tick attackStart = 0;
+
+    /** Ground truth (attack == "benign" for clean devices). */
+    attack::AttackReport attack;
+
+    /** Victim pages still intact after the campaign (no recovery). */
+    double victimIntact = 1.0;
+
+    std::uint64_t alarms = 0;
+    std::string firstAlarmDetector; ///< empty if no alarm
+    Tick firstAlarmAt = 0;
+
+    std::uint64_t benignOps = 0;
+    core::RssdStats rssd;
+    core::OffloadStats offload;
+    net::TransportStats transport;
+    Tick finishedAt = 0; ///< device virtual clock after final drain
+};
+
+/** One shard's slice of the cluster outcome. */
+struct ShardReport
+{
+    remote::ShardId shard = 0;
+    std::uint64_t devices = 0;
+    std::uint64_t segmentsAccepted = 0;
+    std::uint64_t segmentsRejected = 0;
+    std::uint64_t batches = 0;
+    double meanBatchSegments = 0.0;
+    std::uint32_t maxBatchFill = 0;
+    std::uint64_t backpressureStalls = 0;
+    Tick backlogP50 = 0;
+    Tick backlogP99 = 0;
+    std::uint64_t usedBytes = 0;
+    std::uint64_t capacityBytes = 0;
+    bool chainOk = true;
+};
+
+struct FleetReport
+{
+    // -- Config echo ----------------------------------------------------
+    std::uint32_t devices = 0;
+    std::uint32_t shards = 0;
+    std::string scenario;
+    std::uint64_t seed = 0;
+    std::uint64_t opsPerDevice = 0;
+
+    std::vector<DeviceReport> deviceReports;
+    std::vector<ShardReport> shardReports;
+
+    // -- Fleet totals ----------------------------------------------------
+    std::uint64_t totalPagesEncrypted = 0;
+    std::uint64_t totalPagesTrimmed = 0;
+    std::uint64_t totalJunkPages = 0;
+    std::uint64_t totalAlarms = 0;
+    std::uint64_t totalSegments = 0;
+    std::uint64_t totalBytesStored = 0;
+    std::uint64_t totalBackpressureStalls = 0;
+    Tick makespan = 0; ///< latest device clock at completion
+    bool allChainsOk = true;
+
+    /** Render the whole report as a stable-key-order JSON document. */
+    std::string toJson() const;
+};
+
+} // namespace rssd::fleet
+
+#endif // RSSD_FLEET_REPORT_HH

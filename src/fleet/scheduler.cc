@@ -1,0 +1,335 @@
+#include "fleet/scheduler.hh"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+#include <utility>
+
+#include "compress/datagen.hh"
+#include "detect/detector.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace rssd::fleet {
+
+/**
+ * One simulated machine: an RSSD with its own clock, link, RNG
+ * stream, benign workload, and (if the campaign says so) malware.
+ */
+struct FleetScheduler::Actor
+{
+    Actor(std::uint32_t id_, const core::RssdConfig &device_cfg,
+          remote::BackupCluster &cluster,
+          const workload::TraceProfile &profile, std::uint64_t rng_seed,
+          std::uint64_t gen_seed, std::uint64_t content_seed)
+        : id(id_),
+          portal(cluster, id_),
+          dev(std::make_unique<core::RssdDevice>(device_cfg, clock,
+                                                 portal)),
+          rng(rng_seed),
+          gen(profile, dev->capacityPages(), gen_seed),
+          contentGen(content_seed, profile.compressibility)
+    {
+    }
+
+    /** Issue one generated benign trace request. */
+    void
+    issueBenign()
+    {
+        const workload::Request r = gen.next();
+        nvme::Command cmd;
+        cmd.op = r.op;
+        cmd.lpa = r.lpa;
+        cmd.npages = r.npages;
+        if (r.op == nvme::Opcode::Write) {
+            const std::uint32_t page_size = dev->pageSize();
+            cmd.data.reserve(std::size_t(r.npages) * page_size);
+            for (std::uint32_t p = 0; p < r.npages; p++) {
+                const auto page = contentGen.page(page_size);
+                cmd.data.insert(cmd.data.end(), page.begin(),
+                                page.end());
+            }
+        }
+        dev->submit(cmd);
+        benignOps++;
+    }
+
+    std::uint32_t id;
+    VirtualClock clock;
+    remote::ClusterPortal portal;
+    std::unique_ptr<core::RssdDevice> dev;
+    Rng rng;
+    workload::TraceGenerator gen;
+    compress::DataGenerator contentGen;
+
+    std::unique_ptr<attack::VictimDataset> victim;
+    std::unique_ptr<FleetAttacker> attacker;
+    std::vector<std::unique_ptr<detect::Detector>> detectors;
+
+    std::uint64_t benignOps = 0;
+    std::uint64_t steps = 0;
+};
+
+FleetScheduler::FleetScheduler(const FleetConfig &config)
+    : config_(config)
+{
+    panicIf(config.devices == 0, "FleetScheduler: zero devices");
+    panicIf(config.shards == 0, "FleetScheduler: zero shards");
+    panicIf(config.meanOpGap == 0, "FleetScheduler: meanOpGap == 0");
+
+    remote::BackupClusterConfig cluster_cfg = config_.cluster;
+    cluster_cfg.shards = config_.shards;
+    cluster_ = std::make_unique<remote::BackupCluster>(cluster_cfg);
+
+    // Per-device seeds come off one master stream in device-id order:
+    // device k's whole behavior is independent of fleet size.
+    Rng master(config_.seed);
+
+    for (std::uint32_t id = 0; id < config_.devices; id++) {
+        const std::uint64_t rng_seed = master.next();
+        const std::uint64_t gen_seed = master.next();
+        const std::uint64_t content_seed = master.next();
+        const std::uint64_t victim_seed = master.next();
+        const std::uint64_t attack_seed = master.next();
+
+        core::RssdConfig dev_cfg = config_.device;
+        dev_cfg.keySeed = config_.device.keySeed + "#fleet-" +
+                          std::to_string(id);
+
+        auto actor = std::make_unique<Actor>(
+            id, dev_cfg, *cluster_, config_.profile, rng_seed,
+            gen_seed, content_seed);
+        cluster_->attachDevice(id, actor->dev->codec());
+
+        if (config_.attachDetectors) {
+            // Fleet-tuned entropy detector: smaller window and lower
+            // thresholds than the controller defaults, so a 32-page
+            // per-device encryption burst is visible.
+            detect::EntropyOverwriteDetector::Config ec;
+            ec.windowOps = 256;
+            ec.alarmRatio = 0.08;
+            ec.minFlagged = 12;
+            actor->detectors.push_back(
+                std::make_unique<detect::EntropyOverwriteDetector>(
+                    ec));
+            actor->detectors.push_back(
+                std::make_unique<detect::WriteBurstDetector>());
+            for (auto &d : actor->detectors)
+                actor->dev->attachDetector(d.get());
+        }
+
+        actorSeeds_.push_back({victim_seed, attack_seed});
+        actors_.push_back(std::move(actor));
+    }
+
+    plans_ = planCampaign(config_.campaign, config_.devices,
+                          *cluster_);
+
+    for (std::uint32_t id = 0; id < config_.devices; id++) {
+        const DevicePlan &plan = plans_[id];
+        if (plan.role == DeviceRole::Benign)
+            continue;
+        Actor &a = *actors_[id];
+        a.victim = std::make_unique<attack::VictimDataset>(
+            0, config_.campaign.victimPages, 0.7,
+            actorSeeds_[id].first);
+        a.victim->populate(*a.dev);
+
+        FleetAttacker::Params params;
+        params.role = plan.role;
+        params.floodPages = config_.campaign.floodPages;
+        params.floodSpanFraction = config_.campaign.floodSpanFraction;
+        attack::AttackConfig attack_cfg;
+        attack_cfg.attackerKeySeed =
+            "r4ns0m-fleet-" + std::to_string(id);
+        attack_cfg.rngSeed = actorSeeds_[id].second;
+        a.attacker =
+            std::make_unique<FleetAttacker>(params, attack_cfg);
+    }
+}
+
+FleetScheduler::~FleetScheduler() = default;
+
+std::uint32_t
+FleetScheduler::deviceCount() const
+{
+    return static_cast<std::uint32_t>(actors_.size());
+}
+
+core::RssdDevice &
+FleetScheduler::device(std::uint32_t idx)
+{
+    panicIf(idx >= actors_.size(), "FleetScheduler: device idx OOB");
+    return *actors_[idx]->dev;
+}
+
+const DevicePlan &
+FleetScheduler::plan(std::uint32_t idx) const
+{
+    panicIf(idx >= plans_.size(), "FleetScheduler: device idx OOB");
+    return plans_[idx];
+}
+
+namespace {
+
+/** Integer-jittered think time: uniform in [gap/2, 3*gap/2). */
+Tick
+thinkTime(Rng &rng, Tick mean_gap)
+{
+    return mean_gap / 2 + rng.below(mean_gap);
+}
+
+} // namespace
+
+Tick
+FleetScheduler::step(Actor &a)
+{
+    const DevicePlan &plan = plans_[a.id];
+    const bool benign_done = a.benignOps >= config_.opsPerDevice;
+    FleetAttacker *attacker = a.attacker.get();
+
+    // Benign traffic exhausted with the attack still ahead: jump to
+    // the infection time instead of spinning.
+    if (attacker && !attacker->begun() && benign_done &&
+        a.clock.now() < plan.attackStart) {
+        a.clock.advanceTo(plan.attackStart);
+    }
+
+    if (attacker && !attacker->begun() &&
+        a.clock.now() >= plan.attackStart) {
+        attacker->begin(*a.dev, *a.victim, a.clock.now());
+    }
+
+    if (attacker && attacker->begun() && !attacker->done()) {
+        attacker->step(*a.dev, a.clock);
+    } else if (!benign_done) {
+        a.issueBenign();
+    } else {
+        return 0; // everything this device had to do is done
+    }
+
+    a.steps++;
+    // Periodic offload tick: benign read phases don't pass through
+    // the write path's opportunistic pump, so give the engine a
+    // chance to seal full segments between host commands.
+    if ((a.steps & 7) == 0)
+        a.dev->pumpOffload();
+
+    return a.clock.now() + thinkTime(a.rng, config_.meanOpGap);
+}
+
+FleetReport
+FleetScheduler::run()
+{
+    panicIf(ran_, "FleetScheduler: run() twice");
+    ran_ = true;
+
+    using Event = std::pair<Tick, std::uint32_t>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        queue;
+    for (auto &actor : actors_) {
+        queue.push({actor->clock.now() +
+                        thinkTime(actor->rng, config_.meanOpGap),
+                    actor->id});
+    }
+
+    while (!queue.empty()) {
+        const auto [at, id] = queue.top();
+        queue.pop();
+        Actor &a = *actors_[id];
+        a.clock.advanceTo(at);
+        const Tick next = step(a);
+        if (next != 0)
+            queue.push({next, id});
+    }
+
+    // Ship every straggler segment (in device-id order — part of the
+    // determinism contract).
+    for (auto &actor : actors_)
+        actor->dev->drainOffload();
+
+    return aggregate();
+}
+
+FleetReport
+FleetScheduler::aggregate()
+{
+    FleetReport rep;
+    rep.devices = config_.devices;
+    rep.shards = cluster_->shardCount();
+    rep.scenario = scenarioName(config_.campaign.scenario);
+    rep.seed = config_.seed;
+    rep.opsPerDevice = config_.opsPerDevice;
+
+    for (auto &actor : actors_) {
+        Actor &a = *actor;
+        DeviceReport d;
+        d.device = a.id;
+        d.shard = cluster_->shardOfDevice(a.id);
+        d.role = roleName(plans_[a.id].role);
+        d.attackStart = plans_[a.id].role == DeviceRole::Benign
+            ? 0
+            : plans_[a.id].attackStart;
+        if (a.attacker && a.attacker->begun())
+            d.attack = a.attacker->report();
+        else
+            d.attack.attack = "benign";
+        d.victimIntact =
+            a.victim ? a.victim->intactFraction(*a.dev) : 1.0;
+
+        Tick first_at = 0;
+        for (const auto &det : a.detectors) {
+            for (const detect::Alarm &alarm : det->alarms()) {
+                d.alarms++;
+                if (d.firstAlarmDetector.empty() ||
+                    alarm.raisedAt < first_at) {
+                    first_at = alarm.raisedAt;
+                    d.firstAlarmDetector = alarm.detector;
+                }
+            }
+        }
+        d.firstAlarmAt = first_at;
+        d.benignOps = a.benignOps;
+        d.rssd = a.dev->stats();
+        d.offload = a.dev->offload().stats();
+        d.transport = a.dev->transport().stats();
+        d.finishedAt = a.clock.now();
+
+        rep.totalPagesEncrypted += d.attack.pagesEncrypted;
+        rep.totalPagesTrimmed += d.attack.pagesTrimmed;
+        rep.totalJunkPages += d.attack.junkPagesWritten;
+        rep.totalAlarms += d.alarms;
+        rep.makespan = std::max(rep.makespan, d.finishedAt);
+        rep.deviceReports.push_back(std::move(d));
+    }
+
+    for (remote::ShardId s = 0; s < cluster_->shardCount(); s++) {
+        const remote::ShardIngestStats &st = cluster_->shardStats(s);
+        const remote::BackupStore &store = cluster_->shardStore(s);
+        ShardReport sr;
+        sr.shard = s;
+        sr.devices = cluster_->shardDevices(s).size();
+        sr.segmentsAccepted = st.segmentsAccepted;
+        sr.segmentsRejected = st.segmentsRejected;
+        sr.batches = st.batches;
+        sr.meanBatchSegments = st.meanBatchSegments();
+        sr.maxBatchFill = st.maxBatchFill;
+        sr.backpressureStalls = st.backpressureStalls;
+        if (st.backlog.count() > 0) {
+            sr.backlogP50 = st.backlog.percentileNs(50);
+            sr.backlogP99 = st.backlog.percentileNs(99);
+        }
+        sr.usedBytes = store.usedBytes();
+        sr.capacityBytes = store.capacityBytes();
+        sr.chainOk = store.verifyFullChain();
+
+        rep.totalSegments += sr.segmentsAccepted;
+        rep.totalBytesStored += sr.usedBytes;
+        rep.totalBackpressureStalls += sr.backpressureStalls;
+        rep.allChainsOk = rep.allChainsOk && sr.chainOk;
+        rep.shardReports.push_back(sr);
+    }
+    return rep;
+}
+
+} // namespace rssd::fleet

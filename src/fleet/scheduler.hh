@@ -1,0 +1,113 @@
+/**
+ * @file
+ * FleetScheduler: a deterministic discrete-event simulation of many
+ * RssdDevices offloading into one sharded BackupCluster.
+ *
+ * Model. Each device is an *actor* with its own VirtualClock, RNG
+ * stream, workload generator, Ethernet link and NVMe-oE transport;
+ * the only shared state is the cluster at the far end of the wire.
+ * The scheduler keeps a single event queue of (wakeup tick, device)
+ * pairs ordered by time with device id as the tie-break, so the
+ * interleaving — and therefore every byte of the FleetReport — is a
+ * pure function of the fleet config and seed. Per-device RNG streams
+ * are drawn from one master xoshiro sequence in device-id order,
+ * which keeps device k's behavior identical no matter how many other
+ * devices run beside it.
+ *
+ * Each wakeup issues one host operation: an attack step when the
+ * device's campaign role is active, one generated trace request
+ * otherwise. Device clocks advance through their own submit paths
+ * (latency accounting), and the gap to the next wakeup is an
+ * integer-jittered think time — no floating-point time arithmetic on
+ * the event spine.
+ */
+
+#ifndef RSSD_FLEET_SCHEDULER_HH
+#define RSSD_FLEET_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rssd_config.hh"
+#include "fleet/campaign.hh"
+#include "fleet/report.hh"
+#include "remote/backup_cluster.hh"
+#include "workload/profiles.hh"
+
+namespace rssd::fleet {
+
+struct FleetConfig
+{
+    std::uint32_t devices = 8;
+    std::uint32_t shards = 2;
+    std::uint64_t seed = 1;
+
+    /** Benign trace requests per device (attack ops are extra). */
+    std::uint64_t opsPerDevice = 400;
+
+    /** Mean think time between a device's operations. */
+    Tick meanOpGap = 200 * units::US;
+
+    /** Per-device configuration template (keySeed is per-device). */
+    core::RssdConfig device = core::RssdConfig::forTests();
+
+    /** Cluster topology and ingest-queue knobs (shards overrides
+     *  cluster.shards). */
+    remote::BackupClusterConfig cluster;
+
+    /** Benign traffic shape (every device runs this profile with its
+     *  own RNG stream). */
+    workload::TraceProfile profile;
+
+    CampaignConfig campaign;
+
+    /** Attach per-device online detectors and report their alarms. */
+    bool attachDetectors = true;
+};
+
+class FleetScheduler
+{
+  public:
+    explicit FleetScheduler(const FleetConfig &config);
+    ~FleetScheduler();
+
+    FleetScheduler(const FleetScheduler &) = delete;
+    FleetScheduler &operator=(const FleetScheduler &) = delete;
+
+    /**
+     * Run the fleet to completion (all benign ops issued, all attacks
+     * finished, all offload queues drained) and aggregate the
+     * outcome. Call once.
+     */
+    FleetReport run();
+
+    remote::BackupCluster &cluster() { return *cluster_; }
+    const remote::BackupCluster &cluster() const { return *cluster_; }
+
+    std::uint32_t deviceCount() const;
+    core::RssdDevice &device(std::uint32_t idx);
+    const DevicePlan &plan(std::uint32_t idx) const;
+
+  private:
+    struct Actor;
+
+    /** One wakeup for @p actor: issue one op, return the next wakeup
+     *  tick, or 0 when the actor is finished. */
+    Tick step(Actor &actor);
+
+    FleetReport aggregate();
+
+    FleetConfig config_;
+    std::unique_ptr<remote::BackupCluster> cluster_;
+    std::vector<std::unique_ptr<Actor>> actors_;
+    std::vector<DevicePlan> plans_;
+    /** Per-device (victim seed, attacker seed), drawn at attach time
+     *  but consumed only for devices the campaign infects. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> actorSeeds_;
+    bool ran_ = false;
+};
+
+} // namespace rssd::fleet
+
+#endif // RSSD_FLEET_SCHEDULER_HH

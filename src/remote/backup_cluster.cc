@@ -1,0 +1,189 @@
+#include "remote/backup_cluster.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rssd::remote {
+
+BackupCluster::BackupCluster(const BackupClusterConfig &config)
+    : config_(config), map_(config.vnodesPerShard)
+{
+    panicIf(config.shards == 0, "BackupCluster: zero shards");
+    panicIf(config.batchSegments == 0,
+            "BackupCluster: batchSegments == 0");
+    panicIf(config.maxPending == 0, "BackupCluster: maxPending == 0");
+    for (std::uint32_t s = 0; s < config.shards; s++)
+        makeShard();
+}
+
+void
+BackupCluster::makeShard()
+{
+    const ShardId id = static_cast<ShardId>(shards_.size());
+    // The queue model charges all service time (per-segment +
+    // batch overhead); the store must not add its own on top.
+    BackupStoreConfig store_cfg = config_.shard;
+    store_cfg.processingTime = 0;
+
+    Shard sh;
+    sh.store = std::make_unique<BackupStore>(store_cfg);
+    shards_.push_back(std::move(sh));
+    map_.addShard(id);
+}
+
+ShardId
+BackupCluster::addShard()
+{
+    const ShardId id = static_cast<ShardId>(shards_.size());
+    makeShard();
+    return id;
+}
+
+BackupCluster::Shard &
+BackupCluster::shardAt(ShardId shard)
+{
+    panicIf(shard >= shards_.size(), "BackupCluster: shard id OOB");
+    return shards_[shard];
+}
+
+const BackupCluster::Shard &
+BackupCluster::shardAt(ShardId shard) const
+{
+    panicIf(shard >= shards_.size(), "BackupCluster: shard id OOB");
+    return shards_[shard];
+}
+
+ShardId
+BackupCluster::attachDevice(DeviceId device,
+                            const log::SegmentCodec &codec)
+{
+    panicIf(placement_.count(device) != 0,
+            "BackupCluster: device already attached");
+    const ShardId shard = map_.shardOf(device);
+    panicIf(shard == kNoShard, "BackupCluster: empty ring");
+
+    Shard &sh = shardAt(shard);
+    sh.store->registerStream(device, codec);
+    sh.devices.push_back(device);
+    placement_.emplace(device, shard);
+    return shard;
+}
+
+ShardId
+BackupCluster::shardOfDevice(DeviceId device) const
+{
+    auto it = placement_.find(device);
+    panicIf(it == placement_.end(),
+            "BackupCluster: device not attached");
+    return it->second;
+}
+
+bool
+BackupCluster::ingest(DeviceId device,
+                      const log::SealedSegment &segment, Tick arrive_at,
+                      Tick &ack_ready_at)
+{
+    Shard &sh = shardAt(shardOfDevice(device));
+
+    // Device clocks advance independently; clamp arrivals monotonic
+    // per shard so the queue model stays causal.
+    const Tick arrive = std::max(arrive_at, sh.lastArrive);
+    sh.lastArrive = arrive;
+
+    while (!sh.inflight.empty() && sh.inflight.front() <= arrive)
+        sh.inflight.pop_front();
+
+    // Bounded backpressure: no queue slot means the capsule is not
+    // admitted; the initiator re-offers it every retry interval and
+    // service starts on the first poll that finds a slot free. The
+    // poll quantization can land past the worker horizon, so a full
+    // queue adds real latency instead of disappearing into the FIFO.
+    Tick start = arrive;
+    if (sh.inflight.size() >= config_.maxPending) {
+        const Tick slot_free =
+            sh.inflight[sh.inflight.size() - config_.maxPending];
+        const Tick retry =
+            std::max<Tick>(1, config_.backpressureRetryDelay);
+        const Tick polls = (slot_free - arrive + retry - 1) / retry;
+        start = arrive + polls * retry;
+        sh.stats.backpressureStalls++;
+    }
+
+    // Batching: a batch closes when the worker drains or fills up;
+    // joining an open batch skips the batch overhead.
+    const bool new_batch = sh.worker.busyUntil() <= start ||
+                           sh.batchFill >= config_.batchSegments;
+    Tick cost = config_.perSegmentProcessing;
+    if (new_batch) {
+        sh.batchFill = 0;
+        sh.stats.batches++;
+        cost += config_.batchOverhead;
+    }
+    const Tick done = sh.worker.serve(start, cost);
+    sh.batchFill++;
+    sh.stats.maxBatchFill =
+        std::max(sh.stats.maxBatchFill, sh.batchFill);
+    sh.inflight.push_back(done);
+
+    Tick store_ack = 0;
+    const bool ok =
+        sh.store->ingestSegment(device, segment, done, store_ack);
+    ack_ready_at = store_ack;
+    if (ok)
+        sh.stats.segmentsAccepted++;
+    else
+        sh.stats.segmentsRejected++;
+    sh.stats.backlog.add(ack_ready_at > arrive_at
+                             ? ack_ready_at - arrive_at
+                             : 0);
+    return ok;
+}
+
+const BackupStore &
+BackupCluster::shardStore(ShardId shard) const
+{
+    return *shardAt(shard).store;
+}
+
+const ShardIngestStats &
+BackupCluster::shardStats(ShardId shard) const
+{
+    return shardAt(shard).stats;
+}
+
+const std::vector<DeviceId> &
+BackupCluster::shardDevices(ShardId shard) const
+{
+    return shardAt(shard).devices;
+}
+
+bool
+BackupCluster::verifyAll() const
+{
+    for (const Shard &sh : shards_) {
+        if (!sh.store->verifyFullChain())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+BackupCluster::totalSegments() const
+{
+    std::uint64_t n = 0;
+    for (const Shard &sh : shards_)
+        n += sh.store->segmentCount();
+    return n;
+}
+
+std::uint64_t
+BackupCluster::totalUsedBytes() const
+{
+    std::uint64_t n = 0;
+    for (const Shard &sh : shards_)
+        n += sh.store->usedBytes();
+    return n;
+}
+
+} // namespace rssd::remote

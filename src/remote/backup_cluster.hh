@@ -1,0 +1,208 @@
+/**
+ * @file
+ * BackupCluster: the fleet-scale remote end of the NVMe-oE path — M
+ * BackupStore shards behind a consistent-hash shard map, fed through
+ * per-shard ingest queues with batching and bounded backpressure.
+ *
+ * Placement: each device stream hashes onto the ring once, at
+ * attach time, and is then *pinned* — segment chains are per stream
+ * and must land on one shard to stay verifiable, so later shard
+ * additions only affect devices attached afterwards (the stickiness
+ * a real deployment gets from stream-granular data migration).
+ *
+ * Ingest model (virtual time, deterministic):
+ *  - Each shard is a serial worker (BusyResource). A segment joins
+ *    the shard's current ingest batch; a batch closes when the
+ *    worker goes idle or the batch reaches batchSegments, and every
+ *    batch pays batchOverhead once — so under backlog the effective
+ *    batch grows and the per-segment cost amortizes, exactly the
+ *    group-commit behavior of a real ingest tier.
+ *  - Backpressure is bounded: at most maxPending segments may be
+ *    queued per shard; an arrival beyond that is not admitted — the
+ *    initiator holds the capsule and re-offers it every
+ *    backpressureRetryDelay until a queue slot is free (credit-based
+ *    flow control), so service starts only on a poll that finds a
+ *    slot. Nothing is ever dropped, but a full queue genuinely
+ *    delays the segment (the re-offer can land after the worker
+ *    drained, leaving an idle gap), and the stall is visible to the
+ *    device as ack latency — which is what turns shard hotspots into
+ *    device-side offload backpressure.
+ */
+
+#ifndef RSSD_REMOTE_BACKUP_CLUSTER_HH
+#define RSSD_REMOTE_BACKUP_CLUSTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "remote/backup_store.hh"
+#include "remote/shard_map.hh"
+#include "sim/clock.hh"
+#include "sim/stats.hh"
+
+namespace rssd::remote {
+
+/** A device's identity within the cluster (also its StreamId). */
+using DeviceId = std::uint64_t;
+
+struct BackupClusterConfig
+{
+    /** Initial shard count (shard ids 0..shards-1). */
+    std::uint32_t shards = 4;
+
+    /** Ring points per shard (placement smoothness). */
+    std::uint32_t vnodesPerShard = 64;
+
+    /** Per-shard store configuration (capacity is per shard). */
+    BackupStoreConfig shard;
+
+    /** Shard-worker verify+persist time per segment. */
+    Tick perSegmentProcessing = 50 * units::US;
+
+    /** Per-batch dispatch/group-commit overhead. */
+    Tick batchOverhead = 200 * units::US;
+
+    /** Segments per ingest batch before a new batch must open. */
+    std::uint32_t batchSegments = 8;
+
+    /** Bounded backpressure: max queued segments per shard. */
+    std::uint32_t maxPending = 64;
+
+    /** Re-offer interval while the shard queue is full. */
+    Tick backpressureRetryDelay = 200 * units::US;
+};
+
+/** Per-shard ingest statistics (the FleetReport's cluster view). */
+struct ShardIngestStats
+{
+    std::uint64_t segmentsAccepted = 0;
+    std::uint64_t segmentsRejected = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t backpressureStalls = 0;
+    std::uint32_t maxBatchFill = 0;
+    LatencyHistogram backlog; ///< ack_ready - arrival, per segment
+
+    double
+    meanBatchSegments() const
+    {
+        if (batches == 0)
+            return 0.0;
+        return static_cast<double>(segmentsAccepted +
+                                   segmentsRejected) /
+               static_cast<double>(batches);
+    }
+};
+
+class BackupCluster
+{
+  public:
+    explicit BackupCluster(const BackupClusterConfig &config);
+
+    BackupCluster(const BackupCluster &) = delete;
+    BackupCluster &operator=(const BackupCluster &) = delete;
+
+    /**
+     * Register @p device's stream (keyed by its codec) on its
+     * consistent-hash shard. @return the shard the stream is pinned
+     * to.
+     */
+    ShardId attachDevice(DeviceId device,
+                         const log::SegmentCodec &codec);
+
+    /** Shard a device's stream is pinned to (panics if unattached). */
+    ShardId shardOfDevice(DeviceId device) const;
+
+    /** Where a fresh (unpinned) key would land on the current ring. */
+    ShardId placementOf(DeviceId device) const
+    {
+        return map_.shardOf(device);
+    }
+
+    /**
+     * Ingest one sealed segment from @p device.
+     * @param arrive_at     wire delivery time at the cluster
+     * @param ack_ready_at  out: when the shard finished processing
+     * @return false if the shard store rejected the segment.
+     */
+    bool ingest(DeviceId device, const log::SealedSegment &segment,
+                Tick arrive_at, Tick &ack_ready_at);
+
+    /** Grow the cluster; affects only devices attached afterwards. */
+    ShardId addShard();
+
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+    const BackupStore &shardStore(ShardId shard) const;
+    const ShardIngestStats &shardStats(ShardId shard) const;
+
+    /** Devices pinned to @p shard (attachment order). */
+    const std::vector<DeviceId> &shardDevices(ShardId shard) const;
+
+    /** verifyFullChain() across every shard. */
+    bool verifyAll() const;
+
+    std::uint64_t totalSegments() const;
+    std::uint64_t totalUsedBytes() const;
+
+    const BackupClusterConfig &config() const { return config_; }
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<BackupStore> store;
+        BusyResource worker;
+        std::deque<Tick> inflight; ///< completion times, FIFO
+        Tick lastArrive = 0;       ///< per-shard monotonic arrivals
+        std::uint32_t batchFill = 0;
+        std::vector<DeviceId> devices;
+        ShardIngestStats stats;
+    };
+
+    Shard &shardAt(ShardId shard);
+    const Shard &shardAt(ShardId shard) const;
+    void makeShard();
+
+    BackupClusterConfig config_;
+    ShardMap map_;
+    std::vector<Shard> shards_;
+    /** Pinned placements (device -> shard), attach-time snapshot. */
+    std::map<DeviceId, ShardId> placement_;
+};
+
+/**
+ * Per-device CapsuleTarget adapter: carries the device identity the
+ * wire protocol itself does not (the sealed-segment format predates
+ * the fleet and must stay byte-stable), so a device-owned
+ * NvmeOeTransport can point at a shared cluster unchanged.
+ */
+class ClusterPortal : public net::CapsuleTarget
+{
+  public:
+    ClusterPortal(BackupCluster &cluster, DeviceId device)
+        : cluster_(cluster), device_(device)
+    {
+    }
+
+    bool
+    ingestSegment(const log::SealedSegment &segment, Tick arrive_at,
+                  Tick &ack_ready_at) override
+    {
+        return cluster_.ingest(device_, segment, arrive_at,
+                               ack_ready_at);
+    }
+
+    DeviceId device() const { return device_; }
+
+  private:
+    BackupCluster &cluster_;
+    DeviceId device_;
+};
+
+} // namespace rssd::remote
+
+#endif // RSSD_REMOTE_BACKUP_CLUSTER_HH

@@ -12,57 +12,93 @@ rejectReasonName(RejectReason r)
       case RejectReason::BadAuthentication: return "bad-authentication";
       case RejectReason::ChainViolation: return "chain-violation";
       case RejectReason::CapacityExceeded: return "capacity-exceeded";
+      case RejectReason::UnknownStream: return "unknown-stream";
     }
     return "?";
 }
 
 BackupStore::BackupStore(const BackupStoreConfig &config,
                          const log::SegmentCodec &codec)
-    : config_(config), codec_(codec)
+    : config_(config)
 {
+    registerStream(kDefaultStream, codec);
+}
+
+BackupStore::BackupStore(const BackupStoreConfig &config)
+    : config_(config)
+{
+}
+
+void
+BackupStore::registerStream(StreamId stream,
+                            const log::SegmentCodec &codec)
+{
+    panicIf(streams_.count(stream) != 0,
+            "BackupStore: stream already registered");
+    streams_.emplace(stream, StreamState(codec));
+}
+
+bool
+BackupStore::hasStream(StreamId stream) const
+{
+    return streams_.count(stream) != 0;
+}
+
+bool
+BackupStore::reject(RejectReason why)
+{
+    lastReject_ = why;
+    stats_.segmentsRejected++;
+    return false;
 }
 
 bool
 BackupStore::ingestSegment(const log::SealedSegment &segment,
                            Tick arrive_at, Tick &ack_ready_at)
 {
+    return ingestSegment(kDefaultStream, segment, arrive_at,
+                         ack_ready_at);
+}
+
+bool
+BackupStore::ingestSegment(StreamId stream,
+                           const log::SealedSegment &segment,
+                           Tick arrive_at, Tick &ack_ready_at)
+{
     ack_ready_at = arrive_at + config_.processingTime;
     lastReject_ = RejectReason::None;
 
-    if (!codec_.verify(segment)) {
-        lastReject_ = RejectReason::BadAuthentication;
-        stats_.segmentsRejected++;
-        return false;
-    }
+    auto it = streams_.find(stream);
+    if (it == streams_.end())
+        return reject(RejectReason::UnknownStream);
+    StreamState &st = it->second;
 
-    // Strict ordering: the segment must extend the stored history.
-    const bool first = segments_.empty();
+    if (!st.codec.verify(segment))
+        return reject(RejectReason::BadAuthentication);
+
+    // Strict per-stream ordering: the segment must extend *this
+    // stream's* stored history.
+    const bool first = st.stored.empty();
     if (first) {
-        if (segment.prevId != log::kNoSegment) {
-            lastReject_ = RejectReason::ChainViolation;
-            stats_.segmentsRejected++;
-            return false;
-        }
+        if (segment.prevId != log::kNoSegment)
+            return reject(RejectReason::ChainViolation);
     } else {
-        if (segment.prevId != lastId_ ||
-            (haveTail_ && segment.chainAnchor != lastChainTail_)) {
-            lastReject_ = RejectReason::ChainViolation;
-            stats_.segmentsRejected++;
-            return false;
+        if (segment.prevId != st.lastId ||
+            (st.haveTail && segment.chainAnchor != st.chainTail)) {
+            return reject(RejectReason::ChainViolation);
         }
     }
 
-    if (used_ + segment.payload.size() > config_.capacityBytes) {
-        lastReject_ = RejectReason::CapacityExceeded;
-        stats_.segmentsRejected++;
-        return false;
-    }
+    if (used_ + segment.payload.size() > config_.capacityBytes)
+        return reject(RejectReason::CapacityExceeded);
 
+    st.stored.push_back(static_cast<std::uint32_t>(segments_.size()));
     segments_.push_back(segment);
+    segmentStream_.push_back(stream);
     used_ += segment.payload.size();
-    lastId_ = segment.id;
-    lastChainTail_ = segment.chainTail;
-    haveTail_ = true;
+    st.lastId = segment.id;
+    st.chainTail = segment.chainTail;
+    st.haveTail = true;
 
     stats_.segmentsAccepted++;
     stats_.bytesStored += segment.payload.size();
@@ -70,43 +106,67 @@ BackupStore::ingestSegment(const log::SealedSegment &segment,
 }
 
 const log::SealedSegment &
-BackupStore::sealedSegment(std::uint64_t id) const
+BackupStore::sealedSegment(std::uint64_t idx) const
 {
-    panicIf(id >= segments_.size(), "BackupStore: segment id OOB");
-    return segments_[id];
+    panicIf(idx >= segments_.size(), "BackupStore: segment idx OOB");
+    return segments_[idx];
+}
+
+StreamId
+BackupStore::streamOf(std::uint64_t idx) const
+{
+    panicIf(idx >= segmentStream_.size(),
+            "BackupStore: segment idx OOB");
+    return segmentStream_[idx];
+}
+
+const std::vector<std::uint32_t> &
+BackupStore::streamSegments(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    return it->second.stored;
 }
 
 log::Segment
-BackupStore::openSegment(std::uint64_t id) const
+BackupStore::openSegment(std::uint64_t idx) const
 {
-    return codec_.open(sealedSegment(id));
+    auto it = streams_.find(streamOf(idx));
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    return it->second.codec.open(sealedSegment(idx));
 }
 
 bool
 BackupStore::verifyFullChain() const
 {
-    std::uint64_t expect_prev = log::kNoSegment;
-    bool have_anchor = false;
-    crypto::Digest anchor{};
+    for (const auto &[stream, st] : streams_) {
+        (void)stream;
+        std::uint64_t expect_prev = log::kNoSegment;
+        bool have_anchor = false;
+        crypto::Digest anchor{};
 
-    for (const log::SealedSegment &sealed : segments_) {
-        if (!codec_.verify(sealed))
-            return false;
-        if (sealed.prevId != expect_prev)
-            return false;
-        const log::Segment seg = codec_.open(sealed);
-        if (have_anchor && seg.chainAnchor != anchor)
-            return false;
-        // Per-entry hash chain within the segment.
-        if (!log::OperationLog::verifyRun(seg.chainAnchor, seg.entries))
-            return false;
-        if (!seg.entries.empty() &&
-            seg.entries.back().chain != seg.chainTail) {
-            return false;
+        for (const std::uint32_t idx : st.stored) {
+            const log::SealedSegment &sealed = segments_[idx];
+            if (!st.codec.verify(sealed))
+                return false;
+            if (sealed.prevId != expect_prev)
+                return false;
+            const log::Segment seg = st.codec.open(sealed);
+            if (have_anchor && seg.chainAnchor != anchor)
+                return false;
+            // Per-entry hash chain within the segment.
+            if (!log::OperationLog::verifyRun(seg.chainAnchor,
+                                              seg.entries)) {
+                return false;
+            }
+            if (!seg.entries.empty() &&
+                seg.entries.back().chain != seg.chainTail) {
+                return false;
+            }
+            anchor = seg.chainTail;
+            have_anchor = true;
+            expect_prev = sealed.id;
         }
-        anchor = seg.chainTail;
-        have_anchor = true;
-        expect_prev = sealed.id;
     }
     return true;
 }

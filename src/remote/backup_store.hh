@@ -12,12 +12,21 @@
  * The store never deletes or rewrites a segment — ransomware that
  * owns the host OS has no path to it (hardware isolation), and even
  * the device can only append.
+ *
+ * Multiplexing: a store serves one *or many* device streams. Chain
+ * state (last segment id, chain tail) and the verification codec are
+ * kept per stream, never globally — a fleet of devices sharing one
+ * shard cannot splice segments into each other's histories, and one
+ * device's chain violation leaves every other stream ingestable. The
+ * single-device constructor registers its codec as stream 0, so the
+ * legacy one-client API is the one-stream special case.
  */
 
 #ifndef RSSD_REMOTE_BACKUP_STORE_HH
 #define RSSD_REMOTE_BACKUP_STORE_HH
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,12 +36,19 @@
 
 namespace rssd::remote {
 
+/** Identifies one device's segment stream within a shared store. */
+using StreamId = std::uint64_t;
+
+/** The stream the single-device API reads and writes. */
+constexpr StreamId kDefaultStream = 0;
+
 /** Why the most recent ingest was rejected. */
 enum class RejectReason : std::uint8_t {
     None,
     BadAuthentication, ///< HMAC or CRC mismatch
     ChainViolation,    ///< out-of-order or spliced segment
     CapacityExceeded,  ///< remote budget exhausted
+    UnknownStream,     ///< no key registered for the stream
 };
 
 const char *rejectReasonName(RejectReason r);
@@ -65,13 +81,32 @@ struct BackupStoreStats
 class BackupStore : public net::CapsuleTarget
 {
   public:
+    /** Single-device store: @p codec is registered as stream 0. */
     BackupStore(const BackupStoreConfig &config,
                 const log::SegmentCodec &codec);
 
+    /** Multi-stream store (cluster shard): starts with no streams;
+     *  every device key arrives via registerStream(). */
+    explicit BackupStore(const BackupStoreConfig &config);
+
+    /**
+     * Admit another device stream, pairing it with the codec derived
+     * from that device's key. Registration is the out-of-band key
+     * exchange of the paper's deployment model; ingest into an
+     * unregistered stream is rejected, never trusted.
+     */
+    void registerStream(StreamId stream, const log::SegmentCodec &codec);
+    bool hasStream(StreamId stream) const;
+
     // -- net::CapsuleTarget -------------------------------------------
 
+    /** Single-device path: ingest into stream 0. */
     bool ingestSegment(const log::SealedSegment &segment, Tick arrive_at,
                        Tick &ack_ready_at) override;
+
+    /** Multiplexed path: ingest into @p stream. */
+    bool ingestSegment(StreamId stream, const log::SealedSegment &segment,
+                       Tick arrive_at, Tick &ack_ready_at);
 
     // -- Recovery / analysis side ----------------------------------------
 
@@ -81,15 +116,24 @@ class BackupStore : public net::CapsuleTarget
         return segments_;
     }
 
-    /** Sealed segment by id (ids are dense from 0). */
-    const log::SealedSegment &sealedSegment(std::uint64_t id) const;
+    /** Sealed segment by storage index (dense from 0, arrival order). */
+    const log::SealedSegment &sealedSegment(std::uint64_t idx) const;
+
+    /** Stream that stored segment @p idx belongs to. */
+    StreamId streamOf(std::uint64_t idx) const;
 
     /** Open (decrypt + decompress) a stored segment. */
-    log::Segment openSegment(std::uint64_t id) const;
+    log::Segment openSegment(std::uint64_t idx) const;
+
+    std::size_t streamCount() const { return streams_.size(); }
+
+    /** Storage indices of @p stream's segments, in chain order. */
+    const std::vector<std::uint32_t> &
+    streamSegments(StreamId stream) const;
 
     /**
-     * Verify the entire stored history: every HMAC, the segment
-     * chain, and the per-entry log hash chain across segment
+     * Verify the entire stored history: every HMAC, each stream's
+     * segment chain, and the per-entry log hash chain across segment
      * boundaries. @return true iff the evidence chain is intact.
      */
     bool verifyFullChain() const;
@@ -105,13 +149,28 @@ class BackupStore : public net::CapsuleTarget
     const BackupStoreStats &stats() const { return stats_; }
 
   private:
+    /** Per-stream chain state — the fix for the former single-client
+     *  globals (one lastId/chainTail for the whole store). */
+    struct StreamState
+    {
+        log::SegmentCodec codec;
+        std::uint64_t lastId = log::kNoSegment;
+        crypto::Digest chainTail{};
+        bool haveTail = false;
+        std::vector<std::uint32_t> stored; ///< storage indices
+
+        explicit StreamState(const log::SegmentCodec &c) : codec(c) {}
+    };
+
+    bool reject(RejectReason why);
+
     BackupStoreConfig config_;
-    log::SegmentCodec codec_;
+    /** Ordered map: verifyFullChain() iterates streams
+     *  deterministically (fleet reports are byte-reproducible). */
+    std::map<StreamId, StreamState> streams_;
     std::vector<log::SealedSegment> segments_;
+    std::vector<StreamId> segmentStream_; ///< parallel to segments_
     std::uint64_t used_ = 0;
-    std::uint64_t lastId_ = log::kNoSegment;
-    crypto::Digest lastChainTail_;
-    bool haveTail_ = false;
     RejectReason lastReject_ = RejectReason::None;
     BackupStoreStats stats_;
 };

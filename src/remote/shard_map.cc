@@ -1,0 +1,76 @@
+#include "remote/shard_map.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rssd::remote {
+
+std::uint64_t
+ShardMap::mix(std::uint64_t x)
+{
+    // splitmix64 finalizer (Vigna, public domain).
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+ShardMap::ShardMap(std::uint32_t vnodes) : vnodes_(vnodes)
+{
+    panicIf(vnodes == 0, "ShardMap: vnodes == 0");
+}
+
+bool
+ShardMap::contains(ShardId shard) const
+{
+    for (const auto &[pos, owner] : ring_) {
+        (void)pos;
+        if (owner == shard)
+            return true;
+    }
+    return false;
+}
+
+void
+ShardMap::addShard(ShardId shard)
+{
+    panicIf(contains(shard), "ShardMap: shard already on ring");
+    for (std::uint32_t v = 0; v < vnodes_; v++) {
+        // Two mixing rounds decorrelate (shard, replica) pairs.
+        const std::uint64_t pos =
+            mix(mix(0xC1A5 + shard) ^ (0x51AB1ull * (v + 1)));
+        ring_.emplace_back(pos, shard);
+    }
+    std::sort(ring_.begin(), ring_.end());
+    shardCount_++;
+}
+
+void
+ShardMap::removeShard(ShardId shard)
+{
+    panicIf(!contains(shard), "ShardMap: shard not on ring");
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [shard](const auto &p) {
+                                   return p.second == shard;
+                               }),
+                ring_.end());
+    shardCount_--;
+}
+
+ShardId
+ShardMap::shardOf(std::uint64_t key) const
+{
+    if (ring_.empty())
+        return kNoShard;
+    const std::uint64_t h = mix(key ^ 0xD0D0CAFEull);
+    // First ring point at or after the key hash, wrapping at the top.
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const auto &p, std::uint64_t v) { return p.first < v; });
+    if (it == ring_.end())
+        it = ring_.begin();
+    return it->second;
+}
+
+} // namespace rssd::remote

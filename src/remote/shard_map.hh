@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Consistent-hash shard map for the sharded backup cluster.
+ *
+ * Device streams are placed on shards by hashing each shard onto a
+ * ring at several virtual points and assigning a key to the owner of
+ * the first ring point at or after the key's hash. Adding or removing
+ * one shard therefore remaps only the keys adjacent to that shard's
+ * points — every other stream keeps its placement, which is what
+ * keeps per-stream segment chains stable across cluster resizes.
+ *
+ * All hashing is the splitmix64 finalizer (no libm, no
+ * platform-dependent state), so placement is bit-identical across
+ * builds — a requirement for the fleet determinism golden test.
+ */
+
+#ifndef RSSD_REMOTE_SHARD_MAP_HH
+#define RSSD_REMOTE_SHARD_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rssd::remote {
+
+/** Dense shard identifier within a cluster. */
+using ShardId = std::uint32_t;
+
+/** Sentinel for "no shard" (empty map). */
+constexpr ShardId kNoShard = ~0u;
+
+class ShardMap
+{
+  public:
+    /**
+     * @param vnodes  ring points per shard; more points smooth the
+     *                key distribution at O(vnodes) memory per shard.
+     */
+    explicit ShardMap(std::uint32_t vnodes = 64);
+
+    /** Add @p shard to the ring. Adding twice is a programming error. */
+    void addShard(ShardId shard);
+
+    /** Remove @p shard; its keys redistribute to ring successors. */
+    void removeShard(ShardId shard);
+
+    /** Owner of @p key (kNoShard when the ring is empty). */
+    ShardId shardOf(std::uint64_t key) const;
+
+    std::size_t shardCount() const { return shardCount_; }
+    bool contains(ShardId shard) const;
+
+  private:
+    static std::uint64_t mix(std::uint64_t x);
+
+    std::uint32_t vnodes_;
+    std::size_t shardCount_ = 0;
+    /** (ring position, shard), sorted by position then shard. */
+    std::vector<std::pair<std::uint64_t, ShardId>> ring_;
+};
+
+} // namespace rssd::remote
+
+#endif // RSSD_REMOTE_SHARD_MAP_HH

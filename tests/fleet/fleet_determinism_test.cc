@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Fleet simulation tests: scenario semantics, cross-run determinism,
+ * and the golden-digest pin for the FleetReport JSON.
+ *
+ * Determinism is a hard requirement (same seed + same config =>
+ * byte-identical FleetReport). Like tests/log/seal_determinism_test,
+ * the golden digest below was captured from a known-good run; any
+ * change that perturbs event ordering, RNG consumption, JSON
+ * formatting, or aggregate arithmetic fails here rather than
+ * silently forking fleet results between PRs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "crypto/sha256.hh"
+#include "fleet/scheduler.hh"
+
+namespace rssd::fleet {
+namespace {
+
+FleetConfig
+smallFleet(Scenario scenario, std::uint64_t seed)
+{
+    FleetConfig cfg;
+    cfg.devices = 6;
+    cfg.shards = 2;
+    cfg.seed = seed;
+    cfg.opsPerDevice = 60;
+    cfg.campaign.scenario = scenario;
+    cfg.campaign.victimPages = 16;
+    cfg.campaign.floodPages = 128;
+    return cfg;
+}
+
+std::string
+jsonDigest(const FleetReport &report)
+{
+    const std::string json = report.toJson();
+    return crypto::toHex(
+        crypto::Sha256::hash(json.data(), json.size()));
+}
+
+/**
+ * Minimal recursive-descent JSON syntax checker — enough to reject
+ * missing commas/colons and unbalanced structure, so the golden
+ * digest can only ever pin a well-formed document.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s) : s_(s) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        pos_++; // '{'
+        skipWs();
+        if (peek('}'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek('}'))
+                return true;
+            if (!expect(','))
+                return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        pos_++; // '['
+        skipWs();
+        if (peek(']'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek(']'))
+                return true;
+            if (!expect(','))
+                return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        pos_++;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\')
+                pos_++;
+            pos_++;
+        }
+        return expect('"');
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E')) {
+            pos_++;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; p++) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+            pos_++;
+        }
+        return true;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+            pos_++;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+TEST(FleetSim, BenignFleetHasNoAttackTraffic)
+{
+    FleetScheduler sched(smallFleet(Scenario::Benign, 5));
+    const FleetReport rep = sched.run();
+    EXPECT_EQ(rep.totalPagesEncrypted, 0u);
+    EXPECT_EQ(rep.totalJunkPages, 0u);
+    EXPECT_TRUE(rep.allChainsOk);
+    EXPECT_GT(rep.totalSegments, 0u);
+    for (const DeviceReport &d : rep.deviceReports) {
+        EXPECT_EQ(d.role, "benign");
+        EXPECT_EQ(d.benignOps, 60u);
+        EXPECT_DOUBLE_EQ(d.victimIntact, 1.0);
+    }
+}
+
+TEST(FleetSim, OutbreakEncryptsEveryVictimEverywhere)
+{
+    FleetConfig cfg = smallFleet(Scenario::Outbreak, 7);
+    FleetScheduler sched(cfg);
+    const FleetReport rep = sched.run();
+    EXPECT_EQ(rep.totalPagesEncrypted,
+              static_cast<std::uint64_t>(cfg.devices) *
+                  cfg.campaign.victimPages);
+    EXPECT_TRUE(rep.allChainsOk);
+    for (const DeviceReport &d : rep.deviceReports) {
+        EXPECT_EQ(d.role, "encryptor");
+        EXPECT_EQ(d.attack.startedAt >= cfg.campaign.attackStart,
+                  true);
+        EXPECT_LT(d.victimIntact, 0.5); // encrypted, not recovered
+    }
+}
+
+TEST(FleetSim, StaggeredDevicesTurnInOrder)
+{
+    FleetConfig cfg = smallFleet(Scenario::Staggered, 9);
+    FleetScheduler sched(cfg);
+    const FleetReport rep = sched.run();
+    for (std::uint32_t i = 1; i < cfg.devices; i++) {
+        EXPECT_EQ(rep.deviceReports[i].attackStart -
+                      rep.deviceReports[i - 1].attackStart,
+                  cfg.campaign.stagger);
+        EXPECT_GE(rep.deviceReports[i].attack.startedAt,
+                  rep.deviceReports[i].attackStart);
+    }
+}
+
+TEST(FleetSim, ShardFloodTargetsOneShard)
+{
+    FleetConfig cfg = smallFleet(Scenario::ShardFlood, 11);
+    cfg.devices = 8;
+    FleetScheduler sched(cfg);
+    const FleetReport rep = sched.run();
+
+    // Exactly the devices on the hot shard flood; everyone else
+    // encrypts.
+    remote::ShardId hot = remote::kNoShard;
+    for (const DeviceReport &d : rep.deviceReports) {
+        if (d.role == "flooder") {
+            if (hot == remote::kNoShard)
+                hot = d.shard;
+            EXPECT_EQ(d.shard, hot);
+            EXPECT_EQ(d.attack.junkPagesWritten,
+                      cfg.campaign.floodPages);
+        } else {
+            EXPECT_EQ(d.role, "encryptor");
+            EXPECT_EQ(d.attack.junkPagesWritten, 0u);
+        }
+    }
+    ASSERT_NE(hot, remote::kNoShard);
+
+    // The flooded shard ingests more than any other shard.
+    std::uint64_t hot_segments = 0;
+    std::uint64_t cold_max = 0;
+    for (const ShardReport &s : rep.shardReports) {
+        if (s.shard == hot)
+            hot_segments = s.segmentsAccepted;
+        else
+            cold_max = std::max(cold_max, s.segmentsAccepted);
+    }
+    EXPECT_GT(hot_segments, cold_max);
+    EXPECT_TRUE(rep.allChainsOk);
+}
+
+TEST(FleetSim, DetectorsAlarmOnInfectedDevicesOnly)
+{
+    FleetConfig cfg = smallFleet(Scenario::Outbreak, 13);
+    cfg.campaign.victimPages = 32;
+    FleetScheduler sched(cfg);
+    const FleetReport rep = sched.run();
+    for (const DeviceReport &d : rep.deviceReports) {
+        EXPECT_GT(d.alarms, 0u) << "device " << d.device;
+        EXPECT_EQ(d.firstAlarmDetector, "entropy-overwrite");
+    }
+}
+
+TEST(FleetSim, ReportIsWellFormedJson)
+{
+    FleetScheduler sched(smallFleet(Scenario::ShardFlood, 21));
+    const std::string json = sched.run().toJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+
+    // The checker itself must reject the bug class it guards
+    // against (missing commas, truncation).
+    EXPECT_FALSE(JsonChecker("{\"a\":1\"b\":2}").valid());
+    EXPECT_FALSE(JsonChecker("{\"a\":1,").valid());
+    EXPECT_FALSE(JsonChecker("[1 2]").valid());
+    EXPECT_TRUE(JsonChecker(
+                    "{\"a\":[1,2],\"b\":{\"c\":true,\"d\":\"x\"}}")
+                    .valid());
+}
+
+TEST(FleetSim, SameSeedSameBytes)
+{
+    const FleetConfig cfg = smallFleet(Scenario::Outbreak, 7);
+    FleetScheduler a(cfg);
+    FleetScheduler b(cfg);
+    EXPECT_EQ(a.run().toJson(), b.run().toJson());
+}
+
+TEST(FleetSim, DifferentSeedDifferentBytes)
+{
+    FleetScheduler a(smallFleet(Scenario::Outbreak, 7));
+    FleetScheduler b(smallFleet(Scenario::Outbreak, 8));
+    EXPECT_NE(a.run().toJson(), b.run().toJson());
+}
+
+TEST(FleetSim, GoldenReportDigest)
+{
+    // The acceptance configuration: 16 devices -> 4 shards, outbreak,
+    // seed 7 (the rssd_fleet CLI's smoke run shares scenario/seed).
+    FleetConfig cfg;
+    cfg.devices = 16;
+    cfg.shards = 4;
+    cfg.seed = 7;
+    cfg.opsPerDevice = 40;
+    cfg.campaign.scenario = Scenario::Outbreak;
+    cfg.campaign.victimPages = 16;
+
+    FleetScheduler sched(cfg);
+    const std::string digest = jsonDigest(sched.run());
+    EXPECT_EQ(digest,
+              "622082411ba46243b5f22be2a7afd0813db8cfaf2ff61a828c3"
+              "b4439009ca02e");
+}
+
+} // namespace
+} // namespace rssd::fleet

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ShardMap tests: placement determinism, distribution quality, and —
+ * the property consistent hashing exists for — bounded remapping
+ * when a shard is added or removed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "remote/shard_map.hh"
+
+namespace rssd::remote {
+namespace {
+
+ShardMap
+mapWithShards(std::uint32_t n, std::uint32_t vnodes = 64)
+{
+    ShardMap map(vnodes);
+    for (ShardId s = 0; s < n; s++)
+        map.addShard(s);
+    return map;
+}
+
+TEST(ShardMap, EmptyRingHasNoOwner)
+{
+    ShardMap map;
+    EXPECT_EQ(map.shardOf(123), kNoShard);
+    EXPECT_EQ(map.shardCount(), 0u);
+}
+
+TEST(ShardMap, SingleShardOwnsEverything)
+{
+    ShardMap map = mapWithShards(1);
+    for (std::uint64_t key = 0; key < 100; key++)
+        EXPECT_EQ(map.shardOf(key), 0u);
+}
+
+TEST(ShardMap, PlacementIsDeterministic)
+{
+    ShardMap a = mapWithShards(5);
+    ShardMap b = mapWithShards(5);
+    for (std::uint64_t key = 0; key < 1000; key++)
+        EXPECT_EQ(a.shardOf(key), b.shardOf(key));
+}
+
+TEST(ShardMap, DistributionCoversAllShards)
+{
+    const std::uint32_t shards = 8;
+    ShardMap map = mapWithShards(shards);
+    std::map<ShardId, std::uint64_t> counts;
+    const std::uint64_t keys = 8000;
+    for (std::uint64_t key = 0; key < keys; key++)
+        counts[map.shardOf(key)]++;
+
+    ASSERT_EQ(counts.size(), shards);
+    // With 64 vnodes the load factor stays within a loose band —
+    // no shard should see less than a third or more than triple the
+    // fair share.
+    const double fair = static_cast<double>(keys) / shards;
+    for (const auto &[shard, n] : counts) {
+        EXPECT_GT(n, fair / 3) << "shard " << shard << " starved";
+        EXPECT_LT(n, fair * 3) << "shard " << shard << " overloaded";
+    }
+}
+
+TEST(ShardMap, AddShardRemapsOnlyToNewShard)
+{
+    const std::uint64_t keys = 4000;
+    ShardMap map = mapWithShards(4);
+    std::vector<ShardId> before(keys);
+    for (std::uint64_t key = 0; key < keys; key++)
+        before[key] = map.shardOf(key);
+
+    map.addShard(4);
+
+    std::uint64_t moved = 0;
+    for (std::uint64_t key = 0; key < keys; key++) {
+        const ShardId now = map.shardOf(key);
+        if (now != before[key]) {
+            // A key may only move *to* the new shard, never between
+            // pre-existing shards.
+            EXPECT_EQ(now, 4u) << "key " << key;
+            moved++;
+        }
+    }
+    // Expected share of the new shard is keys/5; allow wide slack
+    // but insist remapping is neither empty nor wholesale.
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(moved, keys / 2);
+}
+
+TEST(ShardMap, RemoveShardRemapsOnlyItsKeys)
+{
+    const std::uint64_t keys = 4000;
+    ShardMap map = mapWithShards(4);
+    std::vector<ShardId> before(keys);
+    for (std::uint64_t key = 0; key < keys; key++)
+        before[key] = map.shardOf(key);
+
+    map.removeShard(2);
+
+    for (std::uint64_t key = 0; key < keys; key++) {
+        const ShardId now = map.shardOf(key);
+        if (before[key] != 2) {
+            // Keys not on the removed shard must not move at all.
+            EXPECT_EQ(now, before[key]) << "key " << key;
+        } else {
+            EXPECT_NE(now, 2u) << "key " << key;
+        }
+    }
+    EXPECT_EQ(map.shardCount(), 3u);
+}
+
+TEST(ShardMap, AddThenRemoveRestoresPlacement)
+{
+    const std::uint64_t keys = 2000;
+    ShardMap map = mapWithShards(3);
+    std::vector<ShardId> before(keys);
+    for (std::uint64_t key = 0; key < keys; key++)
+        before[key] = map.shardOf(key);
+
+    map.addShard(3);
+    map.removeShard(3);
+
+    for (std::uint64_t key = 0; key < keys; key++)
+        EXPECT_EQ(map.shardOf(key), before[key]);
+}
+
+} // namespace
+} // namespace rssd::remote

@@ -9,6 +9,7 @@
 #include "remote/backup_store.hh"
 
 #include "sim/rng.hh"
+#include "tests/common/segment_chain.hh"
 
 namespace rssd::remote {
 namespace {
@@ -200,6 +201,115 @@ TEST_F(StoreTest, RejectReasonNames)
                  "chain-violation");
     EXPECT_STREQ(rejectReasonName(RejectReason::CapacityExceeded),
                  "capacity-exceeded");
+    EXPECT_STREQ(rejectReasonName(RejectReason::UnknownStream),
+                 "unknown-stream");
+}
+
+// ---------------------------------------------------------------------
+// Multi-stream (fleet) semantics: chain state and codecs are per
+// stream, never store-global.
+// ---------------------------------------------------------------------
+
+class MultiStreamStoreTest : public ::testing::Test
+{
+  protected:
+    MultiStreamStoreTest()
+        : store_(config()),
+          chainA_("device-a-key", 1),
+          chainB_("device-b-key", 2)
+    {
+        store_.registerStream(10, chainA_.codec());
+        store_.registerStream(20, chainB_.codec());
+    }
+
+    static BackupStoreConfig
+    config()
+    {
+        BackupStoreConfig cfg;
+        cfg.capacityBytes = 8 * units::MiB;
+        return cfg;
+    }
+
+    BackupStore store_;
+    test::SegmentChain chainA_;
+    test::SegmentChain chainB_;
+};
+
+TEST_F(MultiStreamStoreTest, InterleavedStreamsBothVerify)
+{
+    Tick ack = 0;
+    for (int i = 0; i < 4; i++) {
+        EXPECT_TRUE(store_.ingestSegment(10, chainA_.next(), i, ack));
+        EXPECT_TRUE(store_.ingestSegment(20, chainB_.next(), i, ack));
+    }
+    EXPECT_EQ(store_.segmentCount(), 8u);
+    EXPECT_EQ(store_.streamSegments(10).size(), 4u);
+    EXPECT_EQ(store_.streamSegments(20).size(), 4u);
+    EXPECT_TRUE(store_.verifyFullChain());
+}
+
+TEST_F(MultiStreamStoreTest, StreamsCannotSpliceIntoEachOther)
+{
+    Tick ack = 0;
+    ASSERT_TRUE(store_.ingestSegment(10, chainA_.next(), 0, ack));
+    // A's next segment is valid *for stream 10*; stream 20 rejects
+    // it (wrong key), and B's own chain keeps working afterwards.
+    EXPECT_FALSE(store_.ingestSegment(20, chainA_.next(), 0, ack));
+    EXPECT_EQ(store_.lastRejectReason(),
+              RejectReason::BadAuthentication);
+    EXPECT_TRUE(store_.ingestSegment(20, chainB_.next(), 0, ack));
+    EXPECT_TRUE(store_.verifyFullChain());
+}
+
+TEST_F(MultiStreamStoreTest, ChainViolationIsPerStream)
+{
+    Tick ack = 0;
+    ASSERT_TRUE(store_.ingestSegment(10, chainA_.next(), 0, ack));
+    const auto skipped = chainA_.next();
+    (void)skipped; // lost on the wire: A's chain now has a gap
+    EXPECT_FALSE(store_.ingestSegment(10, chainA_.next(), 0, ack));
+    EXPECT_EQ(store_.lastRejectReason(), RejectReason::ChainViolation);
+
+    // B is unaffected by A's violation.
+    EXPECT_TRUE(store_.ingestSegment(20, chainB_.next(), 0, ack));
+    EXPECT_TRUE(store_.ingestSegment(20, chainB_.next(), 0, ack));
+    EXPECT_TRUE(store_.verifyFullChain());
+}
+
+TEST_F(MultiStreamStoreTest, UnknownStreamRejected)
+{
+    Tick ack = 0;
+    EXPECT_FALSE(store_.ingestSegment(99, chainA_.next(), 0, ack));
+    EXPECT_EQ(store_.lastRejectReason(), RejectReason::UnknownStream);
+}
+
+TEST_F(MultiStreamStoreTest, OpenSegmentUsesStreamCodec)
+{
+    Tick ack = 0;
+    ASSERT_TRUE(
+        store_.ingestSegment(10, chainA_.next(2, 64), 0, ack));
+    ASSERT_TRUE(
+        store_.ingestSegment(20, chainB_.next(5, 32), 0, ack));
+    EXPECT_EQ(store_.streamOf(0), 10u);
+    EXPECT_EQ(store_.streamOf(1), 20u);
+    EXPECT_EQ(store_.openSegment(0).entries.size(), 2u);
+    EXPECT_EQ(store_.openSegment(1).entries.size(), 5u);
+}
+
+TEST_F(MultiStreamStoreTest, CapacityBudgetIsShared)
+{
+    Tick ack = 0;
+    bool rejected = false;
+    for (int i = 0; i < 100 && !rejected; i++) {
+        test::SegmentChain &c = i % 2 ? chainA_ : chainB_;
+        const StreamId stream = i % 2 ? 10 : 20;
+        rejected = !store_.ingestSegment(stream, c.next(1, 512 * 1024),
+                                         0, ack);
+    }
+    EXPECT_TRUE(rejected);
+    EXPECT_EQ(store_.lastRejectReason(),
+              RejectReason::CapacityExceeded);
+    EXPECT_LE(store_.usedBytes(), store_.capacityBytes());
 }
 
 } // namespace
