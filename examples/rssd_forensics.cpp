@@ -1,0 +1,168 @@
+/**
+ * @file
+ * rssd_forensics: run a fleet campaign, then run the cluster-side
+ * forensics pipeline where the evidence lives — verify every stream's
+ * chain, identify the compromised devices and patient zero,
+ * reconstruct the spread, classify the campaign, plan and execute
+ * recovery — and emit the deterministic ForensicsReport.
+ *
+ *   build/examples/rssd_forensics --devices 16 --shards 4 \
+ *       --scenario outbreak --seed 7 [--ops 400] [--json report.json] \
+ *       [--check]
+ *
+ * --check makes the exit code assert the forensics conclusions
+ * against the campaign ground truth (patient zero, infection order,
+ * campaign class) — the CI smoke job runs with it.
+ *
+ * Determinism: the same flags (and RSSD_SMOKE setting) produce a
+ * byte-identical report; CI byte-compares two runs.
+ *
+ * RSSD_SMOKE=1 divides the per-device benign op count and the
+ * shard-flood volume by 10 so the ctest/CI smoke entry finishes in
+ * seconds.
+ */
+
+#include <cstdio>
+
+#include "examples/argparse.hh"
+#include "fleet/scheduler.hh"
+#include "sim/stats.hh"
+
+using namespace rssd;
+
+namespace {
+
+const char *kUsage =
+    "rssd_forensics [--devices N] [--shards M] [--scenario "
+    "benign|outbreak|staggered|shard-flood] [--seed S] [--ops N] "
+    "[--json PATH] [--check]";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    examples::ArgParser args(argc, argv);
+    const bool smoke = std::getenv("RSSD_SMOKE") != nullptr;
+
+    fleet::FleetConfig cfg;
+    cfg.devices =
+        static_cast<std::uint32_t>(args.u64("--devices", 16));
+    cfg.shards = static_cast<std::uint32_t>(args.u64("--shards", 4));
+    cfg.seed = args.u64("--seed", 7);
+    cfg.opsPerDevice = args.u64("--ops", 400);
+    cfg.campaign.scenario =
+        fleet::scenarioByName(args.str("--scenario", "outbreak"));
+    const std::string json_path = args.str("--json", "");
+    const bool check = args.flag("--check");
+    args.finish(kUsage);
+
+    if (smoke) {
+        cfg.opsPerDevice = std::max<std::uint64_t>(
+            1, cfg.opsPerDevice / 10);
+        cfg.campaign.floodPages = std::max<std::uint64_t>(
+            1, cfg.campaign.floodPages / 10);
+        // Shrink the flood *span* with the flood volume: the attack
+        // signature (junk overwriting junk) needs the flood to wrap
+        // its span, and a 10x-smaller flood over the full span would
+        // never overwrite — smoke must scale the shape, not break it.
+        cfg.campaign.floodSpanFraction /= 10.0;
+    }
+
+    std::printf("rssd_forensics: campaign \"%s\" over %u devices -> "
+                "%u shards, seed %llu%s\n",
+                fleet::scenarioName(cfg.campaign.scenario),
+                cfg.devices, cfg.shards,
+                static_cast<unsigned long long>(cfg.seed),
+                smoke ? " [RSSD_SMOKE]" : "");
+
+    fleet::FleetScheduler sched(cfg);
+    sched.run();
+    const forensics::ForensicsReport report = sched.runForensics();
+
+    std::printf("\nevidence: %llu segments (%s) across %llu shards; "
+                "scan verified %llu segments / %llu entries (%s)\n",
+                static_cast<unsigned long long>(report.totalSegments),
+                formatBytes(report.totalBytesStored).c_str(),
+                static_cast<unsigned long long>(report.shards),
+                static_cast<unsigned long long>(
+                    report.lastPass.segmentsVerified),
+                static_cast<unsigned long long>(
+                    report.lastPass.entriesReplayed),
+                formatBytes(report.lastPass.bytesVerified).c_str());
+
+    std::printf("\n%-7s %-6s %-6s %9s %12s %11s %6s\n", "device",
+                "shard", "chain", "detected", "implicated",
+                "recoverySeq", "flood");
+    for (const forensics::DeviceFinding &f :
+         report.correlation.findings) {
+        std::printf("%-7llu %-6u %-6s %9s %12llu %11llu %6s\n",
+                    static_cast<unsigned long long>(f.device),
+                    f.shard, f.chainIntact ? "ok" : "BROKEN",
+                    f.finding.detected ? "yes" : "no",
+                    static_cast<unsigned long long>(
+                        f.finding.implicatedOps),
+                    static_cast<unsigned long long>(
+                        f.finding.recommendedRecoverySeq),
+                    f.floodSuspect ? "yes" : "no");
+    }
+
+    const forensics::Correlation &c = report.correlation;
+    std::printf("\ncampaign classified: %s (truth: %s)\n",
+                forensics::campaignClassName(c.campaignClass),
+                report.truth.scenario.c_str());
+    if (c.anyDetected) {
+        std::printf("patient zero: device %llu (truth: %llu) — %s\n",
+                    static_cast<unsigned long long>(c.patientZero),
+                    static_cast<unsigned long long>(
+                        report.truth.patientZero),
+                    report.patientZeroMatch ? "match" : "MISMATCH");
+        std::printf("infection order:");
+        for (const forensics::DeviceId d : c.infectionOrder)
+            std::printf(" %llu", static_cast<unsigned long long>(d));
+        std::printf(" — %s\n", report.infectionOrderMatch
+                                   ? "match"
+                                   : "MISMATCH");
+    }
+
+    for (const forensics::RestorePlan &p : report.plans) {
+        std::printf("plan %-26s makespan %-10s mean completion %s\n",
+                    forensics::planPolicyName(p.policy),
+                    formatTime(p.makespan).c_str(),
+                    formatTime(p.meanCompletion).c_str());
+    }
+
+    std::uint64_t restored = 0;
+    double worst_after = 1.0;
+    for (const forensics::RecoveryOutcome &r : report.recovery) {
+        restored += r.pagesRestored;
+        worst_after = std::min(worst_after, r.victimIntactAfter);
+    }
+    std::printf("recovery executed: %zu devices, %llu pages "
+                "restored, worst victim intact after: %.0f%%\n",
+                report.recovery.size(),
+                static_cast<unsigned long long>(restored),
+                worst_after * 100);
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot open " + json_path);
+        const std::string json = report.toJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("ForensicsReport written to %s\n",
+                    json_path.c_str());
+    }
+
+    if (check) {
+        const bool ok = report.patientZeroMatch &&
+                        report.infectionOrderMatch &&
+                        report.campaignClassMatch;
+        if (!ok)
+            std::printf("--check FAILED: forensics conclusions "
+                        "disagree with campaign ground truth\n");
+        return ok ? 0 : 1;
+    }
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/analyzer.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace rssd::core {
 
@@ -11,7 +12,7 @@ PostAttackAnalyzer::PostAttackAnalyzer(DeviceHistory &history,
 }
 
 detect::IoEvent
-PostAttackAnalyzer::eventFor(const log::LogEntry &entry) const
+eventFromEntry(const log::LogEntry &entry, float prev_entropy)
 {
     detect::IoEvent ev;
     switch (entry.op) {
@@ -30,10 +31,106 @@ PostAttackAnalyzer::eventFor(const log::LogEntry &entry) const
     ev.seq = entry.logSeq;
     ev.entropy = entry.entropy;
     ev.overwrite = entry.prevDataSeq != log::kNoDataSeq;
-    ev.prevEntropy = ev.overwrite
-        ? history_.entropyOf(entry.prevDataSeq)
-        : detect::kNoEntropy;
+    ev.prevEntropy =
+        ev.overwrite ? prev_entropy : detect::kNoEntropy;
     return ev;
+}
+
+detect::IoEvent
+PostAttackAnalyzer::eventFor(const log::LogEntry &entry) const
+{
+    return eventFromEntry(entry,
+                          entry.prevDataSeq != log::kNoDataSeq
+                              ? history_.entropyOf(entry.prevDataSeq)
+                              : detect::kNoEntropy);
+}
+
+AttackFinding
+scanEntries(const std::vector<log::LogEntry> &entries,
+            const OfflineScanConfig &config, OfflineScanStats *stats)
+{
+    AttackFinding finding;
+    if (entries.empty())
+        return finding;
+    const std::uint64_t base = entries.front().logSeq;
+
+    // 1. Offline detection over the whole history. The entropy of a
+    //    superseded version is accumulated as the scan passes its
+    //    Write entry — that entry always precedes the overwrite in
+    //    log order, so this matches the whole-history index a
+    //    DeviceHistory would have built.
+    detect::CumulativeEntropyAuditor auditor(config.auditor);
+    std::unordered_map<std::uint64_t, float> entropy_by_seq;
+    for (const log::LogEntry &e : entries) {
+        float prev_entropy = detect::kNoEntropy;
+        if (e.prevDataSeq != log::kNoDataSeq) {
+            const auto it = entropy_by_seq.find(e.prevDataSeq);
+            if (it != entropy_by_seq.end())
+                prev_entropy = it->second;
+        }
+        const detect::IoEvent ev = eventFromEntry(e, prev_entropy);
+        auditor.observe(ev);
+        if (stats && ev.kind == detect::EventKind::Write &&
+            ev.overwrite &&
+            ev.entropy >= config.auditor.highEntropy &&
+            ev.prevEntropy >= config.auditor.highEntropy) {
+            stats->highOverHighWrites++;
+        }
+        if (e.op == log::OpKind::Write)
+            entropy_by_seq[e.dataSeq] = e.entropy;
+    }
+
+    // 2. Trim-burst rule (trimming-attack signature): the auditor is
+    //    blind to TRIMs, so scan for dense trim runs separately.
+    std::uint64_t trim_first = ~0ull, trim_last = 0;
+    std::size_t trim_total = 0;
+    {
+        std::vector<std::uint32_t> trims;
+        for (std::uint32_t i = 0; i < entries.size(); i++) {
+            if (entries[i].op == log::OpKind::Trim)
+                trims.push_back(i);
+        }
+        for (std::size_t i = 0;
+             i + config.trimBurstCount <= trims.size(); i++) {
+            const Tick span =
+                entries[trims[i + config.trimBurstCount - 1]]
+                    .timestamp -
+                entries[trims[i]].timestamp;
+            if (span <= config.trimBurstWindow) {
+                trim_first = std::min<std::uint64_t>(
+                    trim_first, entries[trims[i]].logSeq);
+                trim_last = std::max<std::uint64_t>(
+                    trim_last, entries[trims.back()].logSeq);
+                trim_total = trims.size();
+                break;
+            }
+        }
+    }
+
+    // 3. Attack window from the implicated operations (either rule).
+    const auto &seqs = auditor.implicatedSeqs();
+    const bool entropy_hit = auditor.alarmed() && !seqs.empty();
+    const bool trim_hit = trim_first != ~0ull;
+    if (entropy_hit || trim_hit) {
+        finding.detected = true;
+        finding.firstSuspectSeq =
+            entropy_hit ? seqs.front() : trim_first;
+        finding.lastSuspectSeq = entropy_hit ? seqs.back() : trim_last;
+        if (entropy_hit && trim_hit) {
+            finding.firstSuspectSeq =
+                std::min<std::uint64_t>(seqs.front(), trim_first);
+            finding.lastSuspectSeq =
+                std::max<std::uint64_t>(seqs.back(), trim_last);
+        }
+        finding.implicatedOps =
+            (entropy_hit ? seqs.size() : 0) + trim_total;
+        finding.attackStart =
+            entries[finding.firstSuspectSeq - base].timestamp;
+        finding.attackEnd =
+            entries[finding.lastSuspectSeq - base].timestamp;
+        finding.recommendedRecoverySeq = finding.firstSuspectSeq;
+    }
+    return finding;
 }
 
 AnalysisReport
@@ -50,61 +147,9 @@ PostAttackAnalyzer::analyze()
     //    broken.
     report.chainIntact = history_.verifyEvidenceChain();
 
-    // 2. Offline detection over the whole history.
-    detect::CumulativeEntropyAuditor auditor(config_.auditor);
-    for (const log::LogEntry &e : history_.entries())
-        auditor.observe(eventFor(e));
-
-    // 3. Trim-burst rule (trimming-attack signature): the auditor is
-    //    blind to TRIMs, so scan for dense trim runs separately.
-    std::uint64_t trim_first = ~0ull, trim_last = 0;
-    std::size_t trim_total = 0;
-    {
-        std::vector<std::uint32_t> trims;
-        const auto &entries = history_.entries();
-        for (std::uint32_t i = 0; i < entries.size(); i++) {
-            if (entries[i].op == log::OpKind::Trim)
-                trims.push_back(i);
-        }
-        for (std::size_t i = 0;
-             i + config_.trimBurstCount <= trims.size(); i++) {
-            const Tick span =
-                entries[trims[i + config_.trimBurstCount - 1]]
-                    .timestamp -
-                entries[trims[i]].timestamp;
-            if (span <= config_.trimBurstWindow) {
-                trim_first = std::min<std::uint64_t>(
-                    trim_first, entries[trims[i]].logSeq);
-                trim_last = std::max<std::uint64_t>(
-                    trim_last, entries[trims.back()].logSeq);
-                trim_total = trims.size();
-                break;
-            }
-        }
-    }
-
-    // 4. Attack window from the implicated operations (either rule).
-    const auto &seqs = auditor.implicatedSeqs();
-    const bool entropy_hit = auditor.alarmed() && !seqs.empty();
-    const bool trim_hit = trim_first != ~0ull;
-    if (entropy_hit || trim_hit) {
-        AttackFinding &f = report.finding;
-        f.detected = true;
-        f.firstSuspectSeq = entropy_hit ? seqs.front() : trim_first;
-        f.lastSuspectSeq = entropy_hit ? seqs.back() : trim_last;
-        if (entropy_hit && trim_hit) {
-            f.firstSuspectSeq =
-                std::min<std::uint64_t>(seqs.front(), trim_first);
-            f.lastSuspectSeq =
-                std::max<std::uint64_t>(seqs.back(), trim_last);
-        }
-        f.implicatedOps =
-            (entropy_hit ? seqs.size() : 0) + trim_total;
-        f.attackStart =
-            history_.entries()[f.firstSuspectSeq].timestamp;
-        f.attackEnd = history_.entries()[f.lastSuspectSeq].timestamp;
-        f.recommendedRecoverySeq = f.firstSuspectSeq;
-    }
+    // 2-4. Offline detection + attack window (shared with the
+    //      cluster-side forensics pipeline).
+    report.finding = scanEntries(history_.entries(), config_.scan);
 
     // 5. Cost model: per-entry server CPU (fetch already charged by
     //    DeviceHistory).

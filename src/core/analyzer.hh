@@ -41,6 +41,51 @@ struct AttackFinding
     std::uint64_t recommendedRecoverySeq = 0;
 };
 
+/**
+ * Knobs for the offline detection pass over an entry stream. Shared
+ * by the single-device PostAttackAnalyzer and the cluster-side
+ * forensics subsystem (src/forensics/), so the two can never drift
+ * on what "the offline detectors" means.
+ */
+struct OfflineScanConfig
+{
+    detect::CumulativeEntropyAuditor::Config auditor;
+    /** Trim-burst rule: this many trims within the window is a
+     *  trimming-attack signature. */
+    std::size_t trimBurstCount = 64;
+    Tick trimBurstWindow = 60 * units::SEC;
+};
+
+/** Evidence statistics a scan gathers beyond the finding itself. */
+struct OfflineScanStats
+{
+    /** High-entropy overwrites of already-high-entropy data (junk
+     *  churning junk — the shard-flood signature; encryption is
+     *  high-over-*low* and counts toward the finding instead). */
+    std::uint64_t highOverHighWrites = 0;
+};
+
+/**
+ * Convert one log entry into a detector event. @p prev_entropy is
+ * the entropy of the version this entry superseded (ignored unless
+ * the entry is an overwrite).
+ */
+detect::IoEvent eventFromEntry(const log::LogEntry &entry,
+                               float prev_entropy);
+
+/**
+ * Replay @p entries (one device's operation history, oldest first,
+ * logSeq ascending) through the offline detectors and derive the
+ * attack finding: the cumulative entropy auditor plus the trim-burst
+ * rule, with the recommended recovery point just before the first
+ * implicated operation. Pure function of the entries — needs no
+ * device, so it runs equally on a DeviceHistory or on evidence
+ * streamed out of a remote shard.
+ */
+AttackFinding scanEntries(const std::vector<log::LogEntry> &entries,
+                          const OfflineScanConfig &config,
+                          OfflineScanStats *stats = nullptr);
+
 /** Full analysis output. */
 struct AnalysisReport
 {
@@ -60,11 +105,8 @@ class PostAttackAnalyzer
   public:
     struct Config
     {
-        detect::CumulativeEntropyAuditor::Config auditor;
-        /** Trim-burst rule: this many trims within the window is a
-         *  trimming-attack signature. */
-        std::size_t trimBurstCount = 64;
-        Tick trimBurstWindow = 60 * units::SEC;
+        /** Offline detection knobs (shared with forensics). */
+        OfflineScanConfig scan;
         /** Server-side processing cost per log entry. */
         Tick perEntryCpu = 80 * units::NS;
     };

@@ -2,20 +2,44 @@
 
 #include <algorithm>
 
+#include "log/chain_verify.hh"
+
 namespace rssd::core {
 
 DeviceHistory::DeviceHistory(RssdDevice &device)
     : device_(device)
 {
-    remote::BackupStore &store = device.backupStore();
+    build(device.backupStore(), remote::kDefaultStream);
+}
+
+DeviceHistory::DeviceHistory(RssdDevice &device,
+                             const remote::BackupStore &store,
+                             remote::StreamId stream)
+    : device_(device)
+{
+    build(store, stream);
+}
+
+void
+DeviceHistory::build(const remote::BackupStore &store,
+                     remote::StreamId stream)
+{
+    store_ = &store;
+    stream_ = stream;
+    RssdDevice &device = device_;
     VirtualClock &clock = device.clock();
 
-    // Fetch every sealed segment back over the server->device
-    // direction of the link, in order, then open locally.
+    // Fetch this device's sealed segments back over the
+    // server->device direction of the link, in chain order, then
+    // open locally. (In a shared shard store only the device's own
+    // stream is fetched — other tenants' evidence is neither needed
+    // nor decryptable with this device's key.)
+    const std::vector<std::uint32_t> &stored =
+        store.streamSegments(stream);
     Tick t = clock.now();
-    segments_.reserve(store.segmentCount());
-    for (std::uint64_t id = 0; id < store.segmentCount(); id++) {
-        const log::SealedSegment &sealed = store.sealedSegment(id);
+    segments_.reserve(stored.size());
+    for (const std::uint32_t idx : stored) {
+        const log::SealedSegment &sealed = store.sealedSegment(idx);
         t = device.link().rx().transmit(sealed.wireSize(), t);
         cost_.segmentsFetched++;
         cost_.bytesFetched += sealed.wireSize();
@@ -93,9 +117,17 @@ DeviceHistory::indexEntry(std::uint32_t idx)
 bool
 DeviceHistory::verifyEvidenceChain() const
 {
-    // 1. Remote side: HMACs, segment ordering, per-entry chain.
-    if (!device_.backupStore().verifyFullChain())
-        return false;
+    // 1. Remote side: HMACs, segment ordering, per-entry chain of
+    //    this device's stream (shared verification core — the same
+    //    rules the store enforced at ingest and the forensics
+    //    scanner replays shard-side).
+    log::SegmentChainVerifier verifier;
+    for (const std::uint32_t idx : store_->streamSegments(stream_)) {
+        if (!verifier.verifyNext(store_->sealedSegment(idx),
+                                 device_.codec())) {
+            return false;
+        }
+    }
 
     // 2. Local tail chain.
     if (!device_.opLog().verifyHeldChain())

@@ -53,9 +53,20 @@ class DeviceHistory
   public:
     /**
      * Build the merged history at the current simulated time.
-     * Fetches (and keeps open) every remote segment.
+     * Fetches (and keeps open) every remote segment. Single-device
+     * mode: the device owns its in-process BackupStore.
      */
     explicit DeviceHistory(RssdDevice &device);
+
+    /**
+     * Fleet mode: the device's stream lives in a shared (cluster
+     * shard) store. Fetches the segments of @p stream from @p store
+     * over the device's link; the rest of the merge is identical.
+     * This is what lets RecoveryEngine restore a fleet device from
+     * its shard after a campaign.
+     */
+    DeviceHistory(RssdDevice &device, const remote::BackupStore &store,
+                  remote::StreamId stream);
 
     /** All log entries, oldest first, remote then local tail. */
     const std::vector<log::LogEntry> &entries() const
@@ -88,9 +99,13 @@ class DeviceHistory
     const RssdDevice &device() const { return device_; }
 
   private:
+    void build(const remote::BackupStore &store,
+               remote::StreamId stream);
     void indexEntry(std::uint32_t idx);
 
     RssdDevice &device_;
+    const remote::BackupStore *store_ = nullptr;
+    remote::StreamId stream_ = remote::kDefaultStream;
     std::vector<log::Segment> segments_; ///< opened remote segments
     std::vector<log::LogEntry> entries_;
     std::unordered_map<std::uint64_t, VersionRecord> versions_;

@@ -1,113 +1,14 @@
 #include "fleet/report.hh"
 
-#include <cstdio>
+#include "sim/json.hh"
 
 namespace rssd::fleet {
 namespace {
 
-/**
- * Minimal JSON emission. Keys are emitted in call order, numbers via
- * fixed printf formats, so the document is byte-stable for identical
- * report contents.
- */
-class JsonOut
-{
-  public:
-    explicit JsonOut(std::string &out) : out_(out) {}
-
-    void
-    raw(const char *s)
-    {
-        out_ += s;
-    }
-
-    void
-    key(const char *name)
-    {
-        sep();
-        out_ += '"';
-        out_ += name;
-        out_ += "\":";
-        fresh_ = true;
-    }
-
-    void
-    str(const std::string &v)
-    {
-        out_ += '"';
-        for (char c : v) {
-            if (c == '"' || c == '\\')
-                out_ += '\\';
-            if (static_cast<unsigned char>(c) >= 0x20)
-                out_ += c;
-        }
-        out_ += '"';
-        fresh_ = false; // a value ends the pair: next key needs ','
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%llu",
-                      static_cast<unsigned long long>(v));
-        out_ += buf;
-        fresh_ = false;
-    }
-
-    void
-    f64(double v)
-    {
-        char buf[40];
-        std::snprintf(buf, sizeof buf, "%.17g", v);
-        out_ += buf;
-        fresh_ = false;
-    }
-
-    void
-    boolean(bool v)
-    {
-        out_ += v ? "true" : "false";
-        fresh_ = false;
-    }
-
-    void
-    open(char c)
-    {
-        out_ += c;
-        fresh_ = true;
-    }
-
-    void
-    close(char c)
-    {
-        out_ += c;
-        fresh_ = false;
-    }
-
-    /** Start an array/object element (comma management). */
-    void
-    elem()
-    {
-        sep();
-        fresh_ = true;
-    }
-
-  private:
-    void
-    sep()
-    {
-        if (!fresh_)
-            out_ += ',';
-        fresh_ = false;
-    }
-
-    std::string &out_;
-    bool fresh_ = true;
-};
+using sim::JsonWriter;
 
 void
-emitDevice(JsonOut &j, const DeviceReport &d)
+emitDevice(JsonWriter &j, const DeviceReport &d)
 {
     j.open('{');
     j.key("device"); j.u64(d.device);
@@ -146,7 +47,7 @@ emitDevice(JsonOut &j, const DeviceReport &d)
 }
 
 void
-emitShard(JsonOut &j, const ShardReport &s)
+emitShard(JsonWriter &j, const ShardReport &s)
 {
     j.open('{');
     j.key("shard"); j.u64(s.shard);
@@ -172,9 +73,10 @@ FleetReport::toJson() const
 {
     std::string out;
     out.reserve(4096 + deviceReports.size() * 1024);
-    JsonOut j(out);
+    JsonWriter j(out);
 
     j.open('{');
+    j.key("schema"); j.u64(kFleetReportSchema);
     j.key("fleet");
     j.open('{');
     j.key("devices"); j.u64(devices);

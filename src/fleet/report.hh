@@ -28,6 +28,19 @@
 
 namespace rssd::fleet {
 
+/**
+ * FleetReport JSON schema version. Bump ONLY when the document
+ * layout changes (new/renamed/removed keys or reordered sections) —
+ * every bump invalidates the golden digest pinned in
+ * tests/fleet/fleet_determinism_test.cc, which is the point: digest
+ * changes must be deliberate and documented, never accidental.
+ *
+ * History:
+ *   1 — PR 3: initial FleetReport (no schema field).
+ *   2 — PR 4: "schema" field added; emitted via sim::JsonWriter.
+ */
+constexpr std::uint64_t kFleetReportSchema = 2;
+
 /** One device's slice of the fleet outcome. */
 struct DeviceReport
 {

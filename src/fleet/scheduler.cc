@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "compress/datagen.hh"
+#include "core/history.hh"
+#include "core/recovery.hh"
 #include "detect/detector.hh"
 #include "sim/logging.hh"
 #include "workload/generator.hh"
@@ -249,6 +251,79 @@ FleetScheduler::run()
         actor->dev->drainOffload();
 
     return aggregate();
+}
+
+forensics::GroundTruth
+FleetScheduler::groundTruth() const
+{
+    forensics::GroundTruth truth;
+    truth.known = true;
+    truth.scenario = scenarioName(config_.campaign.scenario);
+
+    // Infected devices by *actual* attack begin time (the plan's
+    // attackStart is when the malware was armed; the evidence can
+    // only ever see the first operation it issued).
+    std::vector<std::pair<Tick, remote::DeviceId>> infected;
+    for (const auto &actor : actors_) {
+        const FleetAttacker *attacker = actor->attacker.get();
+        if (attacker && attacker->begun())
+            infected.push_back(
+                {attacker->report().startedAt, actor->id});
+    }
+    std::sort(infected.begin(), infected.end());
+    truth.anyInfected = !infected.empty();
+    for (const auto &[at, id] : infected) {
+        (void)at;
+        truth.infectionOrder.push_back(id);
+    }
+    if (truth.anyInfected)
+        truth.patientZero = truth.infectionOrder.front();
+    return truth;
+}
+
+forensics::ForensicsReport
+FleetScheduler::runForensics(const forensics::ForensicsConfig &config)
+{
+    panicIf(!ran_, "FleetScheduler: runForensics() before run()");
+    if (!scanner_) {
+        scanner_ =
+            std::make_unique<forensics::EvidenceScanner>(*cluster_);
+    }
+    forensics::ForensicsReport report =
+        forensics::analyzeCluster(*scanner_, config, groundTruth());
+
+    // Execute the plan: restore every compromised (and still
+    // trustworthy) device to its recommended recovery point from
+    // the shard holding its stream. Device-id order — part of the
+    // determinism contract.
+    for (const forensics::DeviceFinding &f :
+         report.correlation.findings) {
+        if (!f.finding.detected || !f.chainIntact)
+            continue;
+        Actor &a = *actors_[static_cast<std::uint32_t>(f.device)];
+
+        forensics::RecoveryOutcome outcome;
+        outcome.device = f.device;
+        outcome.recoverySeq = f.finding.recommendedRecoverySeq;
+        outcome.victimIntactBefore =
+            a.victim ? a.victim->intactFraction(*a.dev) : 1.0;
+
+        const remote::BackupStore &store = cluster_->shardStore(
+            cluster_->shardOfDevice(f.device));
+        core::DeviceHistory history(*a.dev, store, f.device);
+        core::RecoveryEngine engine(history);
+        const core::RecoveryReport rec =
+            engine.recoverToLogSeq(outcome.recoverySeq);
+
+        outcome.pagesRestored = rec.pagesRestored;
+        outcome.restoredFromRemote = rec.restoredFromRemote;
+        outcome.unresolved = rec.unresolved;
+        outcome.victimIntactAfter =
+            a.victim ? a.victim->intactFraction(*a.dev) : 1.0;
+        report.recovery.push_back(outcome);
+    }
+    report.recoveryExecuted = true;
+    return report;
 }
 
 FleetReport

@@ -32,6 +32,7 @@
 #include "core/rssd_config.hh"
 #include "fleet/campaign.hh"
 #include "fleet/report.hh"
+#include "forensics/forensics.hh"
 #include "remote/backup_cluster.hh"
 #include "workload/profiles.hh"
 
@@ -85,6 +86,25 @@ class FleetScheduler
     remote::BackupCluster &cluster() { return *cluster_; }
     const remote::BackupCluster &cluster() const { return *cluster_; }
 
+    /**
+     * Post-campaign analysis hook: run the cluster-side forensics
+     * pipeline over the evidence this fleet offloaded, then execute
+     * the recovery plan against the still-live devices (restoring
+     * each compromised device to its recommended recovery point
+     * from its shard). Requires run() to have completed. Repeated
+     * calls reuse the scanner's verified-prefix cache, so a second
+     * pass after more evidence arrives is O(new).
+     */
+    forensics::ForensicsReport
+    runForensics(const forensics::ForensicsConfig &config = {});
+
+    /**
+     * The campaign's ground truth — which devices actually turned,
+     * when, and who was first. Exported for scoring the forensics
+     * conclusions; the analysis itself never reads it.
+     */
+    forensics::GroundTruth groundTruth() const;
+
     std::uint32_t deviceCount() const;
     core::RssdDevice &device(std::uint32_t idx);
     const DevicePlan &plan(std::uint32_t idx) const;
@@ -100,6 +120,9 @@ class FleetScheduler
 
     FleetConfig config_;
     std::unique_ptr<remote::BackupCluster> cluster_;
+    /** Lazily created by runForensics(); kept so repeated analysis
+     *  passes resume from the verified prefix. */
+    std::unique_ptr<forensics::EvidenceScanner> scanner_;
     std::vector<std::unique_ptr<Actor>> actors_;
     std::vector<DevicePlan> plans_;
     /** Per-device (victim seed, attacker seed), drawn at attach time

@@ -1,0 +1,59 @@
+#include "forensics/forensics.hh"
+
+namespace rssd::forensics {
+
+ForensicsReport
+analyzeCluster(EvidenceScanner &scanner, const ForensicsConfig &config,
+               const GroundTruth &truth)
+{
+    ForensicsReport report;
+
+    // 1. Evidence ingestion (incremental past the verified prefix).
+    scanner.scan();
+    const remote::BackupCluster &cluster = scanner.cluster();
+    report.devices = scanner.devices().size();
+    report.shards = cluster.shardCount();
+    report.totalSegments = cluster.totalSegments();
+    report.totalBytesStored = cluster.totalUsedBytes();
+    report.scanPasses = scanner.passes();
+    report.lastPass = scanner.lastPass();
+    report.totalCost = scanner.total();
+
+    // 2. Cross-device correlation.
+    report.correlation = correlate(scanner, config.correlation);
+
+    // 3. Recovery planning for every compromised (and still
+    //    trustworthy) device, under both policies.
+    std::vector<RestoreJob> jobs;
+    for (const DeviceFinding &f : report.correlation.findings) {
+        if (!f.finding.detected || !f.chainIntact)
+            continue;
+        RestoreJob job;
+        job.device = f.device;
+        job.shard = f.shard;
+        job.bytes = scanner.evidence(f.device).bytesVerified;
+        job.damage = f.finding.implicatedOps;
+        job.recoverySeq = f.finding.recommendedRecoverySeq;
+        jobs.push_back(job);
+    }
+    report.plans.push_back(planRestores(
+        jobs, PlanPolicy::GreedyMostDamagedFirst, config.planner));
+    report.plans.push_back(
+        planRestores(jobs, PlanPolicy::FairShare, config.planner));
+
+    // 4. Scorecard (only when the campaign's truth is known).
+    report.truth = truth;
+    if (truth.known) {
+        const Correlation &c = report.correlation;
+        report.patientZeroMatch = truth.anyInfected == c.anyDetected &&
+                                  (!truth.anyInfected ||
+                                   truth.patientZero == c.patientZero);
+        report.infectionOrderMatch =
+            truth.infectionOrder == c.infectionOrder;
+        report.campaignClassMatch =
+            truth.scenario == campaignClassName(c.campaignClass);
+    }
+    return report;
+}
+
+} // namespace rssd::forensics

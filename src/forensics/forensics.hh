@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The forensics pipeline driver: one call that takes a scanner over
+ * a backup cluster through evidence ingestion (incremental), cross-
+ * device correlation, and recovery planning, and assembles the
+ * ForensicsReport.
+ *
+ * Recovery *execution* is deliberately not here — it needs the
+ * devices themselves (a RecoveryEngine writes restored pages back),
+ * which only the fleet layer holds; FleetScheduler::runForensics()
+ * wraps this driver and then executes the plan against its actors.
+ */
+
+#ifndef RSSD_FORENSICS_FORENSICS_HH
+#define RSSD_FORENSICS_FORENSICS_HH
+
+#include "forensics/report.hh"
+
+namespace rssd::forensics {
+
+struct ForensicsConfig
+{
+    CorrelationConfig correlation;
+    PlannerConfig planner;
+};
+
+/**
+ * Run one analysis pass over @p scanner's cluster: scan (verifying
+ * only segments appended since the scanner's previous pass),
+ * correlate, plan restores under both policies, and score against
+ * @p truth when it is known. The scanner keeps its verified-prefix
+ * cache across calls, so calling this again after new evidence
+ * arrives costs O(new).
+ */
+ForensicsReport analyzeCluster(EvidenceScanner &scanner,
+                               const ForensicsConfig &config,
+                               const GroundTruth &truth = {});
+
+} // namespace rssd::forensics
+
+#endif // RSSD_FORENSICS_FORENSICS_HH

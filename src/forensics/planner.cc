@@ -1,0 +1,135 @@
+#include "forensics/planner.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace rssd::forensics {
+
+const char *
+planPolicyName(PlanPolicy p)
+{
+    switch (p) {
+      case PlanPolicy::GreedyMostDamagedFirst:
+        return "greedy-most-damaged-first";
+      case PlanPolicy::FairShare:
+        return "fair-share";
+    }
+    return "?";
+}
+
+namespace {
+
+Tick
+transferTime(unsigned __int128 bytes, std::uint64_t bw)
+{
+    // 128-bit intermediate: bytes * SEC wraps a uint64 past
+    // ~17 GiB, and multi-terabyte restore jobs are legitimate.
+    // Round up: a restore is complete only when the last byte is in.
+    return static_cast<Tick>((bytes * units::SEC + bw - 1) / bw);
+}
+
+void
+scheduleGreedy(std::vector<const RestoreJob *> &shard_jobs,
+               std::uint64_t bw,
+               std::map<DeviceId, ScheduledRestore> &out)
+{
+    std::sort(shard_jobs.begin(), shard_jobs.end(),
+              [](const RestoreJob *a, const RestoreJob *b) {
+                  if (a->damage != b->damage)
+                      return a->damage > b->damage;
+                  return a->device < b->device;
+              });
+    Tick t = 0;
+    for (const RestoreJob *j : shard_jobs) {
+        ScheduledRestore r;
+        r.device = j->device;
+        r.shard = j->shard;
+        r.bytes = j->bytes;
+        r.startAt = t;
+        t += transferTime(j->bytes, bw);
+        r.finishAt = t;
+        out.emplace(j->device, r);
+    }
+}
+
+void
+scheduleFairShare(std::vector<const RestoreJob *> &shard_jobs,
+                  std::uint64_t bw,
+                  std::map<DeviceId, ScheduledRestore> &out)
+{
+    // Processor sharing: all jobs progress at bw / active. The k-th
+    // smallest job finishes after the interval in which (n - k + 1)
+    // jobs shared the bandwidth — classic shortest-first telescoping.
+    std::sort(shard_jobs.begin(), shard_jobs.end(),
+              [](const RestoreJob *a, const RestoreJob *b) {
+                  if (a->bytes != b->bytes)
+                      return a->bytes < b->bytes;
+                  return a->device < b->device;
+              });
+    const std::size_t n = shard_jobs.size();
+    Tick t = 0;
+    std::uint64_t prev = 0;
+    for (std::size_t k = 0; k < n; k++) {
+        const RestoreJob *j = shard_jobs[k];
+        const std::uint64_t delta = j->bytes - prev;
+        const std::uint64_t active = n - k;
+        t += transferTime(
+            static_cast<unsigned __int128>(delta) * active, bw);
+        prev = j->bytes;
+
+        ScheduledRestore r;
+        r.device = j->device;
+        r.shard = j->shard;
+        r.bytes = j->bytes;
+        r.startAt = 0; // everyone starts together
+        r.finishAt = t;
+        out.emplace(j->device, r);
+    }
+}
+
+} // namespace
+
+RestorePlan
+planRestores(const std::vector<RestoreJob> &jobs, PlanPolicy policy,
+             const PlannerConfig &config)
+{
+    panicIf(config.shardBandwidthBytesPerSec == 0,
+            "planRestores: zero shard bandwidth");
+
+    RestorePlan plan;
+    plan.policy = policy;
+
+    std::map<remote::ShardId, std::vector<const RestoreJob *>>
+        by_shard;
+    for (const RestoreJob &j : jobs)
+        by_shard[j.shard].push_back(&j);
+
+    std::map<DeviceId, ScheduledRestore> scheduled;
+    for (auto &[shard, shard_jobs] : by_shard) {
+        (void)shard;
+        if (policy == PlanPolicy::GreedyMostDamagedFirst)
+            scheduleGreedy(shard_jobs,
+                           config.shardBandwidthBytesPerSec,
+                           scheduled);
+        else
+            scheduleFairShare(shard_jobs,
+                              config.shardBandwidthBytesPerSec,
+                              scheduled);
+    }
+
+    std::uint64_t sum = 0;
+    for (const auto &[device, r] : scheduled) {
+        (void)device;
+        plan.makespan = std::max(plan.makespan, r.finishAt);
+        sum += r.finishAt;
+        plan.restores.push_back(r);
+    }
+    if (!plan.restores.empty())
+        plan.meanCompletion =
+            static_cast<Tick>(sum / plan.restores.size());
+    return plan;
+}
+
+} // namespace rssd::forensics

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fleet recovery planner: schedule the restores of every compromised
+ * device under a modeled per-shard bandwidth budget.
+ *
+ * A restore job fetches the device's remote history back out of its
+ * pinned shard, so concurrent restores of same-shard devices contend
+ * for that shard's read bandwidth while different shards restore in
+ * parallel. Two policies, both reported so operators can compare:
+ *
+ *  - greedy-most-damaged-first: per shard, fully serialize jobs in
+ *    decreasing damage order — the worst-hit device is back first,
+ *    and total bandwidth is never split (best worst-case single
+ *    restore, unfair tail).
+ *  - fair-share: per shard, all pending jobs progress at an equal
+ *    share of the bandwidth (processor sharing) — small restores
+ *    finish early, the tail is the same makespan, completion times
+ *    are egalitarian.
+ *
+ * Deterministic: integer tick arithmetic only, ties by device id.
+ */
+
+#ifndef RSSD_FORENSICS_PLANNER_HH
+#define RSSD_FORENSICS_PLANNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "forensics/evidence.hh"
+
+namespace rssd::forensics {
+
+struct PlannerConfig
+{
+    /** Modeled restore read bandwidth per shard. */
+    std::uint64_t shardBandwidthBytesPerSec = 400ull * units::MiB;
+};
+
+enum class PlanPolicy : std::uint8_t {
+    GreedyMostDamagedFirst,
+    FairShare,
+};
+
+const char *planPolicyName(PlanPolicy p);
+
+/** One device restore to schedule. */
+struct RestoreJob
+{
+    DeviceId device = 0;
+    remote::ShardId shard = 0;
+    std::uint64_t bytes = 0;  ///< evidence bytes to stream back
+    std::uint64_t damage = 0; ///< implicated ops (priority metric)
+    std::uint64_t recoverySeq = 0;
+};
+
+/** One scheduled restore in a plan. */
+struct ScheduledRestore
+{
+    DeviceId device = 0;
+    remote::ShardId shard = 0;
+    std::uint64_t bytes = 0;
+    Tick startAt = 0;  ///< 0 under fair-share (all start together)
+    Tick finishAt = 0;
+};
+
+struct RestorePlan
+{
+    PlanPolicy policy = PlanPolicy::GreedyMostDamagedFirst;
+    std::vector<ScheduledRestore> restores; ///< device-id order
+    Tick makespan = 0;
+    Tick meanCompletion = 0; ///< integer mean of finishAt
+};
+
+/** Schedule @p jobs under @p policy. Pure and deterministic. */
+RestorePlan planRestores(const std::vector<RestoreJob> &jobs,
+                         PlanPolicy policy,
+                         const PlannerConfig &config);
+
+} // namespace rssd::forensics
+
+#endif // RSSD_FORENSICS_PLANNER_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ForensicsReport: the complete output of a cluster-side forensics
+ * pass — evidence verification costs, per-device findings, the
+ * cross-device correlation (patient zero, infection order, campaign
+ * class), both recovery plans, the executed recovery outcomes (when
+ * the devices were reachable), and the ground-truth scorecard (when
+ * a campaign's truth is known).
+ *
+ * Determinism contract: toJson() is a pure function of report
+ * contents and must yield byte-identical documents for identical
+ * state — the same golden-digest discipline as fleet::FleetReport
+ * (tests/forensics/ pins one digest; CI byte-compares two runs).
+ */
+
+#ifndef RSSD_FORENSICS_REPORT_HH
+#define RSSD_FORENSICS_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "forensics/correlate.hh"
+#include "forensics/planner.hh"
+
+namespace rssd::forensics {
+
+/**
+ * ForensicsReport JSON schema version. Bump ONLY on layout changes;
+ * every bump invalidates the golden digest in tests/forensics/ —
+ * deliberate and documented, never accidental.
+ *
+ * History:
+ *   1 — PR 4: initial ForensicsReport.
+ */
+constexpr std::uint64_t kForensicsReportSchema = 1;
+
+/**
+ * What actually generated the evidence (exported by the fleet
+ * layer). Only the scorecard reads this — conclusions are always
+ * reached from the evidence alone.
+ */
+struct GroundTruth
+{
+    bool known = false;
+    std::string scenario;
+    bool anyInfected = false;
+    DeviceId patientZero = 0; ///< valid iff anyInfected
+    /** Infected devices by actual attack begin time (ties by id). */
+    std::vector<DeviceId> infectionOrder;
+};
+
+/** Outcome of one executed device restore. */
+struct RecoveryOutcome
+{
+    DeviceId device = 0;
+    std::uint64_t recoverySeq = 0;
+    std::uint64_t pagesRestored = 0;
+    std::uint64_t restoredFromRemote = 0;
+    std::uint64_t unresolved = 0;
+    double victimIntactBefore = 1.0;
+    double victimIntactAfter = 1.0;
+};
+
+struct ForensicsReport
+{
+    // -- Evidence source --------------------------------------------------
+    std::uint64_t devices = 0;
+    std::uint64_t shards = 0;
+    std::uint64_t totalSegments = 0;
+    std::uint64_t totalBytesStored = 0;
+
+    // -- Scan cost model --------------------------------------------------
+    std::uint64_t scanPasses = 0;
+    ScanPassCost lastPass;
+    ScanPassCost totalCost;
+
+    // -- Findings and correlation ----------------------------------------
+    Correlation correlation;
+
+    // -- Recovery planning ------------------------------------------------
+    std::vector<RestorePlan> plans; ///< one per policy, fixed order
+
+    // -- Executed recovery (empty when only planning) ---------------------
+    bool recoveryExecuted = false;
+    std::vector<RecoveryOutcome> recovery; ///< device-id order
+
+    // -- Scorecard --------------------------------------------------------
+    GroundTruth truth;
+    bool patientZeroMatch = false;
+    bool infectionOrderMatch = false;
+    bool campaignClassMatch = false;
+
+    /** Render as a stable-key-order JSON document. */
+    std::string toJson() const;
+};
+
+} // namespace rssd::forensics
+
+#endif // RSSD_FORENSICS_REPORT_HH

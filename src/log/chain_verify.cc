@@ -1,0 +1,62 @@
+#include "log/chain_verify.hh"
+
+namespace rssd::log {
+
+const char *
+chainFaultName(ChainFault f)
+{
+    switch (f) {
+      case ChainFault::None: return "none";
+      case ChainFault::BadAuthentication: return "bad-authentication";
+      case ChainFault::BrokenOrder: return "broken-order";
+      case ChainFault::BrokenAnchor: return "broken-anchor";
+      case ChainFault::BrokenEntryChain: return "broken-entry-chain";
+    }
+    return "?";
+}
+
+bool
+SegmentChainVerifier::verifyNext(const SealedSegment &sealed,
+                                 const SegmentCodec &codec,
+                                 Segment *opened_out)
+{
+    fault_ = ChainFault::None;
+
+    if (!codec.verify(sealed)) {
+        fault_ = ChainFault::BadAuthentication;
+        return false;
+    }
+    if (sealed.prevId != expectPrev_) {
+        fault_ = ChainFault::BrokenOrder;
+        return false;
+    }
+
+    Segment seg = codec.open(sealed);
+    if (haveTail_ && seg.chainAnchor != tail_) {
+        fault_ = ChainFault::BrokenAnchor;
+        return false;
+    }
+    // Per-entry hash chain within the segment, and the advertised
+    // tail must be the digest of the last entry.
+    if (!OperationLog::verifyRun(seg.chainAnchor, seg.entries)) {
+        fault_ = ChainFault::BrokenEntryChain;
+        return false;
+    }
+    if (!seg.entries.empty() &&
+        seg.entries.back().chain != seg.chainTail) {
+        fault_ = ChainFault::BrokenEntryChain;
+        return false;
+    }
+
+    expectPrev_ = sealed.id;
+    tail_ = seg.chainTail;
+    haveTail_ = true;
+    count_++;
+    bytes_ += sealed.wireSize();
+    entries_ += seg.entries.size();
+    if (opened_out)
+        *opened_out = std::move(seg);
+    return true;
+}
+
+} // namespace rssd::log

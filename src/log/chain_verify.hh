@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Incremental verification of a sealed-segment chain — the one
+ * implementation of the trust check everything else builds on.
+ *
+ * A verifier consumes one stream's sealed segments in storage order
+ * and checks, per segment:
+ *   - HMAC authenticity under the stream's codec,
+ *   - segment ordering (prevId must name the last verified segment),
+ *   - chain-anchor continuity (chainAnchor extends the previous
+ *     segment's chainTail),
+ *   - the per-entry hash chain inside the segment, and that the last
+ *     entry's digest equals the advertised chainTail.
+ *
+ * The verifier is *resumable*: its state after segment k is exactly
+ * what is needed to verify segment k+1, so a caller that keeps the
+ * verifier alive pays only for new segments when more evidence
+ * arrives — the O(new) re-analysis property the cluster-side
+ * forensics subsystem is built on. BackupStore::verifyFullChain()
+ * and the forensics evidence scanner share this class; there is no
+ * second copy of the chain rules to drift.
+ */
+
+#ifndef RSSD_LOG_CHAIN_VERIFY_HH
+#define RSSD_LOG_CHAIN_VERIFY_HH
+
+#include <cstdint>
+
+#include "log/segment.hh"
+
+namespace rssd::log {
+
+/** Why the most recent verifyNext() failed. */
+enum class ChainFault : std::uint8_t {
+    None,
+    BadAuthentication, ///< HMAC or CRC mismatch
+    BrokenOrder,       ///< prevId does not name the last segment
+    BrokenAnchor,      ///< chainAnchor does not extend the last tail
+    BrokenEntryChain,  ///< per-entry hash chain does not re-derive
+};
+
+const char *chainFaultName(ChainFault f);
+
+class SegmentChainVerifier
+{
+  public:
+    /**
+     * Verify the next sealed segment of the stream. On success the
+     * verifier advances (and @p opened_out, if non-null, receives
+     * the decrypted segment); on failure the verifier state is
+     * unchanged and fault() says why. Once a segment fails, the
+     * suffix from that point is untrusted — callers typically stop.
+     */
+    bool verifyNext(const SealedSegment &sealed,
+                    const SegmentCodec &codec,
+                    Segment *opened_out = nullptr);
+
+    /** Segments verified so far. */
+    std::uint64_t segmentsVerified() const { return count_; }
+
+    /** Payload + header bytes verified so far. */
+    std::uint64_t bytesVerified() const { return bytes_; }
+
+    /** Log entries whose hash chain re-derived so far. */
+    std::uint64_t entriesVerified() const { return entries_; }
+
+    ChainFault fault() const { return fault_; }
+
+    /** Chain digest the next segment's anchor must extend (only
+     *  meaningful once segmentsVerified() > 0). */
+    const crypto::Digest &chainTail() const { return tail_; }
+
+  private:
+    std::uint64_t expectPrev_ = kNoSegment;
+    crypto::Digest tail_{};
+    bool haveTail_ = false;
+    std::uint64_t count_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t entries_ = 0;
+    ChainFault fault_ = ChainFault::None;
+};
+
+} // namespace rssd::log
+
+#endif // RSSD_LOG_CHAIN_VERIFY_HH

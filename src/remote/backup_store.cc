@@ -136,36 +136,35 @@ BackupStore::openSegment(std::uint64_t idx) const
     return it->second.codec.open(sealedSegment(idx));
 }
 
+std::vector<StreamId>
+BackupStore::streamIds() const
+{
+    std::vector<StreamId> ids;
+    ids.reserve(streams_.size());
+    for (const auto &[stream, st] : streams_) {
+        (void)st;
+        ids.push_back(stream);
+    }
+    return ids;
+}
+
+const log::SegmentCodec &
+BackupStore::streamCodec(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    return it->second.codec;
+}
+
 bool
 BackupStore::verifyFullChain() const
 {
     for (const auto &[stream, st] : streams_) {
         (void)stream;
-        std::uint64_t expect_prev = log::kNoSegment;
-        bool have_anchor = false;
-        crypto::Digest anchor{};
-
+        log::SegmentChainVerifier verifier;
         for (const std::uint32_t idx : st.stored) {
-            const log::SealedSegment &sealed = segments_[idx];
-            if (!st.codec.verify(sealed))
+            if (!verifier.verifyNext(segments_[idx], st.codec))
                 return false;
-            if (sealed.prevId != expect_prev)
-                return false;
-            const log::Segment seg = st.codec.open(sealed);
-            if (have_anchor && seg.chainAnchor != anchor)
-                return false;
-            // Per-entry hash chain within the segment.
-            if (!log::OperationLog::verifyRun(seg.chainAnchor,
-                                              seg.entries)) {
-                return false;
-            }
-            if (!seg.entries.empty() &&
-                seg.entries.back().chain != seg.chainTail) {
-                return false;
-            }
-            anchor = seg.chainTail;
-            have_anchor = true;
-            expect_prev = sealed.id;
         }
     }
     return true;

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "log/chain_verify.hh"
 #include "log/segment.hh"
 #include "net/transport.hh"
 
@@ -127,9 +128,20 @@ class BackupStore : public net::CapsuleTarget
 
     std::size_t streamCount() const { return streams_.size(); }
 
+    /** All registered stream ids, ascending (deterministic). */
+    std::vector<StreamId> streamIds() const;
+
     /** Storage indices of @p stream's segments, in chain order. */
     const std::vector<std::uint32_t> &
     streamSegments(StreamId stream) const;
+
+    /**
+     * Verification codec registered for @p stream. The trusted
+     * analysis host reads evidence where it lives; the codec it
+     * verifies with is the one the out-of-band key exchange
+     * registered at attach time.
+     */
+    const log::SegmentCodec &streamCodec(StreamId stream) const;
 
     /**
      * Verify the entire stored history: every HMAC, each stream's

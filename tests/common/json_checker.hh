@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Test helper: a minimal recursive-descent JSON syntax checker —
+ * enough to reject missing commas/colons and unbalanced structure,
+ * so a golden digest can only ever pin a well-formed document.
+ * Shared by the JsonWriter unit test and every report test
+ * (FleetReport, ForensicsReport).
+ */
+
+#ifndef RSSD_TESTS_COMMON_JSON_CHECKER_HH
+#define RSSD_TESTS_COMMON_JSON_CHECKER_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace rssd::test {
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s) : s_(s) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        pos_++; // '{'
+        skipWs();
+        if (peek('}'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek('}'))
+                return true;
+            if (!expect(','))
+                return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        pos_++; // '['
+        skipWs();
+        if (peek(']'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek(']'))
+                return true;
+            if (!expect(','))
+                return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        pos_++;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\')
+                pos_++;
+            pos_++;
+        }
+        return expect('"');
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E')) {
+            pos_++;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; p++) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+            pos_++;
+        }
+        return true;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+            pos_++;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace rssd::test
+
+#endif // RSSD_TESTS_COMMON_JSON_CHECKER_HH

@@ -184,5 +184,109 @@ TEST_F(RecoveryTest, IdempotentWhenAlreadyAtTarget)
     EXPECT_EQ(r.unmappedRestored, 0u);
 }
 
+TEST_F(RecoveryTest, RecoverToTimeBoundaryIsInclusive)
+{
+    // recoverToTime(t) keeps entries with timestamp <= t: a write
+    // stamped exactly t survives; recovering to t-1ns rolls it back.
+    dev_.writePage(9, page(0x01));
+    clock_.advance(units::SEC);
+    dev_.writePage(9, page(0x02));
+    const Tick exactly = dev_.opLog().at(1).timestamp;
+
+    {
+        DeviceHistory history(dev_);
+        RecoveryEngine engine(history);
+        ASSERT_TRUE(engine.recoverToTime(exactly).ok());
+        EXPECT_EQ(dev_.readPage(9).data, page(0x02));
+    }
+    {
+        DeviceHistory history(dev_);
+        RecoveryEngine engine(history);
+        ASSERT_TRUE(engine.recoverToTime(exactly - 1).ok());
+        EXPECT_EQ(dev_.readPage(9).data, page(0x01));
+    }
+}
+
+TEST_F(RecoveryTest, RecoverToTimeBeforeHistoryEmptiesDevice)
+{
+    const Tick epoch = clock_.now();
+    clock_.advance(units::SEC);
+    dev_.writePage(3, page(0x07));
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverToTime(epoch);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(dev_.readPage(3).data, page(0x00));
+    EXPECT_EQ(r.unmappedRestored, 1u);
+}
+
+TEST_F(RecoveryTest, EmptyRangeTouchesNothing)
+{
+    dev_.writePage(1, page(0x01));
+    dev_.writePage(1, page(0x02));
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverRange(1, 0, 1);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.lpasExamined, 0u);
+    EXPECT_EQ(r.pagesRestored, 0u);
+    EXPECT_EQ(dev_.readPage(1).data, page(0x02)); // untouched
+}
+
+TEST_F(RecoveryTest, RangeRecoveryLeavesOutOfScopeLbasAlone)
+{
+    dev_.writePage(4, page(0x0A)); // seq 0
+    dev_.writePage(5, page(0x0B)); // seq 1
+    dev_.writePage(4, page(0xAA)); // seq 2
+    dev_.writePage(5, page(0xBB)); // seq 3
+
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverRange(4, 1, 2);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.lpasExamined, 1u);
+    EXPECT_EQ(dev_.readPage(4).data, page(0x0A)); // rolled back
+    EXPECT_EQ(dev_.readPage(5).data, page(0xBB)); // out of scope
+}
+
+TEST_F(RecoveryTest, RangeBoundariesAreHalfOpen)
+{
+    for (flash::Lpa lpa = 10; lpa < 13; lpa++)
+        dev_.writePage(lpa, page(0x01)); // seq 0..2
+    for (flash::Lpa lpa = 10; lpa < 13; lpa++)
+        dev_.writePage(lpa, page(0x02)); // seq 3..5
+
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    // [11, 12): only LBA 11 is in scope.
+    const RecoveryReport r = engine.recoverRange(11, 1, 3);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.lpasExamined, 1u);
+    EXPECT_EQ(dev_.readPage(10).data, page(0x02));
+    EXPECT_EQ(dev_.readPage(11).data, page(0x01));
+    EXPECT_EQ(dev_.readPage(12).data, page(0x02));
+}
+
+TEST_F(RecoveryTest, TargetInsideUnoffloadedTail)
+{
+    // Old versions go remote; the newest versions stay in the local
+    // (un-offloaded) tail. A recovery target *inside* that tail must
+    // restore from on-device sources, not remote segments.
+    for (int i = 0; i < 30; i++)
+        dev_.writePage(2, page(static_cast<std::uint8_t>(i)));
+    dev_.drainOffload();
+    const std::uint64_t tail_start = dev_.opLog().totalAppended();
+
+    dev_.writePage(2, page(0xE0)); // tail seq
+    dev_.writePage(2, page(0xE1)); // tail seq + 1
+    ASSERT_GT(dev_.opLog().size(), 0u); // tail is really local
+
+    const RecoveryReport r = recoverTo(tail_start + 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(dev_.readPage(2).data, page(0xE0));
+    EXPECT_EQ(r.restoredFromRemote, 0u);
+    EXPECT_EQ(r.restoredFromLocal, 1u);
+}
+
 } // namespace
 } // namespace rssd::core

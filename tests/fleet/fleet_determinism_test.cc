@@ -13,10 +13,10 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
-
 #include "crypto/sha256.hh"
 #include "fleet/scheduler.hh"
+
+#include "tests/common/json_checker.hh"
 
 namespace rssd::fleet {
 namespace {
@@ -43,159 +43,7 @@ jsonDigest(const FleetReport &report)
         crypto::Sha256::hash(json.data(), json.size()));
 }
 
-/**
- * Minimal recursive-descent JSON syntax checker — enough to reject
- * missing commas/colons and unbalanced structure, so the golden
- * digest can only ever pin a well-formed document.
- */
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(const std::string &s) : s_(s) {}
-
-    bool
-    valid()
-    {
-        skipWs();
-        if (!value())
-            return false;
-        skipWs();
-        return pos_ == s_.size();
-    }
-
-  private:
-    bool
-    value()
-    {
-        if (pos_ >= s_.size())
-            return false;
-        switch (s_[pos_]) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return string();
-          case 't': return literal("true");
-          case 'f': return literal("false");
-          case 'n': return literal("null");
-          default: return number();
-        }
-    }
-
-    bool
-    object()
-    {
-        pos_++; // '{'
-        skipWs();
-        if (peek('}'))
-            return true;
-        while (true) {
-            skipWs();
-            if (!string())
-                return false;
-            skipWs();
-            if (!expect(':'))
-                return false;
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek('}'))
-                return true;
-            if (!expect(','))
-                return false;
-        }
-    }
-
-    bool
-    array()
-    {
-        pos_++; // '['
-        skipWs();
-        if (peek(']'))
-            return true;
-        while (true) {
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek(']'))
-                return true;
-            if (!expect(','))
-                return false;
-        }
-    }
-
-    bool
-    string()
-    {
-        if (pos_ >= s_.size() || s_[pos_] != '"')
-            return false;
-        pos_++;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            if (s_[pos_] == '\\')
-                pos_++;
-            pos_++;
-        }
-        return expect('"');
-    }
-
-    bool
-    number()
-    {
-        const std::size_t start = pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '-' || s_[pos_] == '+' ||
-                s_[pos_] == '.' || s_[pos_] == 'e' ||
-                s_[pos_] == 'E')) {
-            pos_++;
-        }
-        return pos_ > start;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        for (const char *p = word; *p; p++) {
-            if (pos_ >= s_.size() || s_[pos_] != *p)
-                return false;
-            pos_++;
-        }
-        return true;
-    }
-
-    bool
-    expect(char c)
-    {
-        if (pos_ < s_.size() && s_[pos_] == c) {
-            pos_++;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    peek(char c)
-    {
-        if (pos_ < s_.size() && s_[pos_] == c) {
-            pos_++;
-            return true;
-        }
-        return false;
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               (s_[pos_] == ' ' || s_[pos_] == '\n' ||
-                s_[pos_] == '\t' || s_[pos_] == '\r')) {
-            pos_++;
-        }
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
+using test::JsonChecker;
 
 TEST(FleetSim, BenignFleetHasNoAttackTraffic)
 {
@@ -308,6 +156,15 @@ TEST(FleetSim, ReportIsWellFormedJson)
                     .valid());
 }
 
+TEST(FleetSim, ReportLeadsWithSchemaVersion)
+{
+    FleetScheduler sched(smallFleet(Scenario::Benign, 3));
+    const std::string json = sched.run().toJson();
+    const std::string expect =
+        "{\"schema\":" + std::to_string(kFleetReportSchema) + ",";
+    EXPECT_EQ(json.rfind(expect, 0), 0u) << json.substr(0, 40);
+}
+
 TEST(FleetSim, SameSeedSameBytes)
 {
     const FleetConfig cfg = smallFleet(Scenario::Outbreak, 7);
@@ -337,9 +194,12 @@ TEST(FleetSim, GoldenReportDigest)
 
     FleetScheduler sched(cfg);
     const std::string digest = jsonDigest(sched.run());
+    // Digest history (every bump must name its schema change):
+    //   622082...ca02e — schema 1 (PR 3, no schema field)
+    //   8a775b...95a6  — schema 2 (PR 4: "schema" field added)
     EXPECT_EQ(digest,
-              "622082411ba46243b5f22be2a7afd0813db8cfaf2ff61a828c3"
-              "b4439009ca02e");
+              "8a775b83707a4095a4822c1cd292e489d408fc195c0dc6e9187"
+              "e8939d93595a6");
 }
 
 } // namespace

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * JsonWriter tests: the one stable-byte JSON emitter every report
+ * uses. Structure (comma/colon management), escaping, number
+ * formats, and the well-formedness of representative documents —
+ * plus the checker's own ability to reject the bug classes it
+ * guards against.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+
+#include "tests/common/json_checker.hh"
+
+namespace rssd::sim {
+namespace {
+
+using test::JsonChecker;
+
+std::string
+build(void (*fill)(JsonWriter &))
+{
+    std::string out;
+    JsonWriter j(out);
+    fill(j);
+    return out;
+}
+
+TEST(JsonWriter, FlatObjectBytes)
+{
+    const std::string out = build([](JsonWriter &j) {
+        j.open('{');
+        j.key("a"); j.u64(1);
+        j.key("b"); j.str("x");
+        j.key("c"); j.boolean(true);
+        j.close('}');
+    });
+    EXPECT_EQ(out, "{\"a\":1,\"b\":\"x\",\"c\":true}");
+    EXPECT_TRUE(JsonChecker(out).valid());
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays)
+{
+    const std::string out = build([](JsonWriter &j) {
+        j.open('{');
+        j.key("o");
+        j.open('{');
+        j.key("n"); j.u64(7);
+        j.close('}');
+        j.key("arr");
+        j.open('[');
+        for (int i = 0; i < 3; i++) {
+            j.elem();
+            j.u64(static_cast<std::uint64_t>(i));
+        }
+        j.close(']');
+        j.key("objs");
+        j.open('[');
+        for (int i = 0; i < 2; i++) {
+            j.elem();
+            j.open('{');
+            j.key("i"); j.u64(static_cast<std::uint64_t>(i));
+            j.close('}');
+        }
+        j.close(']');
+        j.close('}');
+    });
+    EXPECT_EQ(out, "{\"o\":{\"n\":7},\"arr\":[0,1,2],"
+                   "\"objs\":[{\"i\":0},{\"i\":1}]}");
+    EXPECT_TRUE(JsonChecker(out).valid());
+}
+
+TEST(JsonWriter, CommaAfterEveryValueKind)
+{
+    // The PR 3 review bug class: a value type that forgets to mark
+    // the pair closed drops the next comma. Exercise every value
+    // kind in key positions.
+    const std::string out = build([](JsonWriter &j) {
+        j.open('{');
+        j.key("u"); j.u64(1);
+        j.key("f"); j.f64(0.5);
+        j.key("s"); j.str("v");
+        j.key("t"); j.boolean(false);
+        j.key("o"); j.open('{'); j.close('}');
+        j.key("a"); j.open('['); j.close(']');
+        j.key("last"); j.u64(2);
+        j.close('}');
+    });
+    EXPECT_TRUE(JsonChecker(out).valid()) << out;
+    EXPECT_EQ(out, "{\"u\":1,\"f\":0.5,\"s\":\"v\",\"t\":false,"
+                   "\"o\":{},\"a\":[],\"last\":2}");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesDropsControlChars)
+{
+    const std::string out = build([](JsonWriter &j) {
+        j.open('{');
+        j.key("s"); j.str("a\"b\\c\nd");
+        j.close('}');
+    });
+    EXPECT_EQ(out, "{\"s\":\"a\\\"b\\\\cd\"}");
+    EXPECT_TRUE(JsonChecker(out).valid());
+}
+
+TEST(JsonWriter, EmptyArrayAndNestedEmpty)
+{
+    const std::string out = build([](JsonWriter &j) {
+        j.open('[');
+        j.elem(); j.open('['); j.close(']');
+        j.elem(); j.open('{'); j.close('}');
+        j.close(']');
+    });
+    EXPECT_EQ(out, "[[],{}]");
+    EXPECT_TRUE(JsonChecker(out).valid());
+}
+
+TEST(JsonWriter, LargeIntegersExact)
+{
+    const std::string out = build([](JsonWriter &j) {
+        j.open('{');
+        j.key("max"); j.u64(~0ull);
+        j.close('}');
+    });
+    EXPECT_EQ(out, "{\"max\":18446744073709551615}");
+}
+
+TEST(JsonChecker, RejectsItsBugClasses)
+{
+    EXPECT_FALSE(JsonChecker("{\"a\":1\"b\":2}").valid());
+    EXPECT_FALSE(JsonChecker("{\"a\":1,").valid());
+    EXPECT_FALSE(JsonChecker("[1 2]").valid());
+    EXPECT_FALSE(JsonChecker("{\"a\"1}").valid());
+    EXPECT_FALSE(JsonChecker("").valid());
+    EXPECT_TRUE(JsonChecker(
+                    "{\"a\":[1,2],\"b\":{\"c\":true,\"d\":\"x\"}}")
+                    .valid());
+}
+
+} // namespace
+} // namespace rssd::sim
