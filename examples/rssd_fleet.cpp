@@ -6,6 +6,16 @@
  *   build/examples/rssd_fleet --devices 16 --shards 4 \
  *       --scenario outbreak --seed 7 [--ops 400] [--json report.json]
  *
+ * Retention lifecycle knobs (enable the shard stores' GC):
+ *   --shard-capacity-mb N   per-shard budget in MiB (watermark GC)
+ *   --retention-ms N        age horizon in milliseconds
+ *   --retention-check       run post-campaign forensics + recovery
+ *                           and exit non-zero unless every detected
+ *                           encryptor's evidence chain verified and
+ *                           its victim data recovered to 100% —
+ *                           i.e. suspicion holds kept the flood
+ *                           from evicting victims' evidence.
+ *
  * Determinism: the same flags (and RSSD_SMOKE setting) produce a
  * byte-identical report, including the JSON file — diff two runs to
  * convince yourself. Scenarios: benign, outbreak, staggered,
@@ -29,7 +39,8 @@ namespace {
 const char *kUsage =
     "rssd_fleet [--devices N] [--shards M] [--scenario "
     "benign|outbreak|staggered|shard-flood] [--seed S] [--ops N] "
-    "[--json PATH]";
+    "[--shard-capacity-mb N] [--retention-ms N] [--flood-pages N] "
+    "[--retention-check] [--json PATH]";
 
 } // namespace
 
@@ -47,14 +58,32 @@ main(int argc, char **argv)
     cfg.opsPerDevice = args.u64("--ops", 400);
     cfg.campaign.scenario =
         fleet::scenarioByName(args.str("--scenario", "outbreak"));
+    const std::uint64_t capacity_mb =
+        args.u64("--shard-capacity-mb", 0);
+    const std::uint64_t retention_ms = args.u64("--retention-ms", 0);
+    cfg.campaign.floodPages =
+        args.u64("--flood-pages", cfg.campaign.floodPages);
+    const bool retention_check = args.flag("--retention-check");
     const std::string json_path = args.str("--json", "");
     args.finish(kUsage);
+
+    if (capacity_mb > 0)
+        cfg.cluster.shard.capacityBytes = capacity_mb * units::MiB;
+    if (retention_ms > 0)
+        cfg.cluster.shard.retention.retentionWindow =
+            retention_ms * units::MS;
+    if (capacity_mb > 0 || retention_ms > 0)
+        cfg.cluster.shard.retention.gcEnabled = true;
 
     if (smoke) {
         cfg.opsPerDevice = std::max<std::uint64_t>(
             1, cfg.opsPerDevice / 10);
         cfg.campaign.floodPages = std::max<std::uint64_t>(
             1, cfg.campaign.floodPages / 10);
+        // A tenth of the flood over the full span would barely
+        // overwrite — scale the shape, not break it (flood pressure
+        // comes from overwritten versions entering retention).
+        cfg.campaign.floodSpanFraction /= 10.0;
     }
 
     std::printf("rssd_fleet: %u devices -> %u shards, scenario "
@@ -109,6 +138,67 @@ main(int argc, char **argv)
                 formatBytes(report.totalBytesStored).c_str(),
                 formatTime(report.makespan).c_str(),
                 report.allChainsOk ? "verified" : "BROKEN");
+    if (report.totalSegmentsPruned > 0) {
+        std::printf("retention GC: %llu segments pruned (%s freed), "
+                    "streams re-anchored and verified\n",
+                    static_cast<unsigned long long>(
+                        report.totalSegmentsPruned),
+                    formatBytes(report.totalBytesPruned).c_str());
+    }
+
+    bool check_ok = true;
+    if (retention_check) {
+        // The capacity-pressure acceptance gate: after a campaign
+        // against GC-enabled shards, cluster-side forensics must
+        // still verify every stream (pruned ones via their signed
+        // re-anchor records), and every detected encryptor's victim
+        // data must recover to 100% — the suspicion holds kept the
+        // flood from evicting the evidence recovery needs.
+        const forensics::ForensicsReport fr = sched.runForensics();
+        if (!sched.cluster().verifyAll()) {
+            std::printf("retention-check: FAIL (chain verification "
+                        "after GC)\n");
+            check_ok = false;
+        }
+        std::uint64_t encryptors_checked = 0;
+        for (const forensics::RecoveryOutcome &r : fr.recovery) {
+            const auto idx = static_cast<std::uint32_t>(r.device);
+            if (report.deviceReports[idx].role != "encryptor")
+                continue;
+            encryptors_checked++;
+            if (r.victimIntactAfter != 1.0 || r.unresolved != 0 ||
+                r.beforePrunedHorizon) {
+                std::printf("retention-check: FAIL (device %llu "
+                            "recovered %.3f intact, %llu "
+                            "unresolved)\n",
+                            static_cast<unsigned long long>(r.device),
+                            r.victimIntactAfter,
+                            static_cast<unsigned long long>(
+                                r.unresolved));
+                check_ok = false;
+            }
+        }
+        // Only demand recovered encryptors when the campaign had
+        // any (a shard-flood on a 1-shard fleet makes every device
+        // a flooder — chain verification is then the whole check).
+        bool any_encryptor = false;
+        for (const fleet::DeviceReport &d : report.deviceReports)
+            any_encryptor = any_encryptor || d.role == "encryptor";
+        if (any_encryptor && encryptors_checked == 0) {
+            std::printf("retention-check: FAIL (no encryptor was "
+                        "detected and recovered)\n");
+            check_ok = false;
+        }
+        if (check_ok) {
+            std::printf("retention-check: OK (%llu encryptors "
+                        "recovered 100%% intact, %llu segments "
+                        "pruned)\n",
+                        static_cast<unsigned long long>(
+                            encryptors_checked),
+                        static_cast<unsigned long long>(
+                            report.totalSegmentsPruned));
+        }
+    }
 
     if (!json_path.empty()) {
         std::FILE *f = std::fopen(json_path.c_str(), "w");
@@ -119,5 +209,5 @@ main(int argc, char **argv)
         std::fclose(f);
         std::printf("FleetReport written to %s\n", json_path.c_str());
     }
-    return report.allChainsOk ? 0 : 1;
+    return report.allChainsOk && check_ok ? 0 : 1;
 }

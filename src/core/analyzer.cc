@@ -52,7 +52,22 @@ scanEntries(const std::vector<log::LogEntry> &entries,
     AttackFinding finding;
     if (entries.empty())
         return finding;
-    const std::uint64_t base = entries.front().logSeq;
+
+    // Entries are in log order but need NOT be seq-dense: a
+    // retention-GC prune that overtakes an incremental scanner
+    // leaves a gap between the cached prefix and the post-horizon
+    // suffix. Look timestamps up by logSeq, never by offset.
+    const auto entryAt =
+        [&entries](std::uint64_t seq) -> const log::LogEntry & {
+        const auto it = std::lower_bound(
+            entries.begin(), entries.end(), seq,
+            [](const log::LogEntry &e, std::uint64_t s) {
+                return e.logSeq < s;
+            });
+        panicIf(it == entries.end() || it->logSeq != seq,
+                "scanEntries: implicated seq not in scan");
+        return *it;
+    };
 
     // 1. Offline detection over the whole history. The entropy of a
     //    superseded version is accumulated as the scan passes its
@@ -125,9 +140,9 @@ scanEntries(const std::vector<log::LogEntry> &entries,
         finding.implicatedOps =
             (entropy_hit ? seqs.size() : 0) + trim_total;
         finding.attackStart =
-            entries[finding.firstSuspectSeq - base].timestamp;
+            entryAt(finding.firstSuspectSeq).timestamp;
         finding.attackEnd =
-            entries[finding.lastSuspectSeq - base].timestamp;
+            entryAt(finding.lastSuspectSeq).timestamp;
         finding.recommendedRecoverySeq = finding.firstSuspectSeq;
     }
     return finding;

@@ -1,6 +1,7 @@
 #include "core/history.hh"
 
 #include <algorithm>
+#include <deque>
 
 #include "log/chain_verify.hh"
 
@@ -29,12 +30,20 @@ DeviceHistory::build(const remote::BackupStore &store,
     RssdDevice &device = device_;
     VirtualClock &clock = device.clock();
 
+    // Retention-GC horizon: entries before the first surviving
+    // logSeq were expired remotely; the signed prune record is the
+    // trusted statement of where history now begins.
+    if (const log::PruneRecord *rec = store.pruneRecordOf(stream)) {
+        pruned_ = true;
+        horizonSeq_ = rec->entriesPruned;
+    }
+
     // Fetch this device's sealed segments back over the
     // server->device direction of the link, in chain order, then
     // open locally. (In a shared shard store only the device's own
     // stream is fetched — other tenants' evidence is neither needed
     // nor decryptable with this device's key.)
-    const std::vector<std::uint32_t> &stored =
+    const std::deque<std::uint32_t> &stored =
         store.streamSegments(stream);
     Tick t = clock.now();
     segments_.reserve(stored.size());
@@ -120,8 +129,12 @@ DeviceHistory::verifyEvidenceChain() const
     // 1. Remote side: HMACs, segment ordering, per-entry chain of
     //    this device's stream (shared verification core — the same
     //    rules the store enforced at ingest and the forensics
-    //    scanner replays shard-side).
+    //    scanner replays shard-side). A pruned stream verifies from
+    //    its signed re-anchor record instead of genesis.
+    const log::PruneRecord *prune = store_->pruneRecordOf(stream_);
     log::SegmentChainVerifier verifier;
+    if (prune && !verifier.resumeFrom(*prune, device_.codec()))
+        return false;
     for (const std::uint32_t idx : store_->streamSegments(stream_)) {
         if (!verifier.verifyNext(store_->sealedSegment(idx),
                                  device_.codec())) {
@@ -134,11 +147,16 @@ DeviceHistory::verifyEvidenceChain() const
         return false;
 
     // 3. Splice: the local tail's anchor must equal the last remote
-    //    segment's chain tail (or the genesis digest if nothing was
-    //    ever offloaded).
-    const crypto::Digest expect_anchor = segments_.empty()
-        ? log::OperationLog::genesisDigest()
-        : segments_.back().chainTail;
+    //    segment's chain tail — or, with no surviving segments, the
+    //    prune record's anchor (everything offloaded was expired) /
+    //    the genesis digest (nothing was ever offloaded).
+    crypto::Digest expect_anchor;
+    if (!segments_.empty())
+        expect_anchor = segments_.back().chainTail;
+    else if (prune)
+        expect_anchor = prune->anchor;
+    else
+        expect_anchor = log::OperationLog::genesisDigest();
     return device_.opLog().anchorDigest() == expect_anchor;
 }
 

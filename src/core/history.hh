@@ -94,6 +94,16 @@ class DeviceHistory
     /** Entropy written by version @p data_seq (kNoEntropy unknown). */
     float entropyOf(std::uint64_t data_seq) const;
 
+    /**
+     * Retention-GC horizon: the logSeq of the first log entry that
+     * survived pruning on the remote side (0 when the stream was
+     * never pruned — full history available). Entries and page
+     * versions before the horizon are gone; recovery to a point
+     * before it must fail loudly, never silently under-restore.
+     */
+    std::uint64_t prunedHorizonSeq() const { return horizonSeq_; }
+    bool pruned() const { return pruned_; }
+
     const HistoryCost &cost() const { return cost_; }
     RssdDevice &device() { return device_; }
     const RssdDevice &device() const { return device_; }
@@ -114,6 +124,8 @@ class DeviceHistory
         byLpa_;
     std::vector<std::uint32_t> emptyIndex_;
     std::vector<std::uint8_t> emptyContent_;
+    std::uint64_t horizonSeq_ = 0; ///< first surviving logSeq
+    bool pruned_ = false;
     HistoryCost cost_;
 };
 

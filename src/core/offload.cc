@@ -24,7 +24,10 @@ OffloadEngine::OffloadEngine(const RssdConfig &config,
 bool
 OffloadEngine::pump(Tick now, bool force)
 {
-    if (remoteFull_)
+    // Reject backoff: probe again once the retry delay has elapsed.
+    // Forced pumps (drain, write-path backpressure) retry
+    // immediately — they are about to wait on the result anyway.
+    if (retryAt_ != 0 && now < retryAt_ && !force)
         return false;
 
     bool all_ok = true;
@@ -41,9 +44,49 @@ OffloadEngine::pump(Tick now, bool force)
 }
 
 bool
+OffloadEngine::resubmit(Tick now)
+{
+    const log::SubmitResult result =
+        sink_.submitSegment(pending_->sealed, now);
+    if (!result.accepted) {
+        retryAt_ = now + config_.remoteRetryDelay;
+        stats_.remoteRejects++;
+        return false;
+    }
+    retryAt_ = 0;
+
+    // The parked batch is still the oldest slice of the retention
+    // index (seqs only grow; re-added holds stay in front), so
+    // taking it back out releases exactly the shipped pages.
+    const std::vector<log::RetainedPage> batch =
+        retention_.takeOldest(pending_->batchPages);
+    panicIf(batch.size() != pending_->batchPages,
+            "offload: parked batch shrank under resubmit");
+    for (const log::RetainedPage &p : batch)
+        ftl_.releaseHeld(p.ppa);
+    if (pending_->shippedEntries > 0)
+        oplog_.truncateBefore(pending_->lastEntrySeq + 1);
+
+    prevSegmentId_ = pending_->segId;
+    nextSegmentId_ = pending_->segId + 1;
+    lastAckAt_ = std::max(lastAckAt_, result.ackAt);
+    stats_.segmentsAccepted++;
+    stats_.pagesOffloaded += batch.size();
+    stats_.entriesOffloaded += pending_->shippedEntries;
+    pending_.reset();
+    return true;
+}
+
+bool
 OffloadEngine::sealOne(Tick now, bool force)
 {
     (void)force;
+
+    // A parked rejected segment goes first: those bytes are already
+    // sealed and sitting in the controller buffer — re-offer them
+    // without paying the flash reads and seal compute again.
+    if (pending_)
+        return resubmit(now);
 
     // Take the oldest retained pages, strictly in version order.
     std::vector<log::RetainedPage> batch =
@@ -102,14 +145,23 @@ OffloadEngine::sealOne(Tick now, bool force)
     const log::SubmitResult result =
         sink_.submitSegment(sealed, seal_done);
     if (!result.accepted) {
-        // Remote store is full (or persistently failing). Put the
+        // Remote store is full (or transiently failing). Put the
         // holds back conceptually: the pages were never released, so
         // simply re-adding them to the index preserves correctness.
+        // Back off instead of latching: the remote's retention GC
+        // frees space over time, so the next pump past retryAt_
+        // probes again and offload resumes on its own. The sealed
+        // bytes are parked — the probe resubmits them as-is.
         for (const log::RetainedPage &p : batch)
             retention_.add(p);
-        remoteFull_ = true;
+        pending_ = PendingResubmit{std::move(sealed), batch.size(),
+                                   shipped_entries, last_entry_seq,
+                                   seg.id};
+        retryAt_ = now + config_.remoteRetryDelay;
+        stats_.remoteRejects++;
         return false;
     }
+    retryAt_ = 0;
 
     // Acknowledged: release the FTL holds and truncate the shipped
     // log prefix. Relocations cannot have happened concurrently —

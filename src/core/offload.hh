@@ -13,6 +13,7 @@
 #define RSSD_CORE_OFFLOAD_HH
 
 #include <cstdint>
+#include <optional>
 
 #include "core/rssd_config.hh"
 #include "ftl/ftl.hh"
@@ -28,6 +29,7 @@ struct OffloadStats
 {
     std::uint64_t segmentsSealed = 0;
     std::uint64_t segmentsAccepted = 0;
+    std::uint64_t remoteRejects = 0; ///< submits refused by the store
     std::uint64_t pagesOffloaded = 0;
     std::uint64_t entriesOffloaded = 0;
     std::uint64_t bytesRaw = 0;
@@ -60,8 +62,19 @@ class OffloadEngine
      */
     bool pump(Tick now, bool force);
 
-    /** True once the remote store has rejected a segment as full. */
-    bool remoteFull() const { return remoteFull_; }
+    /**
+     * True while the engine is backing off from a rejected submit.
+     * A rejection is never latched forever: after remoteRetryDelay
+     * the engine probes again on the next pump (retention GC on the
+     * remote side frees space continuously, so a transiently full
+     * store must not permanently stop offload), and a forced pump
+     * retries immediately.
+     */
+    bool remoteFull() const { return retryAt_ != 0; }
+
+    /** Earliest time a non-forced pump will probe the remote again
+     *  (0 = not backing off). */
+    Tick retryAt() const { return retryAt_; }
 
     /** Completion time of the most recent accepted segment. */
     Tick lastAckAt() const { return lastAckAt_; }
@@ -71,6 +84,26 @@ class OffloadEngine
   private:
     /** Seal and submit one segment of up to segmentPages pages. */
     bool sealOne(Tick now, bool force);
+
+    /**
+     * A sealed segment the store refused, parked for resubmission:
+     * a retry probe re-ships these exact bytes instead of paying
+     * the flash reads and seal compute again (the content is
+     * already deterministic, so nothing changes on the wire). The
+     * batch pages stay in the retention index meanwhile — history
+     * and recovery must keep seeing them as locally held.
+     */
+    struct PendingResubmit
+    {
+        log::SealedSegment sealed;
+        std::size_t batchPages = 0;
+        std::uint64_t shippedEntries = 0;
+        std::uint64_t lastEntrySeq = 0;
+        std::uint64_t segId = 0;
+    };
+
+    /** Re-offer pending_ at time @p now. */
+    bool resubmit(Tick now);
 
     const RssdConfig &config_;
     ftl::PageMappedFtl &ftl_;
@@ -84,7 +117,8 @@ class OffloadEngine
     std::uint64_t prevSegmentId_ = log::kNoSegment;
     BusyResource sealEngine_;
     Tick lastAckAt_ = 0;
-    bool remoteFull_ = false;
+    Tick retryAt_ = 0; ///< reject backoff deadline (0 = none)
+    std::optional<PendingResubmit> pending_;
     OffloadStats stats_;
 };
 

@@ -13,15 +13,30 @@ RecoveryReport
 RecoveryEngine::recoverToTime(Tick t)
 {
     // Find the first entry past t; entries are in timestamp order.
+    // logSeqs are dense but start at the pruned horizon, not
+    // necessarily 0 — target by the entry's own logSeq.
     const auto &entries = history_.entries();
-    std::uint64_t target = entries.size();
-    for (std::uint64_t i = 0; i < entries.size(); i++) {
-        if (entries[i].timestamp > t) {
-            target = i;
+    std::uint64_t target = entries.empty()
+        ? history_.prunedHorizonSeq()
+        : entries.back().logSeq + 1;
+    for (const log::LogEntry &e : entries) {
+        if (e.timestamp > t) {
+            target = e.logSeq;
             break;
         }
     }
-    // logSeqs are dense from 0 in merged order.
+    // A time before the oldest surviving entry names a pre-horizon
+    // state: refuse loudly (the entries that defined it are gone).
+    // With NO surviving entries, every time target is unprovably
+    // post-horizon — same refusal, never a silent no-op "success".
+    if (history_.pruned() &&
+        (entries.empty() || t < entries.front().timestamp)) {
+        RecoveryReport report;
+        report.startedAt = history_.device().clock().now();
+        report.finishedAt = report.startedAt;
+        report.beforePrunedHorizon = true;
+        return report;
+    }
     return recoverToLogSeq(target);
 }
 
@@ -51,6 +66,15 @@ RecoveryEngine::recoverFiltered(std::uint64_t target_seq,
     report.startedAt = device.clock().now();
     report.bytesFetched = history_.cost().bytesFetched;
 
+    // Retention-GC horizon guard: the state before the first
+    // surviving entry cannot be reconstructed — fail clearly.
+    if (history_.pruned() &&
+        target_seq < history_.prunedHorizonSeq()) {
+        report.beforePrunedHorizon = true;
+        report.finishedAt = report.startedAt;
+        return report;
+    }
+
     // 1. Replay: live version of each touched LBA at the target.
     //    kNoDataSeq means "unmapped at target".
     std::unordered_map<flash::Lpa, std::uint64_t> live;
@@ -79,6 +103,22 @@ RecoveryEngine::recoverFiltered(std::uint64_t target_seq,
         const auto it = live.find(lpa);
         const std::uint64_t want =
             it == live.end() ? log::kNoDataSeq : it->second;
+
+        // Pruned-history guard: "no entry before the target" is
+        // only proof of emptiness when history is complete. If this
+        // LPA's earliest surviving entry replaced a pre-horizon
+        // version (prevDataSeq points behind the horizon), its
+        // pre-target state existed but was expired — count it
+        // unresolved instead of destructively trimming it.
+        if (it == live.end() && history_.pruned()) {
+            const auto &idxs = history_.entriesFor(lpa);
+            if (!idxs.empty() &&
+                history_.entries()[idxs.front()].prevDataSeq !=
+                    log::kNoDataSeq) {
+                report.unresolved++;
+                continue;
+            }
+        }
 
         // Current state.
         const flash::Ppa cur_ppa = ftl.mappingOf(lpa);

@@ -29,12 +29,19 @@ struct RecoveryReport
     std::uint64_t restoredFromLocal = 0; ///< held or live on flash
     std::uint64_t restoredFromRemote = 0;
     std::uint64_t unmappedRestored = 0;  ///< rolled back to "no data"
-    std::uint64_t unresolved = 0;        ///< version not found (bug!)
+    std::uint64_t unresolved = 0;        ///< version not found
     std::uint64_t bytesFetched = 0;
+    /**
+     * The requested target lies before the retention-GC horizon:
+     * the entries/versions needed to reconstruct that state were
+     * expired remotely. The run does nothing — a clear error beats
+     * a silent partial restore.
+     */
+    bool beforePrunedHorizon = false;
     Tick startedAt = 0;
     Tick finishedAt = 0;
 
-    bool ok() const { return unresolved == 0; }
+    bool ok() const { return unresolved == 0 && !beforePrunedHorizon; }
     Tick duration() const { return finishedAt - startedAt; }
 };
 
@@ -46,11 +53,14 @@ class RecoveryEngine
 
     /**
      * Restore the logical space to its state after applying entries
-     * with logSeq < @p target_seq.
+     * with logSeq < @p target_seq. When the history was pruned by
+     * the remote retention GC, targets before the horizon
+     * (prunedHorizonSeq) fail with beforePrunedHorizon set.
      */
     RecoveryReport recoverToLogSeq(std::uint64_t target_seq);
 
-    /** Restore to the state as of simulated time @p t (inclusive). */
+    /** Restore to the state as of simulated time @p t (inclusive).
+     *  Same horizon rule as recoverToLogSeq. */
     RecoveryReport recoverToTime(Tick t);
 
     /**

@@ -44,6 +44,15 @@ struct RssdConfig
     double compressMBps = 3000.0;
     double encryptMBps = 5000.0;
 
+    /**
+     * Backoff after the remote store rejects a segment: the offload
+     * engine probes again on the first pump at least this much
+     * later (a forced drain retries immediately). Pairs with the
+     * store's retention GC — a transiently full remote stalls
+     * offload, never stops it.
+     */
+    Tick remoteRetryDelay = 1 * units::MS;
+
     /** Compute per-page content entropy for logging/detection. */
     bool computeEntropy = true;
 

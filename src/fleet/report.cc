@@ -36,6 +36,7 @@ emitDevice(JsonWriter &j, const DeviceReport &d)
     j.key("deviceFullErrors"); j.u64(d.rssd.deviceFullErrors);
     j.key("segmentsSealed"); j.u64(d.offload.segmentsSealed);
     j.key("segmentsAccepted"); j.u64(d.offload.segmentsAccepted);
+    j.key("remoteRejects"); j.u64(d.offload.remoteRejects);
     j.key("pagesOffloaded"); j.u64(d.offload.pagesOffloaded);
     j.key("entriesOffloaded"); j.u64(d.offload.entriesOffloaded);
     j.key("bytesRaw"); j.u64(d.offload.bytesRaw);
@@ -54,6 +55,7 @@ emitShard(JsonWriter &j, const ShardReport &s)
     j.key("devices"); j.u64(s.devices);
     j.key("segmentsAccepted"); j.u64(s.segmentsAccepted);
     j.key("segmentsRejected"); j.u64(s.segmentsRejected);
+    j.key("rejectedBytes"); j.u64(s.rejectedBytes);
     j.key("batches"); j.u64(s.batches);
     j.key("meanBatchSegments"); j.f64(s.meanBatchSegments);
     j.key("maxBatchFill"); j.u64(s.maxBatchFill);
@@ -62,6 +64,9 @@ emitShard(JsonWriter &j, const ShardReport &s)
     j.key("backlogP99Ns"); j.u64(s.backlogP99);
     j.key("usedBytes"); j.u64(s.usedBytes);
     j.key("capacityBytes"); j.u64(s.capacityBytes);
+    j.key("segmentsPruned"); j.u64(s.segmentsPruned);
+    j.key("bytesPruned"); j.u64(s.bytesPruned);
+    j.key("heldStreams"); j.u64(s.heldStreams);
     j.key("chainOk"); j.boolean(s.chainOk);
     j.close('}');
 }
@@ -95,6 +100,8 @@ FleetReport::toJson() const
     j.key("segments"); j.u64(totalSegments);
     j.key("bytesStored"); j.u64(totalBytesStored);
     j.key("backpressureStalls"); j.u64(totalBackpressureStalls);
+    j.key("segmentsPruned"); j.u64(totalSegmentsPruned);
+    j.key("bytesPruned"); j.u64(totalBytesPruned);
     j.key("makespanNs"); j.u64(makespan);
     j.key("allChainsOk"); j.boolean(allChainsOk);
     j.close('}');

@@ -38,8 +38,12 @@ namespace rssd::fleet {
  * History:
  *   1 — PR 3: initial FleetReport (no schema field).
  *   2 — PR 4: "schema" field added; emitted via sim::JsonWriter.
+ *   3 — PR 5: retention-GC lifecycle — per-shard "rejectedBytes",
+ *       "segmentsPruned", "bytesPruned", "heldStreams"; totals
+ *       "segmentsPruned", "bytesPruned"; per-device
+ *       "remoteRejects".
  */
-constexpr std::uint64_t kFleetReportSchema = 2;
+constexpr std::uint64_t kFleetReportSchema = 3;
 
 /** One device's slice of the fleet outcome. */
 struct DeviceReport
@@ -73,6 +77,7 @@ struct ShardReport
     std::uint64_t devices = 0;
     std::uint64_t segmentsAccepted = 0;
     std::uint64_t segmentsRejected = 0;
+    std::uint64_t rejectedBytes = 0;
     std::uint64_t batches = 0;
     double meanBatchSegments = 0.0;
     std::uint32_t maxBatchFill = 0;
@@ -81,6 +86,10 @@ struct ShardReport
     Tick backlogP99 = 0;
     std::uint64_t usedBytes = 0;
     std::uint64_t capacityBytes = 0;
+    /** Retention lifecycle (zeros when GC is disabled). */
+    std::uint64_t segmentsPruned = 0;
+    std::uint64_t bytesPruned = 0;
+    std::uint64_t heldStreams = 0;
     bool chainOk = true;
 };
 
@@ -104,6 +113,8 @@ struct FleetReport
     std::uint64_t totalSegments = 0;
     std::uint64_t totalBytesStored = 0;
     std::uint64_t totalBackpressureStalls = 0;
+    std::uint64_t totalSegmentsPruned = 0;
+    std::uint64_t totalBytesPruned = 0;
     Tick makespan = 0; ///< latest device clock at completion
     bool allChainsOk = true;
 

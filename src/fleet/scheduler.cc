@@ -70,6 +70,7 @@ struct FleetScheduler::Actor
 
     std::uint64_t benignOps = 0;
     std::uint64_t steps = 0;
+    bool holdFlagged = false; ///< eviction hold already placed
 };
 
 FleetScheduler::FleetScheduler(const FleetConfig &config)
@@ -217,6 +218,19 @@ FleetScheduler::step(Actor &a)
     if ((a.steps & 7) == 0)
         a.dev->pumpOffload();
 
+    // Suspicion-aware retention: the first detector alarm flags the
+    // device's stream with an eviction hold, so capacity pressure
+    // (a shard-flood) cannot expire the victim's evidence.
+    if (config_.suspicionHolds && !a.holdFlagged) {
+        for (const auto &det : a.detectors) {
+            if (!det->alarms().empty()) {
+                cluster_->setEvictionHold(a.id, true);
+                a.holdFlagged = true;
+                break;
+            }
+        }
+    }
+
     return a.clock.now() + thinkTime(a.rng, config_.meanOpGap);
 }
 
@@ -318,6 +332,7 @@ FleetScheduler::runForensics(const forensics::ForensicsConfig &config)
         outcome.pagesRestored = rec.pagesRestored;
         outcome.restoredFromRemote = rec.restoredFromRemote;
         outcome.unresolved = rec.unresolved;
+        outcome.beforePrunedHorizon = rec.beforePrunedHorizon;
         outcome.victimIntactAfter =
             a.victim ? a.victim->intactFraction(*a.dev) : 1.0;
         report.recovery.push_back(outcome);
@@ -386,6 +401,7 @@ FleetScheduler::aggregate()
         sr.devices = cluster_->shardDevices(s).size();
         sr.segmentsAccepted = st.segmentsAccepted;
         sr.segmentsRejected = st.segmentsRejected;
+        sr.rejectedBytes = st.rejectedBytes;
         sr.batches = st.batches;
         sr.meanBatchSegments = st.meanBatchSegments();
         sr.maxBatchFill = st.maxBatchFill;
@@ -396,11 +412,16 @@ FleetScheduler::aggregate()
         }
         sr.usedBytes = store.usedBytes();
         sr.capacityBytes = store.capacityBytes();
+        sr.segmentsPruned = store.stats().segmentsPruned;
+        sr.bytesPruned = store.stats().bytesPruned;
+        sr.heldStreams = store.heldStreams();
         sr.chainOk = store.verifyFullChain();
 
         rep.totalSegments += sr.segmentsAccepted;
         rep.totalBytesStored += sr.usedBytes;
         rep.totalBackpressureStalls += sr.backpressureStalls;
+        rep.totalSegmentsPruned += sr.segmentsPruned;
+        rep.totalBytesPruned += sr.bytesPruned;
         rep.allChainsOk = rep.allChainsOk && sr.chainOk;
         rep.shardReports.push_back(sr);
     }

@@ -65,6 +65,15 @@ struct FleetConfig
 
     /** Attach per-device online detectors and report their alarms. */
     bool attachDetectors = true;
+
+    /**
+     * Suspicion-aware retention: the moment a device's detectors
+     * first alarm, flag its stream with an eviction hold on the
+     * cluster, so retention GC cannot flood the victim's evidence
+     * out of the window. Only meaningful when the shard stores run
+     * with GC enabled (cluster.shard.retention).
+     */
+    bool suspicionHolds = true;
 };
 
 class FleetScheduler

@@ -38,6 +38,9 @@ correlate(const EvidenceScanner &scanner,
         f.floodSuspect = f.finding.detected &&
                          f.highOverHighWrites >=
                              config.floodWriteThreshold;
+        f.segmentsPruned = ev.segmentsPruned;
+        f.entriesPruned = ev.entriesPruned;
+        f.reanchors = ev.reanchors;
         out.findings.push_back(std::move(f));
     }
 

@@ -38,6 +38,14 @@ struct DeviceFinding
      *  is the flood signature (encryption is high-over-*low*). */
     std::uint64_t highOverHighWrites = 0;
     bool floodSuspect = false;
+
+    // -- Retention view ----------------------------------------------------
+    /** Segments/entries the store's retention GC expired from this
+     *  stream (the pruned horizon the replay starts at). */
+    std::uint64_t segmentsPruned = 0;
+    std::uint64_t entriesPruned = 0;
+    /** Times the scanner re-anchored from the signed prune record. */
+    std::uint64_t reanchors = 0;
 };
 
 /** Campaign shape inferred from the evidence. */

@@ -1,5 +1,7 @@
 #include "forensics/evidence.hh"
 
+#include <deque>
+
 #include "sim/logging.hh"
 
 namespace rssd::forensics {
@@ -26,19 +28,42 @@ EvidenceScanner::scan()
             }
             pass.streamsScanned++;
 
-            const std::vector<std::uint32_t> &stored =
+            const std::deque<std::uint32_t> &stored =
                 store.streamSegments(stream);
+            const std::uint64_t pruned = store.prunedSegments(stream);
+            const log::PruneRecord *rec = store.pruneRecordOf(stream);
+            st.evidence.segmentsPruned = pruned;
+            if (rec != nullptr)
+                st.evidence.entriesPruned = rec->entriesPruned;
             pass.segmentsCached += st.evidence.segmentsVerified;
             if (!st.evidence.intact)
                 continue; // untrusted suffix: never extend past a fault
 
+            const log::SegmentCodec &codec = store.streamCodec(stream);
+
+            // Retention GC overtook the cursor (or the stream was
+            // already pruned at first contact): resume from the
+            // signed prune record. Segments expired before we ever
+            // verified them are evidence lost to the analysis —
+            // counted, never silently skipped.
+            if (st.absPos < pruned) {
+                if (rec == nullptr ||
+                    !st.verifier.resumeFrom(*rec, codec)) {
+                    st.evidence.intact = false;
+                    st.evidence.fault =
+                        log::ChainFault::BadAuthentication;
+                    continue;
+                }
+                st.evidence.segmentsPrunedUnseen += pruned - st.absPos;
+                st.evidence.reanchors++;
+                st.absPos = pruned;
+            }
+
             const std::uint64_t before = st.verifier.bytesVerified();
             const std::uint64_t entries_before =
                 st.verifier.entriesVerified();
-            const log::SegmentCodec &codec = store.streamCodec(stream);
-            while (st.evidence.segmentsVerified < stored.size()) {
-                const std::uint32_t idx =
-                    stored[st.evidence.segmentsVerified];
+            while (st.absPos - pruned < stored.size()) {
+                const std::uint32_t idx = stored[st.absPos - pruned];
                 log::Segment opened;
                 if (!st.verifier.verifyNext(store.sealedSegment(idx),
                                             codec, &opened)) {
@@ -46,6 +71,7 @@ EvidenceScanner::scan()
                     st.evidence.fault = st.verifier.fault();
                     break;
                 }
+                st.absPos++;
                 st.evidence.segmentsVerified++;
                 pass.segmentsVerified++;
                 for (log::LogEntry &e : opened.entries)

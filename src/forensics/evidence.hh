@@ -69,7 +69,28 @@ struct StreamEvidence
     /** Wire bytes of the verified prefix (restore-planning input). */
     std::uint64_t bytesVerified = 0;
 
-    /** Replayed log entries of the verified prefix, oldest first. */
+    // -- Retention-GC view -------------------------------------------------
+
+    /** Segments the store expired from this stream (cumulative). */
+    std::uint64_t segmentsPruned = 0;
+
+    /** Log entries expired with them (the pruned horizon: the first
+     *  surviving logSeq — from the signed prune record). */
+    std::uint64_t entriesPruned = 0;
+
+    /** Segments expired before this scanner ever verified them —
+     *  evidence the analysis will never see (pruning outpaced the
+     *  scan). Entries of segments verified *before* their expiry
+     *  stay in the cache and are not counted here. */
+    std::uint64_t segmentsPrunedUnseen = 0;
+
+    /** Times the scanner resumed from a signed prune record (once
+     *  at first contact with a pruned stream, again whenever the
+     *  horizon overtakes the cursor). */
+    std::uint64_t reanchors = 0;
+
+    /** Replayed log entries of the verified prefix, oldest first.
+     *  On a pruned stream the replay starts at the horizon. */
     std::vector<log::LogEntry> entries;
 };
 
@@ -104,6 +125,11 @@ class EvidenceScanner
     {
         StreamEvidence evidence;
         log::SegmentChainVerifier verifier;
+        /** Absolute position of the next segment to verify, counted
+         *  from the stream's genesis (pruned + verified). Stable
+         *  across prunes, unlike indices into the shrinking stored
+         *  list. */
+        std::uint64_t absPos = 0;
     };
 
     const remote::BackupCluster &cluster_;

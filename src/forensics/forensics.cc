@@ -15,6 +15,12 @@ analyzeCluster(EvidenceScanner &scanner, const ForensicsConfig &config,
     report.shards = cluster.shardCount();
     report.totalSegments = cluster.totalSegments();
     report.totalBytesStored = cluster.totalUsedBytes();
+    for (remote::ShardId s = 0; s < cluster.shardCount(); s++) {
+        const remote::BackupStoreStats &st =
+            cluster.shardStore(s).stats();
+        report.totalSegmentsPruned += st.segmentsPruned;
+        report.totalBytesPruned += st.bytesPruned;
+    }
     report.scanPasses = scanner.passes();
     report.lastPass = scanner.lastPass();
     report.totalCost = scanner.total();

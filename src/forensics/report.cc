@@ -38,6 +38,9 @@ emitFinding(JsonWriter &j, const DeviceFinding &f)
     j.key("recoverySeq"); j.u64(f.finding.recommendedRecoverySeq);
     j.key("highOverHighWrites"); j.u64(f.highOverHighWrites);
     j.key("floodSuspect"); j.boolean(f.floodSuspect);
+    j.key("segmentsPruned"); j.u64(f.segmentsPruned);
+    j.key("entriesPruned"); j.u64(f.entriesPruned);
+    j.key("reanchors"); j.u64(f.reanchors);
     j.close('}');
 }
 
@@ -82,6 +85,8 @@ ForensicsReport::toJson() const
     j.key("shards"); j.u64(shards);
     j.key("segments"); j.u64(totalSegments);
     j.key("bytesStored"); j.u64(totalBytesStored);
+    j.key("segmentsPruned"); j.u64(totalSegmentsPruned);
+    j.key("bytesPruned"); j.u64(totalBytesPruned);
     j.close('}');
 
     j.key("scan");
@@ -147,6 +152,8 @@ ForensicsReport::toJson() const
         j.key("pagesRestored"); j.u64(r.pagesRestored);
         j.key("restoredFromRemote"); j.u64(r.restoredFromRemote);
         j.key("unresolved"); j.u64(r.unresolved);
+        j.key("beforePrunedHorizon");
+        j.boolean(r.beforePrunedHorizon);
         j.key("victimIntactBefore"); j.f64(r.victimIntactBefore);
         j.key("victimIntactAfter"); j.f64(r.victimIntactAfter);
         j.close('}');

@@ -32,8 +32,11 @@ namespace rssd::forensics {
  *
  * History:
  *   1 — PR 4: initial ForensicsReport.
+ *   2 — PR 5: retention-GC counters ("segmentsPruned"/"bytesPruned"
+ *       under "source"; "segmentsPruned"/"entriesPruned"/
+ *       "reanchors" per device finding).
  */
-constexpr std::uint64_t kForensicsReportSchema = 1;
+constexpr std::uint64_t kForensicsReportSchema = 2;
 
 /**
  * What actually generated the evidence (exported by the fleet
@@ -58,6 +61,10 @@ struct RecoveryOutcome
     std::uint64_t pagesRestored = 0;
     std::uint64_t restoredFromRemote = 0;
     std::uint64_t unresolved = 0;
+    /** The recommended recovery point fell before the stream's
+     *  retention-GC horizon; the restore was refused (clear error,
+     *  no partial rollback). */
+    bool beforePrunedHorizon = false;
     double victimIntactBefore = 1.0;
     double victimIntactAfter = 1.0;
 };
@@ -69,6 +76,9 @@ struct ForensicsReport
     std::uint64_t shards = 0;
     std::uint64_t totalSegments = 0;
     std::uint64_t totalBytesStored = 0;
+    /** Retention-GC lifecycle across all shards (cumulative). */
+    std::uint64_t totalSegmentsPruned = 0;
+    std::uint64_t totalBytesPruned = 0;
 
     // -- Scan cost model --------------------------------------------------
     std::uint64_t scanPasses = 0;

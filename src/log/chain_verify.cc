@@ -16,6 +16,21 @@ chainFaultName(ChainFault f)
 }
 
 bool
+SegmentChainVerifier::resumeFrom(const PruneRecord &record,
+                                 const SegmentCodec &codec)
+{
+    fault_ = ChainFault::None;
+    if (!codec.verifyPrune(record)) {
+        fault_ = ChainFault::BadAuthentication;
+        return false;
+    }
+    expectPrev_ = record.upToId;
+    tail_ = record.anchor;
+    haveTail_ = true;
+    return true;
+}
+
+bool
 SegmentChainVerifier::verifyNext(const SealedSegment &sealed,
                                  const SegmentCodec &codec,
                                  Segment *opened_out)

@@ -55,6 +55,20 @@ class SegmentChainVerifier
                     const SegmentCodec &codec,
                     Segment *opened_out = nullptr);
 
+    /**
+     * Re-anchor the verifier at a retention-GC prune horizon: after
+     * this, the next segment must name @p record's last pruned
+     * segment as its predecessor and extend the pruned chain's tail
+     * digest. The record's signature is checked first (it is the
+     * trusted substitute for the pruned prefix); a bad signature
+     * sets fault() = BadAuthentication and leaves the verifier
+     * unchanged. Valid both at the start of a stream (fresh
+     * verifier over an already-pruned stream) and mid-stream (the
+     * horizon advanced past an incremental scanner's cursor).
+     */
+    bool resumeFrom(const PruneRecord &record,
+                    const SegmentCodec &codec);
+
     /** Segments verified so far. */
     std::uint64_t segmentsVerified() const { return count_; }
 

@@ -297,6 +297,46 @@ SegmentCodec::verify(const SealedSegment &sealed) const
     return macOf(sealed) == sealed.hmac;
 }
 
+namespace {
+
+/** Fixed-size authenticated body of a prune record. */
+constexpr std::size_t kPruneBodySize = 6 * 8 + 32;
+
+std::array<std::uint8_t, kPruneBodySize>
+pruneBody(const PruneRecord &record)
+{
+    std::array<std::uint8_t, kPruneBodySize> body;
+    Writer w(body.data());
+    w.u64(record.stream);
+    w.u64(record.upToId);
+    w.u64(record.segmentsPruned);
+    w.u64(record.entriesPruned);
+    w.u64(record.bytesPruned);
+    w.u64(record.prunedAt);
+    w.digest(record.anchor);
+    return body;
+}
+
+} // namespace
+
+void
+SegmentCodec::sealPrune(PruneRecord &record) const
+{
+    crypto::HmacSha256 mac = hmac_;
+    const auto body = pruneBody(record);
+    mac.update(body.data(), body.size());
+    record.hmac = mac.finish();
+}
+
+bool
+SegmentCodec::verifyPrune(const PruneRecord &record) const
+{
+    crypto::HmacSha256 mac = hmac_;
+    const auto body = pruneBody(record);
+    mac.update(body.data(), body.size());
+    return mac.finish() == record.hmac;
+}
+
 Segment
 SegmentCodec::open(const SealedSegment &sealed) const
 {

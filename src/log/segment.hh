@@ -112,6 +112,29 @@ struct SealedSegment
 };
 
 /**
+ * Chain re-anchor record. When the remote store garbage-collects the
+ * oldest sealed segments of a stream past its retention window, it
+ * writes one of these (signed under the stream's device key, which
+ * only the trusted domain holds): the record names the last pruned
+ * segment and carries the chain digest its successor must extend, so
+ * verification of the surviving suffix starts here instead of at
+ * genesis. Counters are cumulative across prunes — a stream has at
+ * most one record, updated and re-signed on every prune.
+ */
+struct PruneRecord
+{
+    std::uint64_t stream = 0;         ///< StreamId being re-anchored
+    std::uint64_t upToId = 0;         ///< last pruned segment id
+    std::uint64_t segmentsPruned = 0; ///< cumulative segments expired
+    std::uint64_t entriesPruned = 0;  ///< cumulative log entries lost
+                                      ///< (== first surviving logSeq)
+    std::uint64_t bytesPruned = 0;    ///< cumulative wire bytes freed
+    Tick prunedAt = 0;                ///< time of the latest prune
+    crypto::Digest anchor{};          ///< chainTail of last pruned seg
+    crypto::Digest hmac{};            ///< over all fields above
+};
+
+/**
  * Seals and opens segments with a device key. The key never leaves
  * the trusted domain (firmware + remote store).
  */
@@ -136,6 +159,12 @@ class SegmentCodec
 
     /** Check the HMAC without decrypting. */
     bool verify(const SealedSegment &sealed) const;
+
+    /** Sign a prune record (fills @p record.hmac). */
+    void sealPrune(PruneRecord &record) const;
+
+    /** Check a prune record's signature. */
+    bool verifyPrune(const PruneRecord &record) const;
 
   private:
     /** Fixed-size authenticated header: id, prevId, chain digests,

@@ -110,9 +110,36 @@ BackupCluster::ingest(DeviceId device,
         sh.stats.backpressureStalls++;
     }
 
-    // Batching: a batch closes when the worker drains or fills up;
-    // joining an open batch skips the batch overhead.
-    const bool new_batch = sh.worker.busyUntil() <= start ||
+    // The store decides first: verification is the head of service,
+    // and a refused segment must not perturb the ingest pipeline
+    // (the shard's processingTime is zeroed, so the admission
+    // timestamp is the only time the store sees).
+    Tick store_ack = 0;
+    const bool ok =
+        sh.store->ingestSegment(device, segment, start, store_ack);
+
+    if (!ok) {
+        // Reject-only service: the verify work still occupies the
+        // worker, but a refused segment joins no ingest batch — it
+        // neither advances batchFill (group-commit amortization is
+        // an accepted-segment property) nor feeds the accepted
+        // backlog histogram.
+        const Tick done =
+            sh.worker.serve(start, config_.perSegmentProcessing);
+        sh.inflight.push_back(done);
+        ack_ready_at = done;
+        sh.stats.segmentsRejected++;
+        sh.stats.rejectedBytes += segment.wireSize();
+        sh.stats.rejectBacklog.add(
+            done > arrive_at ? done - arrive_at : 0);
+        return false;
+    }
+
+    // Batching: a batch closes when its accepted work drains or it
+    // fills up; joining an open batch skips the batch overhead.
+    // (Not worker.busyUntil(): reject-only service occupies the
+    // worker without opening a batch.)
+    const bool new_batch = sh.batchEnd <= start ||
                            sh.batchFill >= config_.batchSegments;
     Tick cost = config_.perSegmentProcessing;
     if (new_batch) {
@@ -121,23 +148,37 @@ BackupCluster::ingest(DeviceId device,
         cost += config_.batchOverhead;
     }
     const Tick done = sh.worker.serve(start, cost);
+    sh.batchEnd = done;
     sh.batchFill++;
     sh.stats.maxBatchFill =
         std::max(sh.stats.maxBatchFill, sh.batchFill);
     sh.inflight.push_back(done);
 
-    Tick store_ack = 0;
-    const bool ok =
-        sh.store->ingestSegment(device, segment, done, store_ack);
-    ack_ready_at = store_ack;
-    if (ok)
-        sh.stats.segmentsAccepted++;
-    else
-        sh.stats.segmentsRejected++;
-    sh.stats.backlog.add(ack_ready_at > arrive_at
-                             ? ack_ready_at - arrive_at
-                             : 0);
-    return ok;
+    ack_ready_at = done;
+    sh.stats.segmentsAccepted++;
+    sh.stats.backlog.add(
+        done > arrive_at ? done - arrive_at : 0);
+    return true;
+}
+
+void
+BackupCluster::setEvictionHold(DeviceId device, bool held)
+{
+    shardAt(shardOfDevice(device)).store->setEvictionHold(device,
+                                                          held);
+}
+
+bool
+BackupCluster::evictionHold(DeviceId device) const
+{
+    return shardAt(shardOfDevice(device)).store->evictionHold(device);
+}
+
+void
+BackupCluster::runRetentionGc(Tick now)
+{
+    for (Shard &sh : shards_)
+        sh.store->runRetentionGc(now);
 }
 
 const BackupStore &
@@ -171,9 +212,11 @@ BackupCluster::verifyAll() const
 std::uint64_t
 BackupCluster::totalSegments() const
 {
+    // Live segments: what the cluster currently stores (retention
+    // GC tombstones excluded).
     std::uint64_t n = 0;
     for (const Shard &sh : shards_)
-        n += sh.store->segmentCount();
+        n += sh.store->liveSegmentCount();
     return n;
 }
 

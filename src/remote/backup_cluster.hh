@@ -79,18 +79,22 @@ struct ShardIngestStats
 {
     std::uint64_t segmentsAccepted = 0;
     std::uint64_t segmentsRejected = 0;
+    /** Wire bytes of refused segments — rejected work is accounted
+     *  apart from the ingest pipeline, never inside it. */
+    std::uint64_t rejectedBytes = 0;
     std::uint64_t batches = 0;
     std::uint64_t backpressureStalls = 0;
     std::uint32_t maxBatchFill = 0;
-    LatencyHistogram backlog; ///< ack_ready - arrival, per segment
+    LatencyHistogram backlog; ///< ack_ready - arrival, accepted only
+    LatencyHistogram rejectBacklog; ///< same, refused segments
 
     double
     meanBatchSegments() const
     {
         if (batches == 0)
             return 0.0;
-        return static_cast<double>(segmentsAccepted +
-                                   segmentsRejected) /
+        // Accepted only: refused segments never join a batch.
+        return static_cast<double>(segmentsAccepted) /
                static_cast<double>(batches);
     }
 };
@@ -132,6 +136,21 @@ class BackupCluster
     /** Grow the cluster; affects only devices attached afterwards. */
     ShardId addShard();
 
+    // -- Retention lifecycle ----------------------------------------------
+
+    /**
+     * Suspicion-aware eviction hold on @p device's stream (forwarded
+     * to the shard it is pinned to). The fleet layer flags a stream
+     * the moment one of the device's detectors alarms, so capacity
+     * pressure cannot flood a victim's evidence out of the window.
+     */
+    void setEvictionHold(DeviceId device, bool held);
+    bool evictionHold(DeviceId device) const;
+
+    /** Run retention GC on every shard at time @p now (ingest also
+     *  triggers it per arrival; this is the operator sweep). */
+    void runRetentionGc(Tick now);
+
     std::uint32_t shardCount() const
     {
         return static_cast<std::uint32_t>(shards_.size());
@@ -159,6 +178,10 @@ class BackupCluster
         std::deque<Tick> inflight; ///< completion times, FIFO
         Tick lastArrive = 0;       ///< per-shard monotonic arrivals
         std::uint32_t batchFill = 0;
+        /** When the open batch's accepted work finishes. Rejected
+         *  segments occupy the worker but never a batch, so batch
+         *  continuity is tracked apart from worker busyness. */
+        Tick batchEnd = 0;
         std::vector<DeviceId> devices;
         ShardIngestStats stats;
     };

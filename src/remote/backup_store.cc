@@ -77,8 +77,10 @@ BackupStore::ingestSegment(StreamId stream,
         return reject(RejectReason::BadAuthentication);
 
     // Strict per-stream ordering: the segment must extend *this
-    // stream's* stored history.
-    const bool first = st.stored.empty();
+    // stream's* history. "First" means no history at all — a fully
+    // pruned stream keeps its chain tail, so the device's next
+    // segment still extends it.
+    const bool first = st.lastId == log::kNoSegment;
     if (first) {
         if (segment.prevId != log::kNoSegment)
             return reject(RejectReason::ChainViolation);
@@ -89,26 +91,249 @@ BackupStore::ingestSegment(StreamId stream,
         }
     }
 
-    if (used_ + segment.payload.size() > config_.capacityBytes)
+    // Capacity accounting uses wire bytes (header + payload), the
+    // same quantity the link transmits — so Figure 2's retention
+    // time (capacity / ingest rate) matches what the wire carries.
+    const std::uint64_t wire = segment.wireSize();
+    if (config_.retention.gcEnabled) {
+        expireByAge(arrive_at);
+        const auto high = static_cast<std::uint64_t>(
+            config_.retention.gcHighWater *
+            static_cast<double>(config_.capacityBytes));
+        if (used_ + wire > high || used_ + wire > config_.capacityBytes)
+            evictUnderPressure(arrive_at, wire);
+    }
+    if (used_ + wire > config_.capacityBytes)
         return reject(RejectReason::CapacityExceeded);
 
-    st.stored.push_back(static_cast<std::uint32_t>(segments_.size()));
-    segments_.push_back(segment);
-    segmentStream_.push_back(stream);
-    used_ += segment.payload.size();
+    // Recycle a tombstoned slot when the GC left one — storage
+    // stays bounded by the capacity budget, not by segments ever
+    // ingested.
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        segments_[slot] = segment;
+        segmentStream_[slot] = stream;
+        segmentArrival_[slot] = arrive_at;
+        segmentPruned_[slot] = 0;
+    } else {
+        slot = static_cast<std::uint32_t>(segments_.size());
+        segments_.push_back(segment);
+        segmentStream_.push_back(stream);
+        segmentArrival_.push_back(arrive_at);
+        segmentPruned_.push_back(0);
+    }
+    st.stored.push_back(slot);
+    liveSegments_++;
+    used_ += wire;
+    st.liveBytes += wire;
     st.lastId = segment.id;
     st.chainTail = segment.chainTail;
     st.haveTail = true;
 
     stats_.segmentsAccepted++;
-    stats_.bytesStored += segment.payload.size();
+    stats_.bytesStored += wire;
     return true;
+}
+
+void
+BackupStore::pruneOldest(StreamId stream, StreamState &st, Tick now,
+                         bool pressure)
+{
+    panicIf(st.stored.empty(), "BackupStore: prune of empty stream");
+    const std::uint32_t idx = st.stored.front();
+    const log::SealedSegment &sealed = segments_[idx];
+    const std::uint64_t wire = sealed.wireSize();
+
+    // The store-side GC work: open the segment to account the log
+    // entries expiring with it (the prune record advertises the
+    // first surviving logSeq to analysis and recovery).
+    const log::Segment opened = st.codec.open(sealed);
+
+    log::PruneRecord rec =
+        st.prune.value_or(log::PruneRecord{});
+    rec.stream = stream;
+    rec.upToId = sealed.id;
+    rec.segmentsPruned += 1;
+    rec.entriesPruned += opened.entries.size();
+    rec.bytesPruned += wire;
+    rec.prunedAt = now;
+    rec.anchor = sealed.chainTail;
+    st.codec.sealPrune(rec);
+    st.prune = rec;
+
+    st.stored.pop_front();
+    st.liveBytes -= wire;
+    used_ -= wire;
+    liveSegments_--;
+    segments_[idx] = log::SealedSegment{}; // free the payload
+    segmentPruned_[idx] = 1;
+    freeSlots_.push_back(idx);
+
+    stats_.segmentsPruned++;
+    stats_.bytesPruned += wire;
+    stats_.entriesPruned += opened.entries.size();
+    if (pressure)
+        stats_.pressurePrunes++;
+    else
+        stats_.agePrunes++;
+}
+
+void
+BackupStore::expireByAge(Tick now)
+{
+    const Tick window = config_.retention.retentionWindow;
+    if (window == 0)
+        return;
+    for (auto &[stream, st] : streams_) {
+        if (st.evictionHold)
+            continue; // suspicion hold: evidence outlives the window
+        while (!st.stored.empty() &&
+               segmentArrival_[st.stored.front()] + window <= now) {
+            pruneOldest(stream, st, now, /*pressure=*/false);
+        }
+    }
+}
+
+void
+BackupStore::evictUnderPressure(Tick now,
+                                std::uint64_t incoming_bytes)
+{
+    const auto low = static_cast<std::uint64_t>(
+        config_.retention.gcLowWater *
+        static_cast<double>(config_.capacityBytes));
+    const std::uint64_t quota = streamQuotaBytes();
+
+    while (used_ + incoming_bytes > low) {
+        StreamState *victim = nullptr;
+        StreamId victim_id = 0;
+
+        // 1. The most over-quota stream first — held or not. The
+        //    quota is the backstop that keeps one flooding tenant
+        //    from consuming its neighbours' retention windows.
+        std::uint64_t best_over = 0;
+        for (auto &[stream, st] : streams_) {
+            if (st.stored.empty() || st.liveBytes <= quota)
+                continue;
+            const std::uint64_t over = st.liveBytes - quota;
+            if (over > best_over) {
+                best_over = over;
+                victim = &st;
+                victim_id = stream;
+            }
+        }
+
+        // 2. Everyone under quota: globally oldest unheld segment.
+        if (victim == nullptr) {
+            Tick oldest = ~0ull;
+            for (auto &[stream, st] : streams_) {
+                if (st.evictionHold || st.stored.empty())
+                    continue;
+                const Tick at = segmentArrival_[st.stored.front()];
+                if (at < oldest) {
+                    oldest = at;
+                    victim = &st;
+                    victim_id = stream;
+                }
+            }
+        }
+
+        if (victim == nullptr)
+            break; // all held and within quota: genuinely full
+        pruneOldest(victim_id, *victim, now, /*pressure=*/true);
+    }
+}
+
+void
+BackupStore::runRetentionGc(Tick now)
+{
+    if (!config_.retention.gcEnabled)
+        return;
+    expireByAge(now);
+    const auto high = static_cast<std::uint64_t>(
+        config_.retention.gcHighWater *
+        static_cast<double>(config_.capacityBytes));
+    if (used_ > high)
+        evictUnderPressure(now, 0);
+}
+
+void
+BackupStore::setEvictionHold(StreamId stream, bool held)
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    it->second.evictionHold = held;
+}
+
+bool
+BackupStore::evictionHold(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    return it->second.evictionHold;
+}
+
+std::uint64_t
+BackupStore::heldStreams() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[stream, st] : streams_) {
+        (void)stream;
+        if (st.evictionHold)
+            n++;
+    }
+    return n;
+}
+
+const log::PruneRecord *
+BackupStore::pruneRecordOf(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    return it->second.prune ? &*it->second.prune : nullptr;
+}
+
+std::uint64_t
+BackupStore::prunedSegments(StreamId stream) const
+{
+    const log::PruneRecord *rec = pruneRecordOf(stream);
+    return rec ? rec->segmentsPruned : 0;
+}
+
+std::uint64_t
+BackupStore::streamLiveBytes(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    return it->second.liveBytes;
+}
+
+std::uint64_t
+BackupStore::streamQuotaBytes() const
+{
+    const double frac = config_.retention.streamQuotaFraction;
+    if (frac <= 0.0 || streams_.empty())
+        return ~0ull;
+    return static_cast<std::uint64_t>(
+        frac * static_cast<double>(config_.capacityBytes) /
+        static_cast<double>(streams_.size()));
+}
+
+bool
+BackupStore::segmentPruned(std::uint64_t idx) const
+{
+    panicIf(idx >= segmentPruned_.size(),
+            "BackupStore: segment idx OOB");
+    return segmentPruned_[idx] != 0;
 }
 
 const log::SealedSegment &
 BackupStore::sealedSegment(std::uint64_t idx) const
 {
     panicIf(idx >= segments_.size(), "BackupStore: segment idx OOB");
+    panicIf(segmentPruned_[idx] != 0,
+            "BackupStore: segment expired by retention GC");
     return segments_[idx];
 }
 
@@ -120,7 +345,7 @@ BackupStore::streamOf(std::uint64_t idx) const
     return segmentStream_[idx];
 }
 
-const std::vector<std::uint32_t> &
+const std::deque<std::uint32_t> &
 BackupStore::streamSegments(StreamId stream) const
 {
     auto it = streams_.find(stream);
@@ -162,6 +387,13 @@ BackupStore::verifyFullChain() const
     for (const auto &[stream, st] : streams_) {
         (void)stream;
         log::SegmentChainVerifier verifier;
+        // A pruned stream verifies from its signed re-anchor record
+        // instead of genesis; the record substitutes for the
+        // expired prefix.
+        if (st.prune &&
+            !verifier.resumeFrom(*st.prune, st.codec)) {
+            return false;
+        }
         for (const std::uint32_t idx : st.stored) {
             if (!verifier.verifyNext(segments_[idx], st.codec))
                 return false;

@@ -9,9 +9,19 @@
  *     segment id and extend its log-chain digest),
  *   - capacity budgeting (the knob behind Figure 2's retention time).
  *
- * The store never deletes or rewrites a segment — ransomware that
- * owns the host OS has no path to it (hardware isolation), and even
- * the device can only append.
+ * The host-visible contract is append-only: ransomware that owns the
+ * host OS has no path to the store (hardware isolation), and even the
+ * device can only append. The *operator-side* retention lifecycle is
+ * the one exception: with GC enabled, the store itself expires the
+ * oldest sealed segments of a stream past the retention window (age)
+ * or under capacity pressure (watermarks), exactly the Figure 2
+ * trade-off — retention time = remote capacity / ingest rate. Every
+ * prune re-anchors the stream with a signed PruneRecord so the
+ * surviving suffix still verifies, and eviction is suspicion-aware:
+ * detector-flagged streams carry eviction holds, and per-stream
+ * quotas stop one flooding tenant from consuming its neighbours'
+ * retention windows (the flooder can only shorten its *own* window
+ * to quota / ingest-rate — never a victim's).
  *
  * Multiplexing: a store serves one *or many* device streams. Chain
  * state (last segment id, chain tail) and the verification codec are
@@ -26,6 +36,7 @@
 #define RSSD_REMOTE_BACKUP_STORE_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -54,14 +65,57 @@ enum class RejectReason : std::uint8_t {
 
 const char *rejectReasonName(RejectReason r);
 
+/**
+ * Retention-window GC policy. Disabled by default: the store then
+ * behaves exactly like the original append-forever budget (ingest is
+ * rejected with CapacityExceeded once the budget is exhausted).
+ */
+struct RetentionPolicy
+{
+    /** Master switch for both age- and watermark-driven expiry. */
+    bool gcEnabled = false;
+
+    /** Age horizon: a segment older than this (by ingest arrival
+     *  time) is expired on the next GC pass. 0 = no age expiry. */
+    Tick retentionWindow = 0;
+
+    /** Pressure eviction triggers above this occupancy fraction
+     *  (and always when an arrival would overflow the budget)... */
+    double gcHighWater = 0.90;
+
+    /** ...and prunes oldest-first down to this fraction. */
+    double gcLowWater = 0.75;
+
+    /**
+     * Per-stream quota as a multiple of the fair share
+     * (capacityBytes / registered streams). Pressure eviction takes
+     * from the most over-quota stream first — even a held one: the
+     * hold protects a flagged stream's evidence only up to its
+     * quota, so a flooding attacker can shorten its own retention
+     * window but never starve its neighbours'. Keep this at or
+     * below gcHighWater: then occupancy above the high watermark
+     * implies (pigeonhole) some stream is over quota, so pressure
+     * eviction always makes progress and ingest can never deadlock
+     * against a fully-held tenant set. <= 0 disables quota
+     * targeting (pressure eviction is then globally oldest-first
+     * over unheld streams only, and a fully-held store can
+     * legitimately fill up).
+     */
+    double streamQuotaFraction = 0.85;
+};
+
 /** Store configuration. */
 struct BackupStoreConfig
 {
-    /** Remote capacity budget in bytes (sealed payload accounted). */
+    /** Remote capacity budget in bytes (sealed wire bytes: header +
+     *  payload, i.e. SealedSegment::wireSize()). */
     std::uint64_t capacityBytes = 4ull * units::TiB;
 
     /** Per-segment server-side processing (verify + persist). */
     Tick processingTime = 50 * units::US;
+
+    /** Retention lifecycle (off by default). */
+    RetentionPolicy retention;
 };
 
 /** Ingest/verification counters. */
@@ -72,6 +126,13 @@ struct BackupStoreStats
     std::uint64_t bytesStored = 0;
     std::uint64_t pagesStored = 0;
     std::uint64_t entriesStored = 0;
+
+    // -- Retention GC ---------------------------------------------------
+    std::uint64_t segmentsPruned = 0;
+    std::uint64_t bytesPruned = 0;   ///< wire bytes freed by GC
+    std::uint64_t entriesPruned = 0; ///< log entries expired with them
+    std::uint64_t agePrunes = 0;     ///< segments expired by window
+    std::uint64_t pressurePrunes = 0;///< segments evicted by watermark
 };
 
 /**
@@ -109,15 +170,64 @@ class BackupStore : public net::CapsuleTarget
     bool ingestSegment(StreamId stream, const log::SealedSegment &segment,
                        Tick arrive_at, Tick &ack_ready_at);
 
+    // -- Retention GC ------------------------------------------------------
+
+    /**
+     * Run the retention lifecycle at time @p now: expire segments
+     * older than the retention window, then (if occupancy is above
+     * the high watermark) evict under pressure down to the low
+     * watermark. Ingest runs this automatically on every arrival;
+     * the public entry point exists for operators, benches and
+     * tests. No-op unless the policy enables GC.
+     */
+    void runRetentionGc(Tick now);
+
+    /**
+     * Suspicion-aware eviction hold: while held, a stream is exempt
+     * from age expiry and from oldest-first pressure eviction (the
+     * over-quota backstop still applies — see RetentionPolicy).
+     * Detectors flag a stream the moment they alarm; the hold keeps
+     * the pre-attack evidence inside the window until forensics and
+     * recovery have run.
+     */
+    void setEvictionHold(StreamId stream, bool held);
+    bool evictionHold(StreamId stream) const;
+    std::uint64_t heldStreams() const;
+
+    /** Signed re-anchor record of @p stream, nullptr if never
+     *  pruned. Cumulative across prunes (at most one per stream). */
+    const log::PruneRecord *pruneRecordOf(StreamId stream) const;
+
+    /** Cumulative segments pruned from @p stream. */
+    std::uint64_t prunedSegments(StreamId stream) const;
+
+    /** Wire bytes @p stream currently occupies. */
+    std::uint64_t streamLiveBytes(StreamId stream) const;
+
+    /** Current per-stream quota in bytes (~0ull when disabled). */
+    std::uint64_t streamQuotaBytes() const;
+
     // -- Recovery / analysis side ----------------------------------------
 
+    /** Storage slots allocated, dense from 0 (arrival order until
+     *  the retention GC recycles a tombstoned slot for a later
+     *  arrival — see segmentPruned()). Memory is bounded by the
+     *  capacity budget, not by segments ever ingested. */
     std::size_t segmentCount() const { return segments_.size(); }
+
+    /** Segments currently stored (accepted minus pruned). */
+    std::uint64_t liveSegmentCount() const { return liveSegments_; }
+
     const std::vector<log::SealedSegment> &segments() const
     {
         return segments_;
     }
 
-    /** Sealed segment by storage index (dense from 0, arrival order). */
+    /** True if storage slot @p idx was expired by retention GC. */
+    bool segmentPruned(std::uint64_t idx) const;
+
+    /** Sealed segment by storage index (dense from 0, arrival
+     *  order). panic()s on a pruned slot. */
     const log::SealedSegment &sealedSegment(std::uint64_t idx) const;
 
     /** Stream that stored segment @p idx belongs to. */
@@ -131,8 +241,9 @@ class BackupStore : public net::CapsuleTarget
     /** All registered stream ids, ascending (deterministic). */
     std::vector<StreamId> streamIds() const;
 
-    /** Storage indices of @p stream's segments, in chain order. */
-    const std::vector<std::uint32_t> &
+    /** Storage indices of @p stream's segments, in chain order.
+     *  A deque: retention GC prunes from the front in O(1). */
+    const std::deque<std::uint32_t> &
     streamSegments(StreamId stream) const;
 
     /**
@@ -169,12 +280,29 @@ class BackupStore : public net::CapsuleTarget
         std::uint64_t lastId = log::kNoSegment;
         crypto::Digest chainTail{};
         bool haveTail = false;
-        std::vector<std::uint32_t> stored; ///< storage indices
+        std::deque<std::uint32_t> stored; ///< live storage indices
+
+        // -- Retention state ---------------------------------------------
+        std::optional<log::PruneRecord> prune;
+        bool evictionHold = false;
+        std::uint64_t liveBytes = 0; ///< wire bytes currently stored
 
         explicit StreamState(const log::SegmentCodec &c) : codec(c) {}
     };
 
     bool reject(RejectReason why);
+
+    /** Tombstone the oldest stored segment of @p st, re-signing the
+     *  stream's prune record. @p pressure selects the stats bucket. */
+    void pruneOldest(StreamId stream, StreamState &st, Tick now,
+                     bool pressure);
+
+    /** Age-based expiry over all unheld streams. */
+    void expireByAge(Tick now);
+
+    /** Watermark eviction: free space until @p incoming_bytes fits
+     *  under the low watermark (or nothing prunable remains). */
+    void evictUnderPressure(Tick now, std::uint64_t incoming_bytes);
 
     BackupStoreConfig config_;
     /** Ordered map: verifyFullChain() iterates streams
@@ -182,6 +310,10 @@ class BackupStore : public net::CapsuleTarget
     std::map<StreamId, StreamState> streams_;
     std::vector<log::SealedSegment> segments_;
     std::vector<StreamId> segmentStream_; ///< parallel to segments_
+    std::vector<Tick> segmentArrival_;    ///< parallel to segments_
+    std::vector<std::uint8_t> segmentPruned_; ///< parallel tombstones
+    std::vector<std::uint32_t> freeSlots_; ///< tombstones to recycle
+    std::uint64_t liveSegments_ = 0;
     std::uint64_t used_ = 0;
     RejectReason lastReject_ = RejectReason::None;
     BackupStoreStats stats_;

@@ -185,5 +185,51 @@ TEST_F(AnalyzerTest, ForensicsSurvivesPostAttackActivity)
     EXPECT_TRUE(report.finding.detected);
 }
 
+TEST(ScanEntries, GappedLogSeqsFromPrunedHorizonScanCorrectly)
+{
+    // A retention-GC prune that overtakes an incremental forensics
+    // scanner leaves the cached entry list seq-GAPPED: the verified
+    // prefix (from genesis) followed by the post-horizon suffix.
+    // scanEntries must look implicated timestamps up by logSeq, not
+    // by dense offset (which would read out of bounds here).
+    std::vector<log::LogEntry> entries;
+    const auto write = [&entries](std::uint64_t seq, std::uint64_t data,
+                                  std::uint64_t prev, Tick t,
+                                  float entropy) {
+        log::LogEntry e;
+        e.logSeq = seq;
+        e.op = log::OpKind::Write;
+        e.lpa = 5;
+        e.dataSeq = data;
+        e.prevDataSeq = prev;
+        e.timestamp = t;
+        e.entropy = entropy;
+        entries.push_back(e);
+    };
+
+    // Cached benign prefix: logSeq 0..9.
+    for (std::uint64_t i = 0; i < 10; i++)
+        write(i, i, log::kNoDataSeq, Tick(i) * units::MS, 1.0f);
+    // Pruned gap: logSeq 10..99 expired unseen.
+    // Post-horizon suffix: low-entropy versions overwritten by
+    // high-entropy ciphertext — the encryption signature.
+    for (std::uint64_t i = 0; i < 5; i++) {
+        const std::uint64_t seq = 100 + 2 * i;
+        write(seq, 1000 + seq, log::kNoDataSeq,
+              Tick(seq) * units::MS, 2.0f);
+        write(seq + 1, 1000 + seq + 1, 1000 + seq,
+              Tick(seq + 1) * units::MS, 7.9f);
+    }
+
+    OfflineScanConfig cfg;
+    cfg.auditor.alarmCount = 4;
+    const AttackFinding finding = scanEntries(entries, cfg);
+    ASSERT_TRUE(finding.detected);
+    EXPECT_EQ(finding.firstSuspectSeq, 101u);
+    EXPECT_EQ(finding.lastSuspectSeq, 109u);
+    EXPECT_EQ(finding.attackStart, 101 * units::MS);
+    EXPECT_EQ(finding.attackEnd, 109 * units::MS);
+}
+
 } // namespace
 } // namespace rssd::core

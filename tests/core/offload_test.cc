@@ -164,6 +164,114 @@ TEST_F(OffloadTest, RemoteFullStopsOffloadNotData)
     EXPECT_EQ(dev.ftl().heldPageCount(), dev.retention().size());
 }
 
+/** CapsuleTarget that refuses every segment until opened. */
+struct GateTarget : net::CapsuleTarget
+{
+    bool open = false;
+    std::uint64_t offered = 0;
+
+    bool
+    ingestSegment(const log::SealedSegment &segment, Tick arrive_at,
+                  Tick &ack_ready_at) override
+    {
+        (void)segment;
+        offered++;
+        ack_ready_at = arrive_at + 10 * units::US;
+        return open;
+    }
+};
+
+TEST_F(OffloadTest, OffloadResumesAfterRemoteFrees)
+{
+    // A transiently full remote must stall offload, never stop it:
+    // the reject latch of old permanently parked the engine even
+    // after the remote's retention GC freed space.
+    RssdConfig cfg = config();
+    cfg.remoteRetryDelay = 10 * units::SEC; // >> the writes below
+    GateTarget gate;
+    VirtualClock clock;
+    RssdDevice dev(cfg, clock, gate);
+
+    for (int i = 0; i < 20; i++)
+        dev.writePage(0, page(static_cast<std::uint8_t>(i)));
+    ASSERT_GT(gate.offered, 0u);
+    ASSERT_TRUE(dev.offload().remoteFull()); // backing off
+    ASSERT_GT(dev.offload().stats().remoteRejects, 0u);
+    ASSERT_GT(dev.retention().size(), 0u); // held locally
+    const std::uint64_t offered_while_closed = gate.offered;
+
+    // Before the retry delay elapses, a non-forced pump is a no-op
+    // (no hammering the remote)...
+    dev.pumpOffload();
+    EXPECT_EQ(gate.offered, offered_while_closed);
+
+    // ...but once space frees and the backoff elapses, the probe
+    // ships everything and the latch clears for good.
+    gate.open = true;
+    clock.advance(11 * units::SEC);
+    dev.pumpOffload();
+    dev.drainOffload();
+    EXPECT_FALSE(dev.offload().remoteFull());
+    EXPECT_TRUE(dev.retention().empty());
+    EXPECT_GT(dev.offload().stats().segmentsAccepted, 0u);
+    EXPECT_EQ(dev.offload().stats().pagesOffloaded, 19u);
+}
+
+TEST_F(OffloadTest, ForcedDrainRetriesThroughBackoff)
+{
+    RssdConfig cfg = config();
+    cfg.remoteRetryDelay = 10 * units::SEC; // enormous backoff
+    GateTarget gate;
+    VirtualClock clock;
+    RssdDevice dev(cfg, clock, gate);
+
+    for (int i = 0; i < 20; i++)
+        dev.writePage(0, page(static_cast<std::uint8_t>(i)));
+    ASSERT_TRUE(dev.offload().remoteFull());
+
+    // The clock never reaches retryAt, but a forced drain is about
+    // to wait on the result anyway — it must probe immediately.
+    gate.open = true;
+    dev.drainOffload();
+    EXPECT_FALSE(dev.offload().remoteFull());
+    EXPECT_TRUE(dev.retention().empty());
+}
+
+TEST_F(OffloadTest, RejectedSegmentIsResubmittedNotResealed)
+{
+    // A refused segment is parked as sealed bytes; every retry
+    // probe re-offers those bytes instead of re-reading flash and
+    // paying the seal compute again. However many times the remote
+    // says no, each segment is sealed exactly once.
+    RssdConfig cfg = config();
+    cfg.remoteRetryDelay = 10 * units::SEC;
+    GateTarget gate;
+    VirtualClock clock;
+    RssdDevice dev(cfg, clock, gate);
+
+    for (int i = 0; i < 20; i++)
+        dev.writePage(0, page(static_cast<std::uint8_t>(i)));
+    ASSERT_GT(dev.offload().stats().remoteRejects, 0u);
+
+    // Hammer the closed gate with forced drains: all probes, no
+    // new seal work.
+    const std::uint64_t sealed_once =
+        dev.offload().stats().segmentsSealed;
+    for (int i = 0; i < 5; i++)
+        dev.drainOffload();
+    EXPECT_EQ(dev.offload().stats().segmentsSealed, sealed_once);
+    EXPECT_GE(dev.offload().stats().remoteRejects, 6u);
+
+    gate.open = true;
+    dev.drainOffload();
+    EXPECT_TRUE(dev.retention().empty());
+    // Every accepted segment was sealed exactly once (19 retained
+    // pages = one full 16-page segment + the forced-drain tail).
+    EXPECT_EQ(dev.offload().stats().segmentsSealed,
+              dev.offload().stats().segmentsAccepted);
+    EXPECT_EQ(dev.offload().stats().pagesOffloaded, 19u);
+}
+
 TEST_F(OffloadTest, ChainSplicesAcrossLocalAndRemote)
 {
     for (int i = 0; i < 25; i++)

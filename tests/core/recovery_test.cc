@@ -288,5 +288,145 @@ TEST_F(RecoveryTest, TargetInsideUnoffloadedTail)
     EXPECT_EQ(r.restoredFromLocal, 1u);
 }
 
+// ---------------------------------------------------------------------
+// Retention-GC horizon: once the remote store expires old segments,
+// pre-horizon states are gone. History must say so, the chain must
+// still verify (from the signed prune record), and recovery before
+// the horizon must fail loudly instead of silently under-restoring.
+// ---------------------------------------------------------------------
+
+class PrunedHorizonTest : public ::testing::Test
+{
+  protected:
+    PrunedHorizonTest() : dev_(config(), clock_) {}
+
+    static RssdConfig
+    config()
+    {
+        RssdConfig cfg = RssdConfig::forTests();
+        cfg.segmentPages = 8;
+        cfg.pumpThreshold = 8;
+        cfg.remote.retention.gcEnabled = true;
+        cfg.remote.retention.retentionWindow = 10 * units::MS;
+        return cfg;
+    }
+
+    std::vector<std::uint8_t>
+    page(std::uint8_t fill)
+    {
+        return std::vector<std::uint8_t>(dev_.pageSize(), fill);
+    }
+
+    /** 40 versions of LPA 1 offloaded, then all expired by age;
+     *  10 fresh versions (logSeq 40..49) follow. Returns the
+     *  horizon (first surviving logSeq). */
+    std::uint64_t
+    churnPastTheWindow()
+    {
+        for (int v = 0; v < 40; v++)
+            dev_.writePage(1, page(static_cast<std::uint8_t>(v)));
+        dev_.drainOffload();
+        clock_.advance(config().remote.retention.retentionWindow + 1);
+        dev_.backupStore().runRetentionGc(clock_.now());
+        for (int v = 40; v < 50; v++)
+            dev_.writePage(1, page(static_cast<std::uint8_t>(v)));
+        dev_.drainOffload();
+        return dev_.backupStore().pruneRecordOf(0)->entriesPruned;
+    }
+
+    VirtualClock clock_;
+    RssdDevice dev_;
+};
+
+TEST_F(PrunedHorizonTest, HistoryReportsHorizonAndStillVerifies)
+{
+    const std::uint64_t horizon = churnPastTheWindow();
+    ASSERT_EQ(horizon, 40u);
+    ASSERT_GT(dev_.backupStore().stats().agePrunes, 0u);
+
+    DeviceHistory history(dev_);
+    EXPECT_TRUE(history.pruned());
+    EXPECT_EQ(history.prunedHorizonSeq(), horizon);
+    // The surviving suffix starts at the horizon...
+    ASSERT_FALSE(history.entries().empty());
+    EXPECT_EQ(history.entries().front().logSeq, horizon);
+    // ...and the whole chain (re-anchored at the signed prune
+    // record) still verifies, remote and local tail spliced.
+    EXPECT_TRUE(history.verifyEvidenceChain());
+}
+
+TEST_F(PrunedHorizonTest, RecoveryBeforeHorizonFailsLoudly)
+{
+    const std::uint64_t horizon = churnPastTheWindow();
+    const std::vector<std::uint8_t> before = dev_.readPage(1).data;
+
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverToLogSeq(horizon - 1);
+    EXPECT_TRUE(r.beforePrunedHorizon);
+    EXPECT_FALSE(r.ok());
+    // Clear error, no partial restore: the device is untouched.
+    EXPECT_EQ(dev_.readPage(1).data, before);
+    EXPECT_EQ(r.pagesRestored, 0u);
+}
+
+TEST_F(PrunedHorizonTest, RecoverToTimeBeforeHorizonFailsLoudly)
+{
+    churnPastTheWindow();
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverToTime(0);
+    EXPECT_TRUE(r.beforePrunedHorizon);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PrunedHorizonTest, HorizonStateCountsExpiredVersionUnresolved)
+{
+    // Target == horizon is allowed (nothing before it is applied),
+    // but LPA 1's state there was written by an expired version:
+    // the engine must report it unresolved, never destructively
+    // trim a page it cannot reconstruct.
+    const std::uint64_t horizon = churnPastTheWindow();
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverToLogSeq(horizon);
+    EXPECT_FALSE(r.beforePrunedHorizon);
+    EXPECT_EQ(r.unresolved, 1u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PrunedHorizonTest, FullyPrunedHistoryRefusesTimeTargets)
+{
+    // Everything offloaded, then everything expired: no surviving
+    // entries at all. No time target is provably post-horizon, so
+    // recoverToTime must refuse — not silently "succeed" at
+    // restoring nothing.
+    for (int v = 0; v < 40; v++)
+        dev_.writePage(1, page(static_cast<std::uint8_t>(v)));
+    dev_.drainOffload();
+    clock_.advance(config().remote.retention.retentionWindow + 1);
+    dev_.backupStore().runRetentionGc(clock_.now());
+    ASSERT_EQ(dev_.backupStore().liveSegmentCount(), 0u);
+
+    DeviceHistory history(dev_);
+    ASSERT_TRUE(history.pruned());
+    ASSERT_TRUE(history.entries().empty());
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverToTime(0);
+    EXPECT_TRUE(r.beforePrunedHorizon);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PrunedHorizonTest, RecoveryPastHorizonStillWorks)
+{
+    const std::uint64_t horizon = churnPastTheWindow();
+    DeviceHistory history(dev_);
+    RecoveryEngine engine(history);
+    const RecoveryReport r = engine.recoverToLogSeq(horizon + 5);
+    EXPECT_TRUE(r.ok());
+    // State after logSeq horizon+4 = fill value 44.
+    EXPECT_EQ(dev_.readPage(1).data, page(44));
+}
+
 } // namespace
 } // namespace rssd::core

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/rssd_device.hh"
+#include "sim/rng.hh"
 
 namespace rssd::core {
 namespace {
@@ -130,6 +131,94 @@ TEST_F(RssdDeviceTest, CapacityMatchesFtl)
 {
     EXPECT_EQ(dev_.capacityPages(), dev_.ftl().logicalPages());
     EXPECT_EQ(dev_.pageSize(), 4096u);
+}
+
+// ---------------------------------------------------------------------
+// CapacityExceeded -> nvme::DeviceFull, end to end. command.hh
+// documents DeviceFull as "retention backpressure could not be
+// resolved"; these pin the full path — remote budget exhausted ->
+// offload rejected -> holds stay local -> FTL out of space -> the
+// HOST sees DeviceFull — and that the remote-side retention GC is
+// exactly what makes the error unreachable.
+// ---------------------------------------------------------------------
+
+class DeviceFullTest : public ::testing::Test
+{
+  protected:
+    static RssdConfig
+    tinyRemote(bool gc)
+    {
+        RssdConfig cfg = RssdConfig::forTests();
+        // 4 MiB of flash so local capacity is exhaustible in-test.
+        cfg.ftl.geometry.blocksPerPlane = 4;
+        cfg.segmentPages = 16;
+        cfg.pumpThreshold = 16;
+        cfg.remote.capacityBytes = 256 * units::KiB;
+        cfg.remote.retention.gcEnabled = gc;
+        return cfg;
+    }
+
+    /** Incompressible page so segments can't squeeze under budget. */
+    std::vector<std::uint8_t>
+    junkPage(RssdDevice &dev)
+    {
+        std::vector<std::uint8_t> p(dev.pageSize());
+        for (auto &b : p)
+            b = static_cast<std::uint8_t>(rng_.next());
+        return p;
+    }
+
+    /** Overwrite one LPA until the host sees an error (or give up). */
+    nvme::HostStatus
+    churn(RssdDevice &dev, int max_ops)
+    {
+        for (int i = 0; i < max_ops; i++) {
+            nvme::Command cmd;
+            cmd.op = nvme::Opcode::Write;
+            cmd.lpa = 0;
+            cmd.npages = 1;
+            cmd.data = junkPage(dev);
+            const nvme::Completion c = dev.submit(cmd);
+            if (!c.ok())
+                return c.status;
+        }
+        return nvme::HostStatus::Success;
+    }
+
+    Rng rng_{99};
+};
+
+TEST_F(DeviceFullTest, ExhaustedRemoteBudgetSurfacesAsDeviceFull)
+{
+    VirtualClock clock;
+    RssdDevice dev(tinyRemote(/*gc=*/false), clock);
+
+    const nvme::HostStatus status = churn(dev, 2000);
+    EXPECT_EQ(status, nvme::HostStatus::DeviceFull);
+    EXPECT_EQ(dev.backupStore().lastRejectReason(),
+              remote::RejectReason::CapacityExceeded);
+    EXPECT_GT(dev.stats().deviceFullErrors, 0u);
+    // The guarantee held the whole way down: nothing retained was
+    // dropped to make room.
+    EXPECT_GT(dev.retention().size(), 0u);
+    EXPECT_EQ(dev.ftl().heldPageCount(), dev.retention().size());
+    EXPECT_TRUE(dev.backupStore().verifyFullChain());
+}
+
+TEST_F(DeviceFullTest, RetentionGcMakesDeviceFullUnreachable)
+{
+    VirtualClock clock;
+    RssdDevice dev(tinyRemote(/*gc=*/true), clock);
+
+    // Same workload, GC on: the remote expires its oldest segments
+    // under pressure, offload keeps draining, the host never errors.
+    const nvme::HostStatus status = churn(dev, 2000);
+    EXPECT_EQ(status, nvme::HostStatus::Success);
+    EXPECT_EQ(dev.stats().deviceFullErrors, 0u);
+    EXPECT_GT(dev.backupStore().stats().segmentsPruned, 0u);
+    EXPECT_LE(dev.backupStore().usedBytes(),
+              dev.backupStore().capacityBytes());
+    EXPECT_TRUE(dev.backupStore().verifyFullChain());
 }
 
 } // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "remote/backup_cluster.hh"
 
 #include "tests/common/segment_chain.hh"
@@ -243,6 +245,95 @@ TEST(BackupCluster, RejectionsDoNotPoisonTheStream)
     EXPECT_FALSE(cluster.ingest(1, chain.next(), 0, ack));
     EXPECT_EQ(cluster.shardStats(0).segmentsRejected, 1u);
     EXPECT_TRUE(cluster.verifyAll()); // store stayed clean
+}
+
+TEST(BackupCluster, RejectedWorkIsAccountedApartFromThePipeline)
+{
+    // A flood of refused segments must not launder itself into the
+    // ingest pipeline's accounting: rejects get their own byte and
+    // latency counters, never advance batchFill, and leave the
+    // accepted backlog histogram untouched.
+    BackupCluster cluster(smallCluster(1));
+    test::SegmentChain chain("dev");
+    cluster.attachDevice(1, chain.codec());
+
+    Tick ack = 0;
+    ASSERT_TRUE(cluster.ingest(1, chain.next(), 0, ack));
+    const ShardIngestStats &before = cluster.shardStats(0);
+    const std::uint64_t batches_before = before.batches;
+    const std::uint32_t fill_before = before.maxBatchFill;
+    const std::uint64_t backlog_before = before.backlog.count();
+
+    // 20 replays of an already-stored segment: all refused.
+    const auto replay = chain.next();
+    std::uint64_t rejected_wire = 0;
+    ASSERT_TRUE(cluster.ingest(1, replay, units::MS, ack));
+    for (int i = 0; i < 20; i++) {
+        EXPECT_FALSE(
+            cluster.ingest(1, replay, 2 * units::MS, ack));
+        rejected_wire += replay.wireSize();
+    }
+
+    const ShardIngestStats &st = cluster.shardStats(0);
+    EXPECT_EQ(st.segmentsRejected, 20u);
+    EXPECT_EQ(st.rejectedBytes, rejected_wire);
+    EXPECT_EQ(st.rejectBacklog.count(), 20u);
+    // Accepted-side accounting saw only the two accepted segments.
+    EXPECT_EQ(st.segmentsAccepted, 2u);
+    EXPECT_EQ(st.backlog.count(), backlog_before + 1);
+    // No reject opened a batch or grew one: batch stats move only
+    // with accepted segments.
+    EXPECT_LE(st.batches, batches_before + 1);
+    EXPECT_EQ(st.maxBatchFill, std::max(fill_before, 1u));
+    EXPECT_DOUBLE_EQ(st.meanBatchSegments(),
+                     static_cast<double>(st.segmentsAccepted) /
+                         static_cast<double>(st.batches));
+}
+
+TEST(BackupCluster, EvictionHoldForwardsToThePinnedShard)
+{
+    BackupCluster cluster(smallCluster(2));
+    test::SegmentChain chain("held-dev");
+    const ShardId shard = cluster.attachDevice(3, chain.codec());
+
+    EXPECT_FALSE(cluster.evictionHold(3));
+    cluster.setEvictionHold(3, true);
+    EXPECT_TRUE(cluster.evictionHold(3));
+    EXPECT_TRUE(cluster.shardStore(shard).evictionHold(3));
+    EXPECT_EQ(cluster.shardStore(shard).heldStreams(), 1u);
+    cluster.setEvictionHold(3, false);
+    EXPECT_FALSE(cluster.evictionHold(3));
+}
+
+TEST(BackupCluster, RunRetentionGcSweepsEveryShard)
+{
+    BackupClusterConfig cfg = smallCluster(2);
+    cfg.shard.retention.gcEnabled = true;
+    cfg.shard.retention.retentionWindow = 10 * units::MS;
+    BackupCluster cluster(cfg);
+
+    std::vector<test::SegmentChain> chains;
+    for (int d = 0; d < 4; d++) {
+        chains.emplace_back("sweep-" + std::to_string(d), 100 + d);
+        cluster.attachDevice(d, chains.back().codec());
+    }
+    Tick ack = 0;
+    for (int round = 0; round < 3; round++) {
+        for (int d = 0; d < 4; d++) {
+            ASSERT_TRUE(cluster.ingest(d, chains[d].next(2, 256),
+                                       Tick(round) * units::MS,
+                                       ack));
+        }
+    }
+    ASSERT_EQ(cluster.totalSegments(), 12u);
+
+    cluster.runRetentionGc(units::SEC); // far past the window
+    EXPECT_EQ(cluster.totalSegments(), 0u);
+    std::uint64_t pruned = 0;
+    for (ShardId s = 0; s < cluster.shardCount(); s++)
+        pruned += cluster.shardStore(s).stats().segmentsPruned;
+    EXPECT_EQ(pruned, 12u);
+    EXPECT_TRUE(cluster.verifyAll()); // re-anchors all verify
 }
 
 } // namespace

@@ -197,9 +197,14 @@ TEST(FleetSim, GoldenReportDigest)
     // Digest history (every bump must name its schema change):
     //   622082...ca02e — schema 1 (PR 3, no schema field)
     //   8a775b...95a6  — schema 2 (PR 4: "schema" field added)
+    //   f7d689...af10  — schema 3 (PR 5: retention-GC lifecycle —
+    //                    per-shard rejectedBytes/segmentsPruned/
+    //                    bytesPruned/heldStreams, totals
+    //                    segmentsPruned/bytesPruned, per-device
+    //                    remoteRejects)
     EXPECT_EQ(digest,
-              "8a775b83707a4095a4822c1cd292e489d408fc195c0dc6e9187"
-              "e8939d93595a6");
+              "f7d689b058f324f69b923e6fdeec55a3543f7e15dac6138905c"
+              "f36546da2af10");
 }
 
 } // namespace

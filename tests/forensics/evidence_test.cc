@@ -220,6 +220,120 @@ TEST_F(EvidenceScannerTest, IncrementalPassVerifiesOnlyNewSuffix)
     EXPECT_EQ(scanner.total().segmentsVerified, total_now);
 }
 
+/** One fleet-mode device against a GC-enabled single-shard cluster.
+ *  The retention window is huge, so nothing expires during ingest;
+ *  tests force pruning by running the GC "in the future". */
+class PrunedScannerTest : public ::testing::Test
+{
+  protected:
+    PrunedScannerTest()
+        : cluster_(clusterConfig()), portal_(cluster_, 0),
+          dev_(deviceConfig(), clock_, portal_)
+    {
+        cluster_.attachDevice(0, dev_.codec());
+    }
+
+    static remote::BackupClusterConfig
+    clusterConfig()
+    {
+        remote::BackupClusterConfig cfg;
+        cfg.shards = 1;
+        cfg.shard.retention.gcEnabled = true;
+        cfg.shard.retention.retentionWindow = units::HOUR;
+        return cfg;
+    }
+
+    static core::RssdConfig
+    deviceConfig()
+    {
+        core::RssdConfig cfg = core::RssdConfig::forTests();
+        cfg.segmentPages = 8;
+        cfg.pumpThreshold = 8;
+        return cfg;
+    }
+
+    void
+    writeAndDrain(int pages, std::uint8_t fill)
+    {
+        for (int i = 0; i < pages; i++) {
+            dev_.writePage(static_cast<flash::Lpa>(i % 16),
+                           std::vector<std::uint8_t>(dev_.pageSize(),
+                                                     fill));
+        }
+        dev_.drainOffload();
+    }
+
+    /** Age-expire every segment ingested so far. */
+    std::uint64_t
+    pruneEverything()
+    {
+        cluster_.runRetentionGc(clock_.now() + 2 * units::HOUR);
+        return cluster_.shardStore(0).prunedSegments(0);
+    }
+
+    remote::BackupCluster cluster_;
+    remote::ClusterPortal portal_;
+    VirtualClock clock_;
+    core::RssdDevice dev_;
+};
+
+TEST_F(PrunedScannerTest, PrunedStreamResumesFromSignedRecord)
+{
+    // The stream is pruned BEFORE the scanner's first contact: the
+    // expired prefix is evidence the analysis will never see. The
+    // scanner must resume from the signed prune record, count the
+    // loss, and verify the surviving suffix.
+    writeAndDrain(64, 0x11);
+    const std::uint64_t pruned = pruneEverything();
+    ASSERT_GT(pruned, 0u);
+
+    // New post-prune evidence so there is a suffix to verify.
+    writeAndDrain(16, 0x22);
+
+    EvidenceScanner scanner(cluster_);
+    scanner.scan();
+    const StreamEvidence &ev = scanner.evidence(0);
+    EXPECT_TRUE(ev.intact);
+    EXPECT_EQ(ev.segmentsPruned, pruned);
+    EXPECT_EQ(ev.segmentsPrunedUnseen, pruned);
+    EXPECT_EQ(ev.reanchors, 1u);
+    EXPECT_GT(ev.entriesPruned, 0u);
+    // Replay starts at the horizon, not at genesis.
+    ASSERT_FALSE(ev.entries.empty());
+    EXPECT_EQ(ev.entries.front().logSeq, ev.entriesPruned);
+}
+
+TEST_F(PrunedScannerTest, HorizonOvertakingCursorKeepsCache)
+{
+    // Pass 1 verifies batch A; batch B arrives unscanned; then the
+    // GC expires A and B both — the horizon is now PAST the
+    // cursor. The scanner must re-anchor, count only the
+    // never-seen batch B as lost, and keep batch A's replayed
+    // entries in the verified-prefix cache.
+    writeAndDrain(64, 0x11); // batch A
+    EvidenceScanner scanner(cluster_);
+    scanner.scan();
+    const std::uint64_t seen = scanner.evidence(0).segmentsVerified;
+    const std::uint64_t cached = scanner.evidence(0).entries.size();
+    ASSERT_GT(seen, 0u);
+
+    writeAndDrain(64, 0x22); // batch B, never scanned
+    const std::uint64_t pruned = pruneEverything();
+    ASSERT_GT(pruned, seen);
+    writeAndDrain(16, 0x33); // batch C, the surviving suffix
+
+    scanner.scan();
+    const StreamEvidence &ev = scanner.evidence(0);
+    EXPECT_TRUE(ev.intact);
+    EXPECT_EQ(ev.segmentsPrunedUnseen, pruned - seen); // batch B only
+    EXPECT_EQ(ev.reanchors, 1u);
+    EXPECT_GT(ev.entries.size(), cached); // cache survived + C
+    // Cache is batch A from genesis, then the post-horizon suffix.
+    EXPECT_EQ(ev.entries.front().logSeq, 0u);
+    EXPECT_EQ(ev.entries.back().logSeq,
+              ev.entriesPruned + (ev.entries.size() - cached) - 1);
+}
+
 TEST_F(EvidenceScannerTest, ScanMatchesStoreVerifyFullChain)
 {
     writeAndDrain(dev0_, 40, 0x44);

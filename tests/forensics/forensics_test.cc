@@ -137,6 +137,65 @@ TEST(Forensics, ShardFloodClassifiedFromEvidence)
     }
 }
 
+TEST(Forensics, CapacityBoundedFloodPrunesButVictimsRecover)
+{
+    // The acceptance scenario for the retention GC: a shard-flood
+    // against capacity-bounded, GC-enabled shards. The flood must
+    // force real pruning (no permanent CapacityExceeded wall), yet
+    // suspicion holds + per-stream quotas keep the victims'
+    // pre-attack evidence inside the window: every stream still
+    // chain-verifies (pruned ones via their signed re-anchor
+    // records) and every encryptor victim recovers to 100% intact.
+    fleet::FleetConfig cfg =
+        acceptanceFleet(fleet::Scenario::ShardFlood, 7);
+    cfg.campaign.floodPages = 512;
+    cfg.campaign.floodSpanFraction = 0.02;
+    cfg.cluster.shard.capacityBytes = 2 * units::MiB;
+    cfg.cluster.shard.retention.gcEnabled = true;
+    fleet::FleetScheduler sched(cfg);
+    const fleet::FleetReport fleet_rep = sched.run();
+
+    // The flood hit the capacity wall and fought the window instead
+    // of stalling on it: segments were pruned, chains re-anchored,
+    // and every shard still verifies end to end.
+    EXPECT_GT(fleet_rep.totalSegmentsPruned, 0u);
+    EXPECT_GT(fleet_rep.totalBytesPruned, 0u);
+    EXPECT_TRUE(fleet_rep.allChainsOk);
+
+    // Detector alarms placed eviction holds on flagged streams.
+    std::uint64_t held = 0;
+    for (const fleet::ShardReport &s : fleet_rep.shardReports)
+        held += s.heldStreams;
+    EXPECT_GT(held, 0u);
+
+    const ForensicsReport rep = sched.runForensics();
+    EXPECT_EQ(rep.totalSegmentsPruned, fleet_rep.totalSegmentsPruned);
+
+    // Forensics walked the pruned streams by resuming from their
+    // signed prune records — and every chain held up.
+    std::uint64_t reanchors = 0;
+    for (const DeviceFinding &f : rep.correlation.findings) {
+        EXPECT_TRUE(f.chainIntact) << "device " << f.device;
+        reanchors += f.reanchors;
+    }
+    EXPECT_GT(reanchors, 0u);
+
+    // Every encryptor victim's pre-attack evidence survived the
+    // flood: recovery runs to completion, 100% intact.
+    std::uint64_t victims = 0;
+    for (const RecoveryOutcome &r : rep.recovery) {
+        const auto idx = static_cast<std::uint32_t>(r.device);
+        if (fleet_rep.deviceReports[idx].role != "encryptor")
+            continue;
+        victims++;
+        EXPECT_FALSE(r.beforePrunedHorizon) << "device " << r.device;
+        EXPECT_EQ(r.unresolved, 0u) << "device " << r.device;
+        EXPECT_DOUBLE_EQ(r.victimIntactAfter, 1.0)
+            << "device " << r.device;
+    }
+    EXPECT_GT(victims, 0u);
+}
+
 TEST(Forensics, BenignFleetRaisesNothing)
 {
     fleet::FleetScheduler sched(
@@ -185,6 +244,11 @@ TEST(Forensics, GoldenReportDigest)
     // scenario/seed). Digest history (every bump must name its
     // schema change):
     //   254f98...b529 — schema 1 (PR 4, initial)
+    //   f8b3f4...9b14 — schema 2 (PR 5: retention-GC counters —
+    //                   source segmentsPruned/bytesPruned, per-
+    //                   finding segmentsPruned/entriesPruned/
+    //                   reanchors, per-recovery
+    //                   beforePrunedHorizon)
     fleet::FleetScheduler sched(
         acceptanceFleet(fleet::Scenario::Outbreak, 7));
     sched.run();
@@ -192,8 +256,8 @@ TEST(Forensics, GoldenReportDigest)
     const std::string digest = crypto::toHex(
         crypto::Sha256::hash(json.data(), json.size()));
     EXPECT_EQ(digest,
-              "254f98c44622d34d275d14c0eb0c08967aeb87783963dd67321"
-              "186aeb35ab529");
+              "f8b3f4848734e76bf9f4e5b79b8fb764912cb8a998202e93b1b"
+              "64369bb369b14");
 }
 
 TEST(Forensics, IncrementalReanalysisIsONew)

@@ -190,6 +190,70 @@ TEST(SegmentCodec, ChainTailTamperDetected)
     EXPECT_FALSE(codec.verify(sealed));
 }
 
+// ---------------------------------------------------------------------
+// Prune records (retention-GC chain re-anchors)
+// ---------------------------------------------------------------------
+
+PruneRecord
+samplePrune()
+{
+    PruneRecord rec;
+    rec.stream = 7;
+    rec.upToId = 41;
+    rec.segmentsPruned = 42;
+    rec.entriesPruned = 1337;
+    rec.bytesPruned = 9 * units::MiB;
+    rec.prunedAt = 5 * units::SEC;
+    rec.anchor.fill(0xAB);
+    return rec;
+}
+
+TEST(PruneRecord, SealVerifyRoundtrip)
+{
+    const SegmentCodec codec = SegmentCodec::fromSeed("prune-key");
+    PruneRecord rec = samplePrune();
+    codec.sealPrune(rec);
+    EXPECT_TRUE(codec.verifyPrune(rec));
+}
+
+TEST(PruneRecord, EveryFieldIsAuthenticated)
+{
+    const SegmentCodec codec = SegmentCodec::fromSeed("prune-key");
+    PruneRecord rec = samplePrune();
+    codec.sealPrune(rec);
+
+    PruneRecord t = rec;
+    t.stream ^= 1;
+    EXPECT_FALSE(codec.verifyPrune(t));
+    t = rec;
+    t.upToId ^= 1;
+    EXPECT_FALSE(codec.verifyPrune(t));
+    t = rec;
+    t.segmentsPruned ^= 1;
+    EXPECT_FALSE(codec.verifyPrune(t));
+    t = rec;
+    t.entriesPruned ^= 1;
+    EXPECT_FALSE(codec.verifyPrune(t));
+    t = rec;
+    t.bytesPruned ^= 1;
+    EXPECT_FALSE(codec.verifyPrune(t));
+    t = rec;
+    t.prunedAt ^= 1;
+    EXPECT_FALSE(codec.verifyPrune(t));
+    t = rec;
+    t.anchor[0] ^= 1;
+    EXPECT_FALSE(codec.verifyPrune(t));
+}
+
+TEST(PruneRecord, WrongKeyRejected)
+{
+    const SegmentCodec codec = SegmentCodec::fromSeed("prune-key");
+    PruneRecord rec = samplePrune();
+    codec.sealPrune(rec);
+    const SegmentCodec other = SegmentCodec::fromSeed("other-key");
+    EXPECT_FALSE(other.verifyPrune(rec));
+}
+
 using SegmentDeathTest = ::testing::Test;
 
 TEST(SegmentDeathTest, OpenTamperedPanics)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "remote/backup_store.hh"
 
 #include "sim/rng.hh"
@@ -192,6 +194,20 @@ TEST_F(StoreTest, StatsTrack)
     EXPECT_GT(store_.stats().bytesStored, 0u);
 }
 
+TEST_F(StoreTest, CapacityAccountsWireBytesNotJustPayload)
+{
+    // The budget must track what the wire actually carries (header
+    // + payload = wireSize()), or Figure 2's retention-time math
+    // (capacity / ingest rate) drifts from reality by the header
+    // bytes of every segment.
+    Tick ack = 0;
+    const log::SealedSegment seg = nextSegment(3, 512);
+    ASSERT_TRUE(store_.ingestSegment(seg, 0, ack));
+    EXPECT_EQ(store_.usedBytes(), seg.wireSize());
+    EXPECT_GT(store_.usedBytes(), seg.payload.size());
+    EXPECT_EQ(store_.stats().bytesStored, seg.wireSize());
+}
+
 TEST_F(StoreTest, RejectReasonNames)
 {
     EXPECT_STREQ(rejectReasonName(RejectReason::None), "none");
@@ -310,6 +326,242 @@ TEST_F(MultiStreamStoreTest, CapacityBudgetIsShared)
     EXPECT_EQ(store_.lastRejectReason(),
               RejectReason::CapacityExceeded);
     EXPECT_LE(store_.usedBytes(), store_.capacityBytes());
+}
+
+// ---------------------------------------------------------------------
+// Retention-window GC: age expiry, watermark eviction, suspicion
+// holds, per-stream quotas, and chain re-anchoring via PruneRecord.
+// ---------------------------------------------------------------------
+
+class RetentionGcTest : public ::testing::Test
+{
+  protected:
+    RetentionGcTest()
+        : chainA_("gc-device-a", 11), chainB_("gc-device-b", 22)
+    {
+    }
+
+    /** Store with GC enabled. @p window 0 = watermark only. */
+    std::unique_ptr<BackupStore>
+    makeStore(std::uint64_t capacity, Tick window)
+    {
+        BackupStoreConfig cfg;
+        cfg.capacityBytes = capacity;
+        cfg.retention.gcEnabled = true;
+        cfg.retention.retentionWindow = window;
+        auto store = std::make_unique<BackupStore>(cfg);
+        store->registerStream(1, chainA_.codec());
+        store->registerStream(2, chainB_.codec());
+        return store;
+    }
+
+    test::SegmentChain chainA_;
+    test::SegmentChain chainB_;
+};
+
+TEST_F(RetentionGcTest, AgeExpiryPrunesPastTheWindow)
+{
+    auto store = makeStore(64 * units::MiB, 10 * units::MS);
+    Tick ack = 0;
+    for (int i = 0; i < 4; i++) {
+        ASSERT_TRUE(store->ingestSegment(
+            1, chainA_.next(3, 2048), Tick(i) * units::MS, ack));
+    }
+    ASSERT_EQ(store->liveSegmentCount(), 4u);
+
+    // An arrival at t=12ms expires the segments from t=0,1,2ms
+    // (arrival + window <= now); t=3ms is still inside the window.
+    ASSERT_TRUE(store->ingestSegment(1, chainA_.next(3, 2048),
+                                     12 * units::MS, ack));
+    EXPECT_EQ(store->prunedSegments(1), 3u);
+    EXPECT_EQ(store->liveSegmentCount(), 2u);
+    EXPECT_EQ(store->stats().agePrunes, 3u);
+    EXPECT_EQ(store->stats().pressurePrunes, 0u);
+    EXPECT_TRUE(store->verifyFullChain());
+
+    const log::PruneRecord *rec = store->pruneRecordOf(1);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->stream, 1u);
+    EXPECT_EQ(rec->upToId, 2u);
+    EXPECT_EQ(rec->segmentsPruned, 3u);
+    EXPECT_EQ(rec->entriesPruned, 9u);
+    EXPECT_EQ(rec->prunedAt, 12 * units::MS);
+    EXPECT_TRUE(chainA_.codec().verifyPrune(*rec));
+}
+
+TEST_F(RetentionGcTest, UsedBytesShrinkWithEveryPrune)
+{
+    auto store = makeStore(64 * units::MiB, 1 * units::MS);
+    Tick ack = 0;
+    ASSERT_TRUE(
+        store->ingestSegment(1, chainA_.next(2, 4096), 0, ack));
+    const std::uint64_t used_one = store->usedBytes();
+    ASSERT_TRUE(store->ingestSegment(1, chainA_.next(2, 4096),
+                                     10 * units::MS, ack));
+    // The first segment expired on the second arrival.
+    EXPECT_EQ(store->prunedSegments(1), 1u);
+    EXPECT_LE(store->usedBytes(), used_one + 4096 + 4096);
+    EXPECT_EQ(store->stats().bytesPruned, used_one);
+    EXPECT_EQ(store->usedBytes(),
+              store->stats().bytesStored - store->stats().bytesPruned);
+}
+
+TEST_F(RetentionGcTest, WatermarkEvictionSustainsIngest)
+{
+    // Two streams, no age horizon: only capacity pressure prunes.
+    // 60 segments of ~56 KiB incompressible pages through a 1 MiB
+    // budget: without GC this walls at ~18 segments; with GC every
+    // arrival must be accepted and occupancy must end between the
+    // watermarks.
+    auto store = makeStore(1 * units::MiB, 0);
+    Tick ack = 0;
+    for (int i = 0; i < 60; i++) {
+        test::SegmentChain &c = i % 2 ? chainA_ : chainB_;
+        const StreamId stream = i % 2 ? 1 : 2;
+        ASSERT_TRUE(store->ingestSegment(stream,
+                                         c.next(2, 56 * 1024),
+                                         Tick(i) * units::MS, ack))
+            << "segment " << i << " rejected: "
+            << rejectReasonName(store->lastRejectReason());
+    }
+    EXPECT_EQ(store->stats().segmentsRejected, 0u);
+    EXPECT_GT(store->stats().pressurePrunes, 0u);
+    EXPECT_LE(store->usedBytes(), store->capacityBytes());
+    EXPECT_TRUE(store->verifyFullChain());
+    // Both streams still have a live suffix and both re-anchor.
+    EXPECT_GT(store->streamSegments(1).size(), 0u);
+    EXPECT_GT(store->streamSegments(2).size(), 0u);
+    EXPECT_NE(store->pruneRecordOf(1), nullptr);
+    EXPECT_NE(store->pruneRecordOf(2), nullptr);
+}
+
+TEST_F(RetentionGcTest, FullyPrunedStreamStillIngests)
+{
+    auto store = makeStore(64 * units::MiB, 5 * units::MS);
+    Tick ack = 0;
+    for (int i = 0; i < 3; i++) {
+        ASSERT_TRUE(store->ingestSegment(1, chainA_.next(2, 512),
+                                         Tick(i) * units::MS, ack));
+    }
+    store->runRetentionGc(units::SEC); // everything past the window
+    EXPECT_EQ(store->streamSegments(1).size(), 0u);
+    EXPECT_EQ(store->prunedSegments(1), 3u);
+    EXPECT_TRUE(store->verifyFullChain()); // record alone verifies
+
+    // The device continues its chain; the store accepts because the
+    // per-stream tail (lastId/chainTail) survives a full prune.
+    ASSERT_TRUE(store->ingestSegment(1, chainA_.next(2, 512),
+                                     units::SEC + 1, ack));
+    EXPECT_EQ(store->streamSegments(1).size(), 1u);
+    EXPECT_TRUE(store->verifyFullChain());
+}
+
+TEST_F(RetentionGcTest, EvictionHoldShieldsFlaggedStream)
+{
+    auto store = makeStore(64 * units::MiB, 5 * units::MS);
+    Tick ack = 0;
+    for (int i = 0; i < 3; i++) {
+        ASSERT_TRUE(store->ingestSegment(1, chainA_.next(2, 512),
+                                         Tick(i) * units::MS, ack));
+        ASSERT_TRUE(store->ingestSegment(2, chainB_.next(2, 512),
+                                         Tick(i) * units::MS, ack));
+    }
+    store->setEvictionHold(1, true);
+    EXPECT_TRUE(store->evictionHold(1));
+    EXPECT_EQ(store->heldStreams(), 1u);
+
+    store->runRetentionGc(units::SEC);
+    // The held stream kept everything past the window; the unheld
+    // one expired.
+    EXPECT_EQ(store->prunedSegments(1), 0u);
+    EXPECT_EQ(store->streamSegments(1).size(), 3u);
+    EXPECT_EQ(store->prunedSegments(2), 3u);
+    EXPECT_TRUE(store->verifyFullChain());
+
+    // Releasing the hold re-exposes the stream to the window.
+    store->setEvictionHold(1, false);
+    store->runRetentionGc(2 * units::SEC);
+    EXPECT_EQ(store->prunedSegments(1), 3u);
+}
+
+TEST_F(RetentionGcTest, QuotaBackstopPrunesHeldFlooderNotHeldVictim)
+{
+    // Victim (stream 1): small, flagged, held. Flooder (stream 2):
+    // flagged and held too — but flooding. The quota backstop must
+    // keep ingest alive by pruning the flooder past its quota while
+    // the victim's evidence survives untouched: a flooding attacker
+    // can only shorten its OWN retention window.
+    auto store = makeStore(1 * units::MiB, 0);
+    Tick ack = 0;
+    for (int i = 0; i < 3; i++) {
+        ASSERT_TRUE(store->ingestSegment(1, chainA_.next(2, 2048),
+                                         Tick(i) * units::MS, ack));
+    }
+    store->setEvictionHold(1, true);
+    store->setEvictionHold(2, true);
+
+    for (int i = 0; i < 60; i++) {
+        ASSERT_TRUE(store->ingestSegment(
+            2, chainB_.next(2, 56 * 1024),
+            (10 + Tick(i)) * units::MS, ack))
+            << "flood segment " << i << " rejected: "
+            << rejectReasonName(store->lastRejectReason());
+    }
+    EXPECT_EQ(store->prunedSegments(1), 0u); // victim untouched
+    EXPECT_GT(store->prunedSegments(2), 0u); // flooder pays
+    EXPECT_LE(store->streamLiveBytes(2),
+              store->capacityBytes()); // and stays bounded
+    EXPECT_EQ(store->stats().segmentsRejected, 0u);
+    EXPECT_TRUE(store->verifyFullChain());
+}
+
+TEST_F(RetentionGcTest, GcDisabledStaysAppendOnly)
+{
+    BackupStoreConfig cfg;
+    cfg.capacityBytes = 256 * units::KiB;
+    ASSERT_FALSE(cfg.retention.gcEnabled); // the default
+    BackupStore store(cfg);
+    store.registerStream(1, chainA_.codec());
+
+    Tick ack = 0;
+    bool rejected = false;
+    for (int i = 0; i < 40 && !rejected; i++) {
+        rejected = !store.ingestSegment(
+            1, chainA_.next(1, 56 * 1024), Tick(i) * units::MS, ack);
+    }
+    EXPECT_TRUE(rejected);
+    EXPECT_EQ(store.lastRejectReason(),
+              RejectReason::CapacityExceeded);
+    store.runRetentionGc(units::SEC); // no-op when disabled
+    EXPECT_EQ(store.stats().segmentsPruned, 0u);
+}
+
+TEST_F(RetentionGcTest, PrunedSlotsAreTombstonedThenRecycled)
+{
+    auto store = makeStore(64 * units::MiB, 1 * units::MS);
+    Tick ack = 0;
+    ASSERT_TRUE(
+        store->ingestSegment(1, chainA_.next(2, 512), 0, ack));
+    ASSERT_TRUE(
+        store->ingestSegment(1, chainA_.next(2, 512), 0, ack));
+
+    // An operator GC pass expires both: the slots become
+    // tombstones (sealedSegment() would panic on them).
+    store->runRetentionGc(2 * units::MS);
+    EXPECT_EQ(store->stats().segmentsPruned, 2u);
+    EXPECT_TRUE(store->segmentPruned(0));
+    EXPECT_TRUE(store->segmentPruned(1));
+    EXPECT_EQ(store->segmentCount(), 2u);
+    EXPECT_EQ(store->liveSegmentCount(), 0u);
+
+    // The next arrival recycles a tombstoned slot instead of
+    // growing storage — memory is bounded by the capacity budget,
+    // not by segments ever ingested.
+    ASSERT_TRUE(store->ingestSegment(1, chainA_.next(2, 512),
+                                     10 * units::MS, ack));
+    EXPECT_EQ(store->segmentCount(), 2u); // no growth
+    EXPECT_EQ(store->liveSegmentCount(), 1u);
+    EXPECT_TRUE(store->verifyFullChain());
 }
 
 } // namespace
