@@ -16,6 +16,20 @@
  *                           i.e. suspicion holds kept the flood
  *                           from evicting victims' evidence.
  *
+ * Replication & membership knobs:
+ *   --replication R         replica-set size per stream (quorum
+ *                           ingest at R/2+1 acks; default 1)
+ *   --crash-shard S         fail-stop shard S mid-run (no migration)
+ *   --crash-at-ms T         crash time (default 60, mid-outbreak)
+ *   --join-at-ms T          a fresh shard joins + rebalances at T
+ *   --leave-shard S         shard S leaves gracefully (migrate off)
+ *   --leave-at-ms T         departure time (default 60)
+ *   --replication-check     run post-campaign forensics + recovery
+ *                           and exit non-zero unless the campaign's
+ *                           ground truth was reconstructed and every
+ *                           victim recovered 100% intact from a
+ *                           live (surviving) replica.
+ *
  * Determinism: the same flags (and RSSD_SMOKE setting) produce a
  * byte-identical report, including the JSON file — diff two runs to
  * convince yourself. Scenarios: benign, outbreak, staggered,
@@ -40,7 +54,11 @@ const char *kUsage =
     "rssd_fleet [--devices N] [--shards M] [--scenario "
     "benign|outbreak|staggered|shard-flood] [--seed S] [--ops N] "
     "[--shard-capacity-mb N] [--retention-ms N] [--flood-pages N] "
-    "[--retention-check] [--json PATH]";
+    "[--retention-check] [--replication R] [--crash-shard S] "
+    "[--crash-at-ms T] [--join-at-ms T] [--leave-shard S] "
+    "[--leave-at-ms T] [--replication-check] [--json PATH]";
+
+constexpr std::uint64_t kNoFlag = ~0ull;
 
 } // namespace
 
@@ -64,8 +82,34 @@ main(int argc, char **argv)
     cfg.campaign.floodPages =
         args.u64("--flood-pages", cfg.campaign.floodPages);
     const bool retention_check = args.flag("--retention-check");
+    cfg.replication =
+        static_cast<std::uint32_t>(args.u64("--replication", 1));
+    const std::uint64_t crash_shard =
+        args.u64("--crash-shard", kNoFlag);
+    const std::uint64_t crash_at_ms = args.u64("--crash-at-ms", 60);
+    const std::uint64_t join_at_ms =
+        args.u64("--join-at-ms", kNoFlag);
+    const std::uint64_t leave_shard =
+        args.u64("--leave-shard", kNoFlag);
+    const std::uint64_t leave_at_ms = args.u64("--leave-at-ms", 60);
+    const bool replication_check = args.flag("--replication-check");
     const std::string json_path = args.str("--json", "");
     args.finish(kUsage);
+
+    if (crash_shard != kNoFlag) {
+        cfg.membership.push_back(
+            {crash_at_ms * units::MS, fleet::MembershipKind::CrashShard,
+             static_cast<remote::ShardId>(crash_shard)});
+    }
+    if (join_at_ms != kNoFlag) {
+        cfg.membership.push_back({join_at_ms * units::MS,
+                                  fleet::MembershipKind::JoinShard, 0});
+    }
+    if (leave_shard != kNoFlag) {
+        cfg.membership.push_back(
+            {leave_at_ms * units::MS, fleet::MembershipKind::LeaveShard,
+             static_cast<remote::ShardId>(leave_shard)});
+    }
 
     if (capacity_mb > 0)
         cfg.cluster.shard.capacityBytes = capacity_mb * units::MiB;
@@ -86,9 +130,9 @@ main(int argc, char **argv)
         cfg.campaign.floodSpanFraction /= 10.0;
     }
 
-    std::printf("rssd_fleet: %u devices -> %u shards, scenario "
-                "\"%s\", seed %llu%s\n",
-                cfg.devices, cfg.shards,
+    std::printf("rssd_fleet: %u devices -> %u shards (R=%u), "
+                "scenario \"%s\", seed %llu%s\n",
+                cfg.devices, cfg.shards, cfg.replication,
                 fleet::scenarioName(cfg.campaign.scenario),
                 static_cast<unsigned long long>(cfg.seed),
                 smoke ? " [RSSD_SMOKE]" : "");
@@ -111,12 +155,12 @@ main(int argc, char **argv)
                         d.offload.segmentsAccepted));
     }
 
-    std::printf("\n%-6s %-8s %8s %8s %10s %12s %12s\n", "shard",
-                "devices", "segments", "batches", "stalls",
+    std::printf("\n%-6s %-9s %-8s %8s %8s %10s %12s %12s\n", "shard",
+                "status", "devices", "segments", "batches", "stalls",
                 "backlog-p99", "occupancy");
     for (const fleet::ShardReport &s : report.shardReports) {
-        std::printf("%-6u %-8llu %8llu %8llu %10llu %12s %12s\n",
-                    s.shard,
+        std::printf("%-6u %-9s %-8llu %8llu %8llu %10llu %12s %12s\n",
+                    s.shard, s.status.c_str(),
                     static_cast<unsigned long long>(s.devices),
                     static_cast<unsigned long long>(
                         s.segmentsAccepted),
@@ -144,6 +188,22 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         report.totalSegmentsPruned),
                     formatBytes(report.totalBytesPruned).c_str());
+    }
+    if (cfg.replication > 1 || !cfg.membership.empty()) {
+        const remote::ReplicationStats &rs = report.replicationStats;
+        std::printf("replication: R=%u, %u/%u shards live, %llu "
+                    "quorum writes (%llu partial, %llu stalls), "
+                    "%llu streams / %llu segments migrated (%s)\n",
+                    report.replication, report.liveShards,
+                    report.shards,
+                    static_cast<unsigned long long>(rs.quorumWrites),
+                    static_cast<unsigned long long>(rs.partialWrites),
+                    static_cast<unsigned long long>(rs.quorumStalls),
+                    static_cast<unsigned long long>(
+                        rs.streamsMigrated),
+                    static_cast<unsigned long long>(
+                        rs.segmentsMigrated),
+                    formatBytes(rs.bytesMigrated).c_str());
     }
 
     bool check_ok = true;
@@ -197,6 +257,53 @@ main(int argc, char **argv)
                             encryptors_checked),
                         static_cast<unsigned long long>(
                             report.totalSegmentsPruned));
+        }
+    }
+
+    if (replication_check) {
+        // The durability acceptance gate: after a membership fault
+        // (typically --crash-shard mid-outbreak), forensics over the
+        // surviving replicas must still reconstruct the campaign's
+        // ground truth, and every detected victim must restore to
+        // 100% intact with its history read from a live replica.
+        const forensics::ForensicsReport fr = sched.runForensics();
+        if (!fr.campaignClassMatch || !fr.patientZeroMatch ||
+            !fr.infectionOrderMatch) {
+            std::printf("replication-check: FAIL (ground truth not "
+                        "reconstructed from surviving replicas)\n");
+            check_ok = false;
+        }
+        std::uint64_t recovered = 0;
+        for (const forensics::RecoveryOutcome &r : fr.recovery) {
+            recovered++;
+            const bool live_source =
+                r.restoredFromShard != remote::kNoShard &&
+                sched.cluster().shardAlive(r.restoredFromShard);
+            if (r.victimIntactAfter != 1.0 || r.unresolved != 0 ||
+                !live_source) {
+                std::printf(
+                    "replication-check: FAIL (device %llu recovered "
+                    "%.3f intact, %llu unresolved, source shard "
+                    "%u)\n",
+                    static_cast<unsigned long long>(r.device),
+                    r.victimIntactAfter,
+                    static_cast<unsigned long long>(r.unresolved),
+                    r.restoredFromShard);
+                check_ok = false;
+            }
+        }
+        if (recovered == 0 &&
+            cfg.campaign.scenario != fleet::Scenario::Benign) {
+            std::printf("replication-check: FAIL (no device was "
+                        "detected and recovered)\n");
+            check_ok = false;
+        }
+        if (check_ok) {
+            std::printf("replication-check: OK (%llu devices, "
+                        "replica-sourced recovery 100%% intact, "
+                        "%u/%u shards live)\n",
+                        static_cast<unsigned long long>(recovered),
+                        report.liveShards, report.shards);
         }
     }
 

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "log/chain_verify.hh"
+#include "sim/logging.hh"
 
 namespace rssd::core {
 
@@ -19,6 +20,18 @@ DeviceHistory::DeviceHistory(RssdDevice &device,
     : device_(device)
 {
     build(store, stream);
+}
+
+DeviceHistory::DeviceHistory(RssdDevice &device,
+                             const remote::BackupCluster &cluster,
+                             remote::DeviceId id)
+    : device_(device)
+{
+    const remote::ShardId src = cluster.chainVerifyingReplicaOf(id);
+    panicIf(src == remote::kNoShard,
+            "DeviceHistory: no live replica holds the stream");
+    sourceShard_ = src;
+    build(cluster.shardStore(src), id);
 }
 
 void

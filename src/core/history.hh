@@ -20,6 +20,7 @@
 #include "core/rssd_device.hh"
 #include "log/oplog.hh"
 #include "log/segment.hh"
+#include "remote/backup_cluster.hh"
 
 namespace rssd::core {
 
@@ -67,6 +68,21 @@ class DeviceHistory
      */
     DeviceHistory(RssdDevice &device, const remote::BackupStore &store,
                   remote::StreamId stream);
+
+    /**
+     * Replicated fleet mode: the read source is chosen among the
+     * device's live replicas — the first chain-verifying copy wins
+     * (read-side voting), so after a shard crash the history builds
+     * entirely from a surviving replica. panic()s when the whole
+     * replica set is dead.
+     */
+    DeviceHistory(RssdDevice &device,
+                  const remote::BackupCluster &cluster,
+                  remote::DeviceId id);
+
+    /** Replica the history was fetched from (kNoShard outside the
+     *  cluster-sourced mode). */
+    remote::ShardId sourceShard() const { return sourceShard_; }
 
     /** All log entries, oldest first, remote then local tail. */
     const std::vector<log::LogEntry> &entries() const
@@ -126,6 +142,7 @@ class DeviceHistory
     std::vector<std::uint8_t> emptyContent_;
     std::uint64_t horizonSeq_ = 0; ///< first surviving logSeq
     bool pruned_ = false;
+    remote::ShardId sourceShard_ = remote::kNoShard;
     HistoryCost cost_;
 };
 

@@ -13,6 +13,13 @@ emitDevice(JsonWriter &j, const DeviceReport &d)
     j.open('{');
     j.key("device"); j.u64(d.device);
     j.key("shard"); j.u64(d.shard);
+    j.key("replicas");
+    j.open('[');
+    for (const remote::ShardId r : d.replicas) {
+        j.elem();
+        j.u64(r);
+    }
+    j.close(']');
     j.key("role"); j.str(d.role);
     j.key("attackStart"); j.u64(d.attackStart);
     j.key("attack");
@@ -52,9 +59,11 @@ emitShard(JsonWriter &j, const ShardReport &s)
 {
     j.open('{');
     j.key("shard"); j.u64(s.shard);
+    j.key("status"); j.str(s.status);
     j.key("devices"); j.u64(s.devices);
     j.key("segmentsAccepted"); j.u64(s.segmentsAccepted);
     j.key("segmentsRejected"); j.u64(s.segmentsRejected);
+    j.key("duplicates"); j.u64(s.duplicates);
     j.key("rejectedBytes"); j.u64(s.rejectedBytes);
     j.key("batches"); j.u64(s.batches);
     j.key("meanBatchSegments"); j.f64(s.meanBatchSegments);
@@ -86,6 +95,8 @@ FleetReport::toJson() const
     j.open('{');
     j.key("devices"); j.u64(devices);
     j.key("shards"); j.u64(shards);
+    j.key("replication"); j.u64(replication);
+    j.key("liveShards"); j.u64(liveShards);
     j.key("scenario"); j.str(scenario);
     j.key("seed"); j.u64(seed);
     j.key("opsPerDevice"); j.u64(opsPerDevice);
@@ -102,6 +113,14 @@ FleetReport::toJson() const
     j.key("backpressureStalls"); j.u64(totalBackpressureStalls);
     j.key("segmentsPruned"); j.u64(totalSegmentsPruned);
     j.key("bytesPruned"); j.u64(totalBytesPruned);
+    j.key("quorumWrites"); j.u64(replicationStats.quorumWrites);
+    j.key("quorumStalls"); j.u64(replicationStats.quorumStalls);
+    j.key("partialWrites"); j.u64(replicationStats.partialWrites);
+    j.key("streamsMigrated");
+    j.u64(replicationStats.streamsMigrated);
+    j.key("segmentsMigrated");
+    j.u64(replicationStats.segmentsMigrated);
+    j.key("bytesMigrated"); j.u64(replicationStats.bytesMigrated);
     j.key("makespanNs"); j.u64(makespan);
     j.key("allChainsOk"); j.boolean(allChainsOk);
     j.close('}');

@@ -42,14 +42,22 @@ namespace rssd::fleet {
  *       "segmentsPruned", "bytesPruned", "heldStreams"; totals
  *       "segmentsPruned", "bytesPruned"; per-device
  *       "remoteRejects".
+ *   4 — PR 6: replication & membership — "replication"/"liveShards"
+ *       under "fleet"; per-device "replicas" array; per-shard
+ *       "status" and "duplicates"; totals "quorumWrites",
+ *       "quorumStalls", "partialWrites", "streamsMigrated",
+ *       "segmentsMigrated", "bytesMigrated".
  */
-constexpr std::uint64_t kFleetReportSchema = 3;
+constexpr std::uint64_t kFleetReportSchema = 4;
 
 /** One device's slice of the fleet outcome. */
 struct DeviceReport
 {
     std::uint32_t device = 0;
+    /** Primary replica (the first member of the replica set). */
     remote::ShardId shard = 0;
+    /** The full pinned replica set, ring order. */
+    std::vector<remote::ShardId> replicas;
     std::string role;
     Tick attackStart = 0;
 
@@ -74,9 +82,13 @@ struct DeviceReport
 struct ShardReport
 {
     remote::ShardId shard = 0;
+    /** Membership state at the end of the run (shardStatusName). */
+    std::string status = "live";
     std::uint64_t devices = 0;
     std::uint64_t segmentsAccepted = 0;
     std::uint64_t segmentsRejected = 0;
+    /** Idempotent tail re-offers acked without storing twice. */
+    std::uint64_t duplicates = 0;
     std::uint64_t rejectedBytes = 0;
     std::uint64_t batches = 0;
     double meanBatchSegments = 0.0;
@@ -98,6 +110,8 @@ struct FleetReport
     // -- Config echo ----------------------------------------------------
     std::uint32_t devices = 0;
     std::uint32_t shards = 0;
+    std::uint32_t replication = 1;
+    std::uint32_t liveShards = 0;
     std::string scenario;
     std::uint64_t seed = 0;
     std::uint64_t opsPerDevice = 0;
@@ -115,6 +129,9 @@ struct FleetReport
     std::uint64_t totalBackpressureStalls = 0;
     std::uint64_t totalSegmentsPruned = 0;
     std::uint64_t totalBytesPruned = 0;
+    /** Replication & membership counters (quorum writes/stalls,
+     *  migration volume) — cluster-wide. */
+    remote::ReplicationStats replicationStats;
     Tick makespan = 0; ///< latest device clock at completion
     bool allChainsOk = true;
 

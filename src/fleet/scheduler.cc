@@ -79,9 +79,14 @@ FleetScheduler::FleetScheduler(const FleetConfig &config)
     panicIf(config.devices == 0, "FleetScheduler: zero devices");
     panicIf(config.shards == 0, "FleetScheduler: zero shards");
     panicIf(config.meanOpGap == 0, "FleetScheduler: meanOpGap == 0");
+    panicIf(config.replication == 0,
+            "FleetScheduler: replication == 0");
+    panicIf(config.replication > config.shards,
+            "FleetScheduler: replication exceeds shards");
 
     remote::BackupClusterConfig cluster_cfg = config_.cluster;
     cluster_cfg.shards = config_.shards;
+    cluster_cfg.replication = config_.replication;
     cluster_ = std::make_unique<remote::BackupCluster>(cluster_cfg);
 
     // Per-device seeds come off one master stream in device-id order:
@@ -249,9 +254,31 @@ FleetScheduler::run()
                     actor->id});
     }
 
+    // Membership events ride the same spine with ids past the device
+    // range, so the (tick, id) tie-break sorts them after every
+    // device wakeup at the same tick — deterministically.
+    for (std::uint32_t i = 0; i < config_.membership.size(); i++)
+        queue.push({config_.membership[i].at, config_.devices + i});
+
     while (!queue.empty()) {
         const auto [at, id] = queue.top();
         queue.pop();
+        if (id >= actors_.size()) {
+            const MembershipEvent &e =
+                config_.membership[id - config_.devices];
+            switch (e.kind) {
+              case MembershipKind::CrashShard:
+                cluster_->crashShard(e.shard);
+                break;
+              case MembershipKind::JoinShard:
+                cluster_->joinShard(at);
+                break;
+              case MembershipKind::LeaveShard:
+                cluster_->leaveShard(e.shard, at);
+                break;
+            }
+            continue;
+        }
         Actor &a = *actors_[id];
         a.clock.advanceTo(at);
         const Tick next = step(a);
@@ -322,9 +349,11 @@ FleetScheduler::runForensics(const forensics::ForensicsConfig &config)
         outcome.victimIntactBefore =
             a.victim ? a.victim->intactFraction(*a.dev) : 1.0;
 
-        const remote::BackupStore &store = cluster_->shardStore(
-            cluster_->shardOfDevice(f.device));
-        core::DeviceHistory history(*a.dev, store, f.device);
+        // Replica-aware restore: read from whichever live replica's
+        // copy of the stream chain-verifies (a crashed primary is
+        // invisible here — the history comes off a survivor).
+        core::DeviceHistory history(*a.dev, *cluster_, f.device);
+        outcome.restoredFromShard = history.sourceShard();
         core::RecoveryEngine engine(history);
         const core::RecoveryReport rec =
             engine.recoverToLogSeq(outcome.recoverySeq);
@@ -347,6 +376,8 @@ FleetScheduler::aggregate()
     FleetReport rep;
     rep.devices = config_.devices;
     rep.shards = cluster_->shardCount();
+    rep.replication = config_.replication;
+    rep.liveShards = cluster_->liveShardCount();
     rep.scenario = scenarioName(config_.campaign.scenario);
     rep.seed = config_.seed;
     rep.opsPerDevice = config_.opsPerDevice;
@@ -356,6 +387,7 @@ FleetScheduler::aggregate()
         DeviceReport d;
         d.device = a.id;
         d.shard = cluster_->shardOfDevice(a.id);
+        d.replicas = cluster_->replicaSetOf(a.id);
         d.role = roleName(plans_[a.id].role);
         d.attackStart = plans_[a.id].role == DeviceRole::Benign
             ? 0
@@ -398,9 +430,12 @@ FleetScheduler::aggregate()
         const remote::BackupStore &store = cluster_->shardStore(s);
         ShardReport sr;
         sr.shard = s;
+        sr.status =
+            remote::shardStatusName(cluster_->shardStatus(s));
         sr.devices = cluster_->shardDevices(s).size();
         sr.segmentsAccepted = st.segmentsAccepted;
         sr.segmentsRejected = st.segmentsRejected;
+        sr.duplicates = store.stats().duplicateSegments;
         sr.rejectedBytes = st.rejectedBytes;
         sr.batches = st.batches;
         sr.meanBatchSegments = st.meanBatchSegments();
@@ -415,7 +450,12 @@ FleetScheduler::aggregate()
         sr.segmentsPruned = store.stats().segmentsPruned;
         sr.bytesPruned = store.stats().bytesPruned;
         sr.heldStreams = store.heldStreams();
-        sr.chainOk = store.verifyFullChain();
+        // A crashed shard is fail-stop: its store is gone from the
+        // ring and never read again, so it neither vouches for nor
+        // taints the fleet's chain verdict.
+        sr.chainOk = cluster_->shardAlive(s)
+            ? store.verifyFullChain()
+            : true;
 
         rep.totalSegments += sr.segmentsAccepted;
         rep.totalBytesStored += sr.usedBytes;
@@ -425,6 +465,7 @@ FleetScheduler::aggregate()
         rep.allChainsOk = rep.allChainsOk && sr.chainOk;
         rep.shardReports.push_back(sr);
     }
+    rep.replicationStats = cluster_->replicationStats();
     return rep;
 }
 

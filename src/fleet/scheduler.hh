@@ -38,10 +38,31 @@
 
 namespace rssd::fleet {
 
+/** A scripted cluster-membership change during the run. */
+enum class MembershipKind : std::uint8_t {
+    CrashShard, ///< fail-stop, no migration: replica copies die
+    JoinShard,  ///< grow + rebalance (stream migration onto joiner)
+    LeaveShard, ///< graceful drain: migrate off, then depart
+};
+
+struct MembershipEvent
+{
+    Tick at = 0;
+    MembershipKind kind = MembershipKind::CrashShard;
+    /** Target shard (ignored for JoinShard — the joiner gets the
+     *  next fresh id). */
+    remote::ShardId shard = 0;
+};
+
 struct FleetConfig
 {
     std::uint32_t devices = 8;
     std::uint32_t shards = 2;
+
+    /** Replica-set size per device stream (overrides
+     *  cluster.replication; must be <= shards). */
+    std::uint32_t replication = 1;
+
     std::uint64_t seed = 1;
 
     /** Benign trace requests per device (attack ops are extra). */
@@ -62,6 +83,17 @@ struct FleetConfig
     workload::TraceProfile profile;
 
     CampaignConfig campaign;
+
+    /**
+     * Scripted membership changes (crash / join / leave), applied
+     * on the shared event spine at their tick — a membership event
+     * at tick T sorts after every device wakeup at T, so the
+     * interleaving stays a pure function of config and seed. A
+     * crash mid-campaign is the paper's evidence-loss scenario:
+     * with R >= 2 forensics and recovery read entirely from the
+     * surviving replicas.
+     */
+    std::vector<MembershipEvent> membership;
 
     /** Attach per-device online detectors and report their alarms. */
     bool attachDetectors = true;

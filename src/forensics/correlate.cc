@@ -41,6 +41,10 @@ correlate(const EvidenceScanner &scanner,
         f.segmentsPruned = ev.segmentsPruned;
         f.entriesPruned = ev.entriesPruned;
         f.reanchors = ev.reanchors;
+        f.replicas = ev.replicas;
+        f.replicasAlive = ev.replicasAlive;
+        f.tailVotes = ev.tailVotes;
+        f.failovers = ev.failovers;
         out.findings.push_back(std::move(f));
     }
 

@@ -46,6 +46,15 @@ struct DeviceFinding
     std::uint64_t entriesPruned = 0;
     /** Times the scanner re-anchored from the signed prune record. */
     std::uint64_t reanchors = 0;
+
+    // -- Replica view ------------------------------------------------------
+    /** Replica-set size / live members / tail-agreement votes at
+     *  the last scan (see StreamEvidence). */
+    std::uint32_t replicas = 0;
+    std::uint32_t replicasAlive = 0;
+    std::uint32_t tailVotes = 0;
+    /** Times the scan abandoned a dead or faulted source copy. */
+    std::uint64_t failovers = 0;
 };
 
 /** Campaign shape inferred from the evidence. */

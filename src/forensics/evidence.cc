@@ -1,5 +1,6 @@
 #include "forensics/evidence.hh"
 
+#include <algorithm>
 #include <deque>
 
 #include "sim/logging.hh"
@@ -11,77 +12,140 @@ EvidenceScanner::EvidenceScanner(const remote::BackupCluster &cluster)
 {
 }
 
+void
+EvidenceScanner::failOver(StreamState &st, remote::ShardId replica)
+{
+    // The cursor, verifier and entry cache are per-copy state:
+    // verification restarts from the new copy's genesis (or its
+    // prune horizon), and the re-verified suffix is honestly
+    // counted in the next pass's cost.
+    if (st.source != remote::kNoShard)
+        st.evidence.failovers++;
+    st.source = replica;
+    st.verifier = log::SegmentChainVerifier();
+    st.absPos = 0;
+    st.evidence.segmentsVerified = 0;
+    st.evidence.bytesVerified = 0;
+    st.evidence.entries.clear();
+    st.evidence.intact = true;
+    st.evidence.fault = log::ChainFault::None;
+    st.evidence.segmentsPrunedUnseen = 0;
+    st.evidence.reanchors = 0;
+}
+
 ScanPassCost
 EvidenceScanner::scan()
 {
     ScanPassCost pass;
 
-    for (remote::ShardId s = 0; s < cluster_.shardCount(); s++) {
-        const remote::BackupStore &store = cluster_.shardStore(s);
-        for (const remote::StreamId stream : store.streamIds()) {
-            auto [it, created] =
-                streams_.try_emplace(stream, StreamState{});
-            StreamState &st = it->second;
-            if (created) {
-                st.evidence.device = stream;
-                st.evidence.shard = s;
-            }
-            pass.streamsScanned++;
+    for (const DeviceId device : cluster_.attachedDevices()) {
+        auto [it, created] = streams_.try_emplace(device, StreamState{});
+        StreamState &st = it->second;
+        if (created)
+            st.evidence.device = device;
+        pass.streamsScanned++;
 
-            const std::deque<std::uint32_t> &stored =
-                store.streamSegments(stream);
-            const std::uint64_t pruned = store.prunedSegments(stream);
-            const log::PruneRecord *rec = store.pruneRecordOf(stream);
-            st.evidence.segmentsPruned = pruned;
-            if (rec != nullptr)
-                st.evidence.entriesPruned = rec->entriesPruned;
+        const std::vector<remote::ShardId> live =
+            cluster_.liveReplicasOf(device);
+        st.evidence.replicas = static_cast<std::uint32_t>(
+            cluster_.replicaSetOf(device).size());
+        st.evidence.replicasAlive =
+            static_cast<std::uint32_t>(live.size());
+        st.evidence.tailVotes = 0;
+        if (live.empty()) {
+            // The whole replica set is dead. The verified prefix
+            // cache is all the evidence that survives.
             pass.segmentsCached += st.evidence.segmentsVerified;
-            if (!st.evidence.intact)
-                continue; // untrusted suffix: never extend past a fault
-
-            const log::SegmentCodec &codec = store.streamCodec(stream);
-
-            // Retention GC overtook the cursor (or the stream was
-            // already pruned at first contact): resume from the
-            // signed prune record. Segments expired before we ever
-            // verified them are evidence lost to the analysis —
-            // counted, never silently skipped.
-            if (st.absPos < pruned) {
-                if (rec == nullptr ||
-                    !st.verifier.resumeFrom(*rec, codec)) {
-                    st.evidence.intact = false;
-                    st.evidence.fault =
-                        log::ChainFault::BadAuthentication;
-                    continue;
-                }
-                st.evidence.segmentsPrunedUnseen += pruned - st.absPos;
-                st.evidence.reanchors++;
-                st.absPos = pruned;
-            }
-
-            const std::uint64_t before = st.verifier.bytesVerified();
-            const std::uint64_t entries_before =
-                st.verifier.entriesVerified();
-            while (st.absPos - pruned < stored.size()) {
-                const std::uint32_t idx = stored[st.absPos - pruned];
-                log::Segment opened;
-                if (!st.verifier.verifyNext(store.sealedSegment(idx),
-                                            codec, &opened)) {
-                    st.evidence.intact = false;
-                    st.evidence.fault = st.verifier.fault();
-                    break;
-                }
-                st.absPos++;
-                st.evidence.segmentsVerified++;
-                pass.segmentsVerified++;
-                for (log::LogEntry &e : opened.entries)
-                    st.evidence.entries.push_back(std::move(e));
-            }
-            st.evidence.bytesVerified = st.verifier.bytesVerified();
-            pass.bytesVerified += st.verifier.bytesVerified() - before;
-            pass.entriesReplayed +=
-                st.verifier.entriesVerified() - entries_before;
+            continue;
         }
+
+        // Source selection (read-side voting): prefer any live
+        // chain-verifying copy. Re-select on first contact, when
+        // the current source died, or when it faulted — a replica
+        // fault is exactly what the other copies exist to outvote.
+        const bool source_dead =
+            st.source != remote::kNoShard &&
+            std::find(live.begin(), live.end(), st.source) ==
+                live.end();
+        if (st.source == remote::kNoShard || source_dead ||
+            !st.evidence.intact) {
+            const remote::ShardId pick =
+                cluster_.chainVerifyingReplicaOf(device);
+            if (pick != st.source)
+                failOver(st, pick);
+        }
+        st.evidence.shard = st.source;
+        const remote::BackupStore &store =
+            cluster_.shardStore(st.source);
+
+        const std::deque<std::uint32_t> &stored =
+            store.streamSegments(device);
+        const std::uint64_t pruned = store.prunedSegments(device);
+        const log::PruneRecord *rec = store.pruneRecordOf(device);
+        st.evidence.segmentsPruned = pruned;
+        st.evidence.entriesPruned =
+            rec != nullptr ? rec->entriesPruned : 0;
+        pass.segmentsCached += st.evidence.segmentsVerified;
+
+        // Tail voting across the live set: O(1) per replica — the
+        // chain-tail digest authenticates the whole history, so
+        // (lastId, tail) agreement is majority agreement on every
+        // byte of evidence without re-verifying any copy.
+        const remote::BackupStore::StreamTail tail =
+            store.streamTail(device);
+        for (const remote::ShardId r : live) {
+            const remote::BackupStore &peer = cluster_.shardStore(r);
+            if (peer.hasStream(device) &&
+                peer.streamTail(device) == tail) {
+                st.evidence.tailVotes++;
+            }
+        }
+
+        if (!st.evidence.intact)
+            continue; // untrusted suffix: never extend past a fault
+
+        const log::SegmentCodec &codec = store.streamCodec(device);
+
+        // Retention GC overtook the cursor (or the stream was
+        // already pruned at first contact): resume from the
+        // signed prune record. Segments expired before we ever
+        // verified them are evidence lost to the analysis —
+        // counted, never silently skipped.
+        if (st.absPos < pruned) {
+            if (rec == nullptr ||
+                !st.verifier.resumeFrom(*rec, codec)) {
+                st.evidence.intact = false;
+                st.evidence.fault =
+                    log::ChainFault::BadAuthentication;
+                continue;
+            }
+            st.evidence.segmentsPrunedUnseen += pruned - st.absPos;
+            st.evidence.reanchors++;
+            st.absPos = pruned;
+        }
+
+        const std::uint64_t before = st.verifier.bytesVerified();
+        const std::uint64_t entries_before =
+            st.verifier.entriesVerified();
+        while (st.absPos - pruned < stored.size()) {
+            const std::uint32_t idx = stored[st.absPos - pruned];
+            log::Segment opened;
+            if (!st.verifier.verifyNext(store.sealedSegment(idx),
+                                        codec, &opened)) {
+                st.evidence.intact = false;
+                st.evidence.fault = st.verifier.fault();
+                break;
+            }
+            st.absPos++;
+            st.evidence.segmentsVerified++;
+            pass.segmentsVerified++;
+            for (log::LogEntry &e : opened.entries)
+                st.evidence.entries.push_back(std::move(e));
+        }
+        st.evidence.bytesVerified = st.verifier.bytesVerified();
+        pass.bytesVerified += st.verifier.bytesVerified() - before;
+        pass.entriesReplayed +=
+            st.verifier.entriesVerified() - entries_before;
     }
 
     passes_++;

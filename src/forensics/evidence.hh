@@ -56,7 +56,23 @@ struct ScanPassCost
 struct StreamEvidence
 {
     DeviceId device = 0;
+    /** The replica the scanner currently reads from (the read-side
+     *  vote winner). */
     remote::ShardId shard = 0;
+
+    // -- Replica view ------------------------------------------------------
+
+    /** Pinned replica-set size (R). */
+    std::uint32_t replicas = 0;
+    /** Live members of the set at the last pass. */
+    std::uint32_t replicasAlive = 0;
+    /** Live replicas whose chain tail agrees with the source's —
+     *  O(1) per replica, the tail digest authenticates the whole
+     *  history (majority agreement, the ASPIS voting idiom). */
+    std::uint32_t tailVotes = 0;
+    /** Times the scanner abandoned a dead or faulted source copy
+     *  and re-verified the stream from another replica. */
+    std::uint64_t failovers = 0;
 
     /** False once a segment failed verification; the entry cache
      *  then holds exactly the trustworthy prefix. */
@@ -103,8 +119,13 @@ class EvidenceScanner
     EvidenceScanner &operator=(const EvidenceScanner &) = delete;
 
     /**
-     * Scan every stream on every shard, verifying segments appended
-     * since the previous pass (everything, on the first pass).
+     * Scan every attached device's stream, verifying segments
+     * appended since the previous pass (everything, on the first
+     * pass). Each stream is read from one *source replica* —
+     * preferring any live chain-verifying copy — and cross-checked
+     * against the other live replicas by tail voting; a dead or
+     * faulted source fails over to another copy (re-verified from
+     * its genesis, an honestly-counted cost).
      * @return the cost of this pass alone.
      */
     ScanPassCost scan();
@@ -128,9 +149,15 @@ class EvidenceScanner
         /** Absolute position of the next segment to verify, counted
          *  from the stream's genesis (pruned + verified). Stable
          *  across prunes, unlike indices into the shrinking stored
-         *  list. */
+         *  list. Per-copy state, like the verifier and the entry
+         *  cache: a failover resets all three. */
         std::uint64_t absPos = 0;
+        /** Source replica (kNoShard until the first pass). */
+        remote::ShardId source = remote::kNoShard;
     };
+
+    /** Abandon @p st's current copy and restart on @p replica. */
+    static void failOver(StreamState &st, remote::ShardId replica);
 
     const remote::BackupCluster &cluster_;
     /** Keyed by device id (== StreamId); ordered for determinism. */

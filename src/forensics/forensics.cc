@@ -13,9 +13,13 @@ analyzeCluster(EvidenceScanner &scanner, const ForensicsConfig &config,
     const remote::BackupCluster &cluster = scanner.cluster();
     report.devices = scanner.devices().size();
     report.shards = cluster.shardCount();
+    report.replication = cluster.config().replication;
+    report.liveShards = cluster.liveShardCount();
     report.totalSegments = cluster.totalSegments();
     report.totalBytesStored = cluster.totalUsedBytes();
     for (remote::ShardId s = 0; s < cluster.shardCount(); s++) {
+        if (!cluster.shardAlive(s))
+            continue; // a dead shard's copies no longer exist
         const remote::BackupStoreStats &st =
             cluster.shardStore(s).stats();
         report.totalSegmentsPruned += st.segmentsPruned;

@@ -41,6 +41,10 @@ emitFinding(JsonWriter &j, const DeviceFinding &f)
     j.key("segmentsPruned"); j.u64(f.segmentsPruned);
     j.key("entriesPruned"); j.u64(f.entriesPruned);
     j.key("reanchors"); j.u64(f.reanchors);
+    j.key("replicas"); j.u64(f.replicas);
+    j.key("replicasAlive"); j.u64(f.replicasAlive);
+    j.key("tailVotes"); j.u64(f.tailVotes);
+    j.key("failovers"); j.u64(f.failovers);
     j.close('}');
 }
 
@@ -83,6 +87,8 @@ ForensicsReport::toJson() const
     j.open('{');
     j.key("devices"); j.u64(devices);
     j.key("shards"); j.u64(shards);
+    j.key("replication"); j.u64(replication);
+    j.key("liveShards"); j.u64(liveShards);
     j.key("segments"); j.u64(totalSegments);
     j.key("bytesStored"); j.u64(totalBytesStored);
     j.key("segmentsPruned"); j.u64(totalSegmentsPruned);
@@ -148,6 +154,7 @@ ForensicsReport::toJson() const
         j.elem();
         j.open('{');
         j.key("device"); j.u64(r.device);
+        j.key("restoredFromShard"); j.u64(r.restoredFromShard);
         j.key("recoverySeq"); j.u64(r.recoverySeq);
         j.key("pagesRestored"); j.u64(r.pagesRestored);
         j.key("restoredFromRemote"); j.u64(r.restoredFromRemote);

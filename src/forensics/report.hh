@@ -35,8 +35,12 @@ namespace rssd::forensics {
  *   2 — PR 5: retention-GC counters ("segmentsPruned"/"bytesPruned"
  *       under "source"; "segmentsPruned"/"entriesPruned"/
  *       "reanchors" per device finding).
+ *   3 — PR 6: replication — "replication"/"liveShards" under
+ *       "source"; "replicas"/"replicasAlive"/"tailVotes"/
+ *       "failovers" per device finding; "restoredFromShard" per
+ *       recovery outcome.
  */
-constexpr std::uint64_t kForensicsReportSchema = 2;
+constexpr std::uint64_t kForensicsReportSchema = 3;
 
 /**
  * What actually generated the evidence (exported by the fleet
@@ -57,6 +61,9 @@ struct GroundTruth
 struct RecoveryOutcome
 {
     DeviceId device = 0;
+    /** The surviving replica the restore read its history from
+     *  (the read-side vote winner). */
+    remote::ShardId restoredFromShard = remote::kNoShard;
     std::uint64_t recoverySeq = 0;
     std::uint64_t pagesRestored = 0;
     std::uint64_t restoredFromRemote = 0;
@@ -74,6 +81,8 @@ struct ForensicsReport
     // -- Evidence source --------------------------------------------------
     std::uint64_t devices = 0;
     std::uint64_t shards = 0;
+    std::uint64_t replication = 1;
+    std::uint64_t liveShards = 0;
     std::uint64_t totalSegments = 0;
     std::uint64_t totalBytesStored = 0;
     /** Retention-GC lifecycle across all shards (cumulative). */

@@ -6,6 +6,17 @@
 
 namespace rssd::remote {
 
+const char *
+shardStatusName(ShardStatus s)
+{
+    switch (s) {
+      case ShardStatus::Live: return "live";
+      case ShardStatus::Departed: return "departed";
+      case ShardStatus::Crashed: return "crashed";
+    }
+    return "?";
+}
+
 BackupCluster::BackupCluster(const BackupClusterConfig &config)
     : config_(config), map_(config.vnodesPerShard)
 {
@@ -13,6 +24,10 @@ BackupCluster::BackupCluster(const BackupClusterConfig &config)
     panicIf(config.batchSegments == 0,
             "BackupCluster: batchSegments == 0");
     panicIf(config.maxPending == 0, "BackupCluster: maxPending == 0");
+    panicIf(config.replication == 0,
+            "BackupCluster: replication == 0");
+    panicIf(config.replication > config.shards,
+            "BackupCluster: replication exceeds shard count");
     for (std::uint32_t s = 0; s < config.shards; s++)
         makeShard();
 }
@@ -60,18 +75,31 @@ BackupCluster::attachDevice(DeviceId device,
 {
     panicIf(placement_.count(device) != 0,
             "BackupCluster: device already attached");
-    const ShardId shard = map_.shardOf(device);
-    panicIf(shard == kNoShard, "BackupCluster: empty ring");
+    std::vector<ShardId> replicas =
+        map_.successorsOf(device, config_.replication);
+    panicIf(replicas.empty(), "BackupCluster: empty ring");
+    panicIf(replicas.size() < config_.replication,
+            "BackupCluster: not enough live shards for replication");
 
-    Shard &sh = shardAt(shard);
-    sh.store->registerStream(device, codec);
-    sh.devices.push_back(device);
-    placement_.emplace(device, shard);
-    return shard;
+    for (const ShardId s : replicas) {
+        Shard &sh = shardAt(s);
+        sh.store->registerStream(device, codec);
+        sh.devices.push_back(device);
+    }
+    const ShardId primary = replicas.front();
+    placement_.emplace(device, std::move(replicas));
+    codecs_.emplace(device, codec);
+    return primary;
 }
 
 ShardId
 BackupCluster::shardOfDevice(DeviceId device) const
+{
+    return replicaSetOf(device).front();
+}
+
+const std::vector<ShardId> &
+BackupCluster::replicaSetOf(DeviceId device) const
 {
     auto it = placement_.find(device);
     panicIf(it == placement_.end(),
@@ -79,13 +107,34 @@ BackupCluster::shardOfDevice(DeviceId device) const
     return it->second;
 }
 
-bool
-BackupCluster::ingest(DeviceId device,
-                      const log::SealedSegment &segment, Tick arrive_at,
-                      Tick &ack_ready_at)
+std::vector<ShardId>
+BackupCluster::liveReplicasOf(DeviceId device) const
 {
-    Shard &sh = shardAt(shardOfDevice(device));
+    std::vector<ShardId> live;
+    for (const ShardId s : replicaSetOf(device)) {
+        if (shardAt(s).status == ShardStatus::Live)
+            live.push_back(s);
+    }
+    return live;
+}
 
+std::vector<DeviceId>
+BackupCluster::attachedDevices() const
+{
+    std::vector<DeviceId> out;
+    out.reserve(placement_.size());
+    for (const auto &[device, replicas] : placement_) {
+        (void)replicas;
+        out.push_back(device);
+    }
+    return out;
+}
+
+bool
+BackupCluster::shardIngest(Shard &sh, DeviceId device,
+                           const log::SealedSegment &segment,
+                           Tick arrive_at, Tick &ack_ready_at)
+{
     // Device clocks advance independently; clamp arrivals monotonic
     // per shard so the queue model stays causal.
     const Tick arrive = std::max(arrive_at, sh.lastArrive);
@@ -110,6 +159,8 @@ BackupCluster::ingest(DeviceId device,
         sh.stats.backpressureStalls++;
     }
 
+    const Tick service = config_.perSegmentProcessing + sh.extraDelay;
+
     // The store decides first: verification is the head of service,
     // and a refused segment must not perturb the ingest pipeline
     // (the shard's processingTime is zeroed, so the admission
@@ -124,8 +175,7 @@ BackupCluster::ingest(DeviceId device,
         // neither advances batchFill (group-commit amortization is
         // an accepted-segment property) nor feeds the accepted
         // backlog histogram.
-        const Tick done =
-            sh.worker.serve(start, config_.perSegmentProcessing);
+        const Tick done = sh.worker.serve(start, service);
         sh.inflight.push_back(done);
         ack_ready_at = done;
         sh.stats.segmentsRejected++;
@@ -141,7 +191,7 @@ BackupCluster::ingest(DeviceId device,
     // worker without opening a batch.)
     const bool new_batch = sh.batchEnd <= start ||
                            sh.batchFill >= config_.batchSegments;
-    Tick cost = config_.perSegmentProcessing;
+    Tick cost = service;
     if (new_batch) {
         sh.batchFill = 0;
         sh.stats.batches++;
@@ -161,24 +211,254 @@ BackupCluster::ingest(DeviceId device,
     return true;
 }
 
+bool
+BackupCluster::ingest(DeviceId device,
+                      const log::SealedSegment &segment, Tick arrive_at,
+                      Tick &ack_ready_at)
+{
+    const std::vector<ShardId> &replicas = replicaSetOf(device);
+    std::vector<ShardId> live;
+    for (const ShardId s : replicas) {
+        if (shardAt(s).status == ShardStatus::Live)
+            live.push_back(s);
+    }
+
+    const std::uint32_t quorum = writeQuorum();
+    if (live.size() < quorum) {
+        // Below quorum nothing is offered at all: the capsule
+        // stalls at the initiator and is re-offered after the retry
+        // interval — never dropped, never half-written into a
+        // minority of the set.
+        repl_.quorumStalls++;
+        ack_ready_at = arrive_at +
+                       std::max<Tick>(1, config_.backpressureRetryDelay);
+        return false;
+    }
+
+    // Offer to every live replica; each runs its own ingest queue.
+    // The ack the device sees is the quorum-th fastest replica ack —
+    // slower members keep ingesting in the background (and a member
+    // that refused converges later via idempotent re-offers or a
+    // membership repair).
+    std::vector<Tick> acks;
+    acks.reserve(live.size());
+    Tick worst = arrive_at;
+    for (const ShardId s : live) {
+        Tick ack = 0;
+        if (shardIngest(shardAt(s), device, segment, arrive_at, ack))
+            acks.push_back(ack);
+        worst = std::max(worst, ack);
+    }
+
+    if (acks.size() < quorum) {
+        repl_.quorumFailures++;
+        ack_ready_at = worst;
+        return false;
+    }
+
+    std::sort(acks.begin(), acks.end());
+    ack_ready_at = acks[quorum - 1];
+    repl_.quorumWrites++;
+    if (acks.size() < replicas.size())
+        repl_.partialWrites++;
+    return true;
+}
+
+// -- Live membership ------------------------------------------------------
+
+ShardId
+BackupCluster::joinShard(Tick now)
+{
+    const ShardId id = addShard();
+    rebalance(now);
+    return id;
+}
+
+void
+BackupCluster::leaveShard(ShardId shard, Tick now)
+{
+    Shard &sh = shardAt(shard);
+    panicIf(sh.status != ShardStatus::Live,
+            "BackupCluster: leave of non-live shard");
+    panicIf(liveShardCount() <= config_.replication,
+            "BackupCluster: departure would break replication");
+    // Off the ring first, then rebalance: the leaver no longer
+    // appears in any successor walk, so every stream it holds
+    // migrates out (with the leaver itself as a source) and is
+    // released. Only then is the shard marked Departed.
+    map_.removeShard(shard);
+    rebalance(now);
+    sh.status = ShardStatus::Departed;
+}
+
+void
+BackupCluster::crashShard(ShardId shard)
+{
+    Shard &sh = shardAt(shard);
+    panicIf(sh.status != ShardStatus::Live,
+            "BackupCluster: crash of non-live shard");
+    // Fail-stop: no migration, no goodbye. The copies die with the
+    // shard; replica sets keep the dead member until a rebalance
+    // repairs them, and quorum counts against survivors meanwhile.
+    sh.status = ShardStatus::Crashed;
+    map_.removeShard(shard);
+}
+
+void
+BackupCluster::migrateStream(DeviceId device,
+                             const std::vector<ShardId> &replicas,
+                             ShardId target, Tick now)
+{
+    Shard &dst = shardAt(target);
+    dst.store->registerStream(device, codecs_.at(device));
+    dst.devices.push_back(device);
+    repl_.streamsMigrated++;
+
+    // Migration source: first live current member still holding the
+    // stream. With the whole old set dead the fresh replica starts
+    // empty — the history is genuinely lost, and the device's next
+    // segment will be refused there (quorum must come from others).
+    const BackupStore *src = nullptr;
+    for (const ShardId s : replicas) {
+        const Shard &cand = shardAt(s);
+        if (cand.status == ShardStatus::Live &&
+            cand.store->hasStream(device)) {
+            src = cand.store.get();
+            break;
+        }
+    }
+    if (src == nullptr)
+        return;
+
+    // A migrated prefix is just a re-anchored chain: if the source
+    // pruned, its signed PruneRecord seeds the target's chain state
+    // (resumeFrom() semantics), and the surviving sealed segments
+    // are copied verbatim — never resealed, so every replica stores
+    // byte-identical evidence.
+    if (const log::PruneRecord *rec = src->pruneRecordOf(device))
+        dst.store->adoptPruneRecord(device, *rec);
+    for (const std::uint32_t idx : src->streamSegments(device)) {
+        const log::SealedSegment &sealed = src->sealedSegment(idx);
+        Tick ack = 0;
+        if (dst.store->ingestSegment(device, sealed, now, ack)) {
+            repl_.segmentsMigrated++;
+            repl_.bytesMigrated += sealed.wireSize();
+        } else {
+            repl_.migrationRejects++;
+        }
+    }
+    dst.store->setEvictionHold(device, src->evictionHold(device));
+}
+
+void
+BackupCluster::rebalance(Tick now)
+{
+    for (auto &[device, replicas] : placement_) {
+        // Fewer live shards than R leaves a degraded (short) set —
+        // repair debt the next join pays down — but never an empty
+        // one.
+        std::vector<ShardId> target =
+            map_.successorsOf(device, config_.replication);
+        panicIf(target.empty(),
+                "BackupCluster: no live shards to rebalance onto");
+        if (target == replicas)
+            continue;
+
+        for (const ShardId t : target) {
+            if (std::find(replicas.begin(), replicas.end(), t) ==
+                replicas.end()) {
+                migrateStream(device, replicas, t, now);
+            }
+        }
+        for (const ShardId o : replicas) {
+            if (std::find(target.begin(), target.end(), o) !=
+                target.end()) {
+                continue;
+            }
+            Shard &old = shardAt(o);
+            if (old.status != ShardStatus::Live ||
+                !old.store->hasStream(device)) {
+                continue; // dead member: nothing left to release
+            }
+            old.store->releaseStream(device);
+            old.devices.erase(std::find(old.devices.begin(),
+                                        old.devices.end(), device));
+        }
+        replicas = std::move(target);
+    }
+}
+
+ShardStatus
+BackupCluster::shardStatus(ShardId shard) const
+{
+    return shardAt(shard).status;
+}
+
+std::uint32_t
+BackupCluster::liveShardCount() const
+{
+    std::uint32_t n = 0;
+    for (const Shard &sh : shards_) {
+        if (sh.status == ShardStatus::Live)
+            n++;
+    }
+    return n;
+}
+
+ShardId
+BackupCluster::chainVerifyingReplicaOf(DeviceId device) const
+{
+    ShardId fallback = kNoShard;
+    for (const ShardId s : replicaSetOf(device)) {
+        const Shard &sh = shardAt(s);
+        if (sh.status != ShardStatus::Live ||
+            !sh.store->hasStream(device)) {
+            continue;
+        }
+        if (fallback == kNoShard)
+            fallback = s;
+        if (sh.store->verifyStreamChain(device))
+            return s;
+    }
+    return fallback;
+}
+
+void
+BackupCluster::setShardDelay(ShardId shard, Tick extra)
+{
+    shardAt(shard).extraDelay = extra;
+}
+
+BackupStore &
+BackupCluster::mutableShardStore(ShardId shard)
+{
+    return *shardAt(shard).store;
+}
+
+// -- Retention lifecycle --------------------------------------------------
+
 void
 BackupCluster::setEvictionHold(DeviceId device, bool held)
 {
-    shardAt(shardOfDevice(device)).store->setEvictionHold(device,
-                                                          held);
+    for (const ShardId s : liveReplicasOf(device))
+        shardAt(s).store->setEvictionHold(device, held);
 }
 
 bool
 BackupCluster::evictionHold(DeviceId device) const
 {
-    return shardAt(shardOfDevice(device)).store->evictionHold(device);
+    const std::vector<ShardId> live = liveReplicasOf(device);
+    panicIf(live.empty(), "BackupCluster: no live replica");
+    return shardAt(live.front()).store->evictionHold(device);
 }
 
 void
 BackupCluster::runRetentionGc(Tick now)
 {
-    for (Shard &sh : shards_)
-        sh.store->runRetentionGc(now);
+    for (Shard &sh : shards_) {
+        if (sh.status == ShardStatus::Live)
+            sh.store->runRetentionGc(now);
+    }
 }
 
 const BackupStore &
@@ -203,6 +483,8 @@ bool
 BackupCluster::verifyAll() const
 {
     for (const Shard &sh : shards_) {
+        if (sh.status != ShardStatus::Live)
+            continue; // a dead replica's copies are already lost
         if (!sh.store->verifyFullChain())
             return false;
     }
@@ -213,10 +495,12 @@ std::uint64_t
 BackupCluster::totalSegments() const
 {
     // Live segments: what the cluster currently stores (retention
-    // GC tombstones excluded).
+    // GC tombstones excluded, dead shards excluded).
     std::uint64_t n = 0;
-    for (const Shard &sh : shards_)
-        n += sh.store->liveSegmentCount();
+    for (const Shard &sh : shards_) {
+        if (sh.status == ShardStatus::Live)
+            n += sh.store->liveSegmentCount();
+    }
     return n;
 }
 
@@ -224,8 +508,10 @@ std::uint64_t
 BackupCluster::totalUsedBytes() const
 {
     std::uint64_t n = 0;
-    for (const Shard &sh : shards_)
-        n += sh.store->usedBytes();
+    for (const Shard &sh : shards_) {
+        if (sh.status == ShardStatus::Live)
+            n += sh.store->usedBytes();
+    }
     return n;
 }
 

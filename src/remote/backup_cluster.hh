@@ -5,10 +5,22 @@
  * per-shard ingest queues with batching and bounded backpressure.
  *
  * Placement: each device stream hashes onto the ring once, at
- * attach time, and is then *pinned* — segment chains are per stream
- * and must land on one shard to stay verifiable, so later shard
- * additions only affect devices attached afterwards (the stickiness
- * a real deployment gets from stream-granular data migration).
+ * attach time, and is pinned to its R ring successors (the replica
+ * set) — segment chains are per stream and must stay verifiable on
+ * every copy. Plain addShard() only affects devices attached
+ * afterwards; the *membership* operations (joinShard / leaveShard)
+ * rebalance attached streams by stream-granular migration, and a
+ * migrated prefix is just a re-anchored chain (the source's signed
+ * PruneRecord substitutes for anything the source itself pruned).
+ *
+ * Replication (ASPIS-style systematic duplication): every sealed
+ * segment is offered to all live members of its stream's replica
+ * set, and the device's ack fires at the write quorum
+ * ceil((R+1)/2) — the quorum-th fastest replica ack. Below quorum
+ * nothing is offered at all: the capsule stalls at the initiator
+ * and is re-offered (never dropped, never half-written into a
+ * minority), and a replica that already stored a re-offered tail
+ * acks it idempotently, so partial writes converge on retry.
  *
  * Ingest model (virtual time, deterministic):
  *  - Each shard is a serial worker (BusyResource). A segment joins
@@ -72,6 +84,37 @@ struct BackupClusterConfig
 
     /** Re-offer interval while the shard queue is full. */
     Tick backpressureRetryDelay = 200 * units::US;
+
+    /** Replica-set size R per device stream (1 = unreplicated).
+     *  Write quorum is ceil((R+1)/2) = R/2 + 1. */
+    std::uint32_t replication = 1;
+};
+
+/** Membership state of one shard. */
+enum class ShardStatus : std::uint8_t {
+    Live,     ///< on the ring, serving ingest and reads
+    Departed, ///< left gracefully; streams migrated off first
+    Crashed,  ///< failed; its replica copies are lost
+};
+
+const char *shardStatusName(ShardStatus s);
+
+/** Cluster-wide replication and membership counters. */
+struct ReplicationStats
+{
+    std::uint64_t quorumWrites = 0;  ///< acked at >= write quorum
+    /** Quorum acks with at least one set member dead or refusing —
+     *  the writes a later repair (rebalance) must reconcile. */
+    std::uint64_t partialWrites = 0;
+    /** Below-quorum arrivals: the capsule stalled at the initiator
+     *  without being offered anywhere (never dropped). */
+    std::uint64_t quorumStalls = 0;
+    /** Offered but fewer than quorum replicas accepted. */
+    std::uint64_t quorumFailures = 0;
+    std::uint64_t streamsMigrated = 0;  ///< replica copies created
+    std::uint64_t segmentsMigrated = 0;
+    std::uint64_t bytesMigrated = 0;
+    std::uint64_t migrationRejects = 0; ///< target refused a segment
 };
 
 /** Per-shard ingest statistics (the FleetReport's cluster view). */
@@ -108,15 +151,26 @@ class BackupCluster
     BackupCluster &operator=(const BackupCluster &) = delete;
 
     /**
-     * Register @p device's stream (keyed by its codec) on its
-     * consistent-hash shard. @return the shard the stream is pinned
-     * to.
+     * Register @p device's stream (keyed by its codec) on its R
+     * consistent-hash successor shards. @return the primary (first
+     * replica) the stream is pinned to.
      */
     ShardId attachDevice(DeviceId device,
                          const log::SegmentCodec &codec);
 
-    /** Shard a device's stream is pinned to (panics if unattached). */
+    /** Primary shard of a device's replica set (panics if
+     *  unattached). */
     ShardId shardOfDevice(DeviceId device) const;
+
+    /** Pinned replica set of @p device, ring order (may include
+     *  crashed members until the next rebalance repairs them). */
+    const std::vector<ShardId> &replicaSetOf(DeviceId device) const;
+
+    /** Live members of @p device's replica set, set order. */
+    std::vector<ShardId> liveReplicasOf(DeviceId device) const;
+
+    /** All attached devices, ascending id (deterministic). */
+    std::vector<DeviceId> attachedDevices() const;
 
     /** Where a fresh (unpinned) key would land on the current ring. */
     ShardId placementOf(DeviceId device) const
@@ -124,17 +178,88 @@ class BackupCluster
         return map_.shardOf(device);
     }
 
+    /** Write quorum: R/2 + 1 acks before the device's ack fires. */
+    std::uint32_t writeQuorum() const
+    {
+        return config_.replication / 2 + 1;
+    }
+
     /**
-     * Ingest one sealed segment from @p device.
+     * Ingest one sealed segment from @p device into its replica
+     * set.
      * @param arrive_at     wire delivery time at the cluster
-     * @param ack_ready_at  out: when the shard finished processing
-     * @return false if the shard store rejected the segment.
+     * @param ack_ready_at  out: when the write quorum was reached
+     *                      (the quorum-th fastest replica ack), or
+     *                      the retry horizon on a stall/failure
+     * @return false if fewer than quorum replicas accepted — the
+     *         initiator holds the capsule and re-offers it.
      */
     bool ingest(DeviceId device, const log::SealedSegment &segment,
                 Tick arrive_at, Tick &ack_ready_at);
 
     /** Grow the cluster; affects only devices attached afterwards. */
     ShardId addShard();
+
+    // -- Live membership --------------------------------------------------
+
+    /**
+     * Grow the cluster *and* rebalance attached streams onto the new
+     * ring at time @p now: any stream whose replica set now includes
+     * the joiner gets a migrated copy (chain re-anchored via the
+     * source's PruneRecord when the source pruned), and replicas the
+     * ring walk no longer names release their copy.
+     */
+    ShardId joinShard(Tick now);
+
+    /**
+     * Graceful departure: @p shard is taken off the ring, every
+     * stream it replicates is migrated to the ring's replacement
+     * members (the leaver itself serves as a migration source), and
+     * the shard is marked Departed.
+     */
+    void leaveShard(ShardId shard, Tick now);
+
+    /**
+     * Fail-stop crash: @p shard drops off the ring with *no*
+     * migration — its replica copies are lost. Replica sets keep
+     * the dead member until a rebalance()/joinShard() repairs them;
+     * until then quorum is counted against the surviving members.
+     */
+    void crashShard(ShardId shard);
+
+    /** Re-pin every attached stream to its R successors on the
+     *  current ring, migrating copies as needed (membership repair). */
+    void rebalance(Tick now);
+
+    ShardStatus shardStatus(ShardId shard) const;
+    bool shardAlive(ShardId shard) const
+    {
+        return shardStatus(shard) == ShardStatus::Live;
+    }
+    std::uint32_t liveShardCount() const;
+
+    /**
+     * First live replica of @p device whose stored chain verifies
+     * end to end — the read-side vote winner recovery and forensics
+     * should source from. Falls back to the first live replica when
+     * none verifies, and kNoShard when the whole set is dead.
+     */
+    ShardId chainVerifyingReplicaOf(DeviceId device) const;
+
+    const ReplicationStats &replicationStats() const
+    {
+        return repl_;
+    }
+
+    // -- Fault injection (tests) ------------------------------------------
+
+    /** Extra per-segment service latency on @p shard (scripted
+     *  slow-replica fault). */
+    void setShardDelay(ShardId shard, Tick extra);
+
+    /** Mutable store access for scripted fault injection (segment
+     *  corruption, split-brain divergence). Not a data-path API. */
+    BackupStore &mutableShardStore(ShardId shard);
 
     // -- Retention lifecycle ----------------------------------------------
 
@@ -184,17 +309,36 @@ class BackupCluster
         Tick batchEnd = 0;
         std::vector<DeviceId> devices;
         ShardIngestStats stats;
+        ShardStatus status = ShardStatus::Live;
+        Tick extraDelay = 0; ///< injected slow-replica latency
     };
 
     Shard &shardAt(ShardId shard);
     const Shard &shardAt(ShardId shard) const;
     void makeShard();
 
+    /** One replica's ingest queue model (admission, batching,
+     *  reject-only service) — the pre-replication ingest() body. */
+    bool shardIngest(Shard &sh, DeviceId device,
+                     const log::SealedSegment &segment, Tick arrive_at,
+                     Tick &ack_ready_at);
+
+    /** Copy @p device's stream onto @p target from the best live
+     *  source in @p replicas (prune record first, then sealed
+     *  segments verbatim — never resealed). */
+    void migrateStream(DeviceId device,
+                       const std::vector<ShardId> &replicas,
+                       ShardId target, Tick now);
+
     BackupClusterConfig config_;
     ShardMap map_;
     std::vector<Shard> shards_;
-    /** Pinned placements (device -> shard), attach-time snapshot. */
-    std::map<DeviceId, ShardId> placement_;
+    /** Pinned replica sets (device -> R shards), ring order. */
+    std::map<DeviceId, std::vector<ShardId>> placement_;
+    /** Attach-time codec registry: migration re-registers a stream
+     *  on new replicas, including after total source loss. */
+    std::map<DeviceId, log::SegmentCodec> codecs_;
+    ReplicationStats repl_;
 };
 
 /**

@@ -80,7 +80,17 @@ BackupStore::ingestSegment(StreamId stream,
     // stream's* history. "First" means no history at all — a fully
     // pruned stream keeps its chain tail, so the device's next
     // segment still extends it.
+    // Replicated ingest re-offers a segment until the write quorum
+    // acks it, so a replica that already stored the stream's tail
+    // acks the re-offer without appending twice — idempotence is
+    // what lets a partial quorum write converge on retry instead of
+    // poisoning the chain with ChainViolation rejects.
     const bool first = st.lastId == log::kNoSegment;
+    if (!first && st.haveTail && segment.id == st.lastId &&
+        segment.chainTail == st.chainTail) {
+        stats_.duplicateSegments++;
+        return true;
+    }
     if (first) {
         if (segment.prevId != log::kNoSegment)
             return reject(RejectReason::ChainViolation);
@@ -382,24 +392,96 @@ BackupStore::streamCodec(StreamId stream) const
 }
 
 bool
+BackupStore::verifyStreamChain(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    const StreamState &st = it->second;
+
+    log::SegmentChainVerifier verifier;
+    // A pruned stream verifies from its signed re-anchor record
+    // instead of genesis; the record substitutes for the
+    // expired prefix.
+    if (st.prune && !verifier.resumeFrom(*st.prune, st.codec))
+        return false;
+    for (const std::uint32_t idx : st.stored) {
+        if (!verifier.verifyNext(segments_[idx], st.codec))
+            return false;
+    }
+    return true;
+}
+
+bool
 BackupStore::verifyFullChain() const
 {
     for (const auto &[stream, st] : streams_) {
-        (void)stream;
-        log::SegmentChainVerifier verifier;
-        // A pruned stream verifies from its signed re-anchor record
-        // instead of genesis; the record substitutes for the
-        // expired prefix.
-        if (st.prune &&
-            !verifier.resumeFrom(*st.prune, st.codec)) {
+        (void)st;
+        if (!verifyStreamChain(stream))
             return false;
-        }
-        for (const std::uint32_t idx : st.stored) {
-            if (!verifier.verifyNext(segments_[idx], st.codec))
-                return false;
-        }
     }
     return true;
+}
+
+void
+BackupStore::adoptPruneRecord(StreamId stream,
+                              const log::PruneRecord &record)
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    StreamState &st = it->second;
+    panicIf(st.lastId != log::kNoSegment || st.prune.has_value(),
+            "BackupStore: prune adoption on a stream with history");
+    panicIf(record.stream != stream,
+            "BackupStore: prune record names another stream");
+    panicIf(!st.codec.verifyPrune(record),
+            "BackupStore: prune record signature mismatch");
+    st.prune = record;
+    st.lastId = record.upToId;
+    st.chainTail = record.anchor;
+    st.haveTail = true;
+}
+
+void
+BackupStore::releaseStream(StreamId stream)
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    StreamState &st = it->second;
+    for (const std::uint32_t idx : st.stored) {
+        const std::uint64_t wire = segments_[idx].wireSize();
+        used_ -= wire;
+        liveSegments_--;
+        segments_[idx] = log::SealedSegment{};
+        segmentPruned_[idx] = 1;
+        freeSlots_.push_back(idx);
+    }
+    streams_.erase(it);
+}
+
+BackupStore::StreamTail
+BackupStore::streamTail(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    StreamTail t;
+    t.lastId = it->second.lastId;
+    t.chainTail = it->second.chainTail;
+    t.haveTail = it->second.haveTail;
+    return t;
+}
+
+void
+BackupStore::corruptStoredSegment(StreamId stream, std::uint64_t k)
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    StreamState &st = it->second;
+    panicIf(k >= st.stored.size(),
+            "BackupStore: corruption index past stream");
+    log::SealedSegment &sealed = segments_[st.stored[k]];
+    panicIf(sealed.payload.empty(),
+            "BackupStore: corrupting an empty payload");
+    sealed.payload[sealed.payload.size() / 2] ^= 0x40;
 }
 
 } // namespace rssd::remote

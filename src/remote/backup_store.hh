@@ -123,6 +123,9 @@ struct BackupStoreStats
 {
     std::uint64_t segmentsAccepted = 0;
     std::uint64_t segmentsRejected = 0;
+    /** Re-offers of the stream's current tail segment, acked without
+     *  storing twice (replicated ingest converges through these). */
+    std::uint64_t duplicateSegments = 0;
     std::uint64_t bytesStored = 0;
     std::uint64_t pagesStored = 0;
     std::uint64_t entriesStored = 0;
@@ -197,6 +200,57 @@ class BackupStore : public net::CapsuleTarget
     /** Signed re-anchor record of @p stream, nullptr if never
      *  pruned. Cumulative across prunes (at most one per stream). */
     const log::PruneRecord *pruneRecordOf(StreamId stream) const;
+
+    // -- Replication / migration ------------------------------------------
+
+    /**
+     * Adopt a signed prune record as @p stream's chain anchor. This
+     * is the migration primitive: a replica receiving a stream whose
+     * source already pruned its prefix does not need the pruned
+     * segments — the record substitutes for them exactly as it does
+     * for verification (resumeFrom()), so the migrated suffix is
+     * just a re-anchored chain. The record's signature is verified
+     * with the stream's registered codec; adoption is only legal on
+     * a stream with no history yet (fresh replica).
+     */
+    void adoptPruneRecord(StreamId stream,
+                          const log::PruneRecord &record);
+
+    /**
+     * Drop @p stream entirely: free its stored segments and forget
+     * its chain state and registration. This is migration-out, not
+     * retention GC — the data lives on elsewhere, so nothing is
+     * counted as pruned and no prune record is produced.
+     */
+    void releaseStream(StreamId stream);
+
+    /** Chain-state summary used for replica tail voting. */
+    struct StreamTail
+    {
+        std::uint64_t lastId = log::kNoSegment;
+        crypto::Digest chainTail{};
+        bool haveTail = false;
+
+        bool
+        operator==(const StreamTail &o) const
+        {
+            return lastId == o.lastId && haveTail == o.haveTail &&
+                   (!haveTail || chainTail == o.chainTail);
+        }
+    };
+    StreamTail streamTail(StreamId stream) const;
+
+    /** verifyFullChain() for a single stream. */
+    bool verifyStreamChain(StreamId stream) const;
+
+    /**
+     * Fault injection (tests only): flip one byte in the @p k-th
+     * live stored segment of @p stream, simulating silent replica
+     * corruption. The chain metadata is untouched, so only payload
+     * verification catches it — exactly the fault voting reads
+     * around.
+     */
+    void corruptStoredSegment(StreamId stream, std::uint64_t k);
 
     /** Cumulative segments pruned from @p stream. */
     std::uint64_t prunedSegments(StreamId stream) const;

@@ -73,4 +73,30 @@ ShardMap::shardOf(std::uint64_t key) const
     return it->second;
 }
 
+std::vector<ShardId>
+ShardMap::successorsOf(std::uint64_t key, std::uint32_t r) const
+{
+    std::vector<ShardId> out;
+    if (ring_.empty() || r == 0)
+        return out;
+    const std::uint64_t h = mix(key ^ 0xD0D0CAFEull);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const auto &p, std::uint64_t v) { return p.first < v; });
+    // Walk clockwise from the key's owner collecting distinct
+    // shards; one full lap visits every shard, so the walk is
+    // bounded even when r exceeds the ring population.
+    const std::size_t start =
+        it == ring_.end() ? 0 : static_cast<std::size_t>(
+                                    it - ring_.begin());
+    const std::size_t want = std::min<std::size_t>(r, shardCount_);
+    for (std::size_t step = 0;
+         step < ring_.size() && out.size() < want; step++) {
+        const ShardId s = ring_[(start + step) % ring_.size()].second;
+        if (std::find(out.begin(), out.end(), s) == out.end())
+            out.push_back(s);
+    }
+    return out;
+}
+
 } // namespace rssd::remote

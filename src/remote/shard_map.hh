@@ -46,6 +46,17 @@ class ShardMap
     /** Owner of @p key (kNoShard when the ring is empty). */
     ShardId shardOf(std::uint64_t key) const;
 
+    /**
+     * The first @p r *distinct* shards at or after @p key's hash,
+     * walking the ring clockwise — the replica set for R-way
+     * replication. successorsOf(key, 1) == {shardOf(key)}. When the
+     * ring holds fewer than @p r shards the walk returns them all
+     * (still in ring order), so callers must check the size against
+     * their quorum requirements.
+     */
+    std::vector<ShardId> successorsOf(std::uint64_t key,
+                                      std::uint32_t r) const;
+
     std::size_t shardCount() const { return shardCount_; }
     bool contains(ShardId shard) const;
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Test helper: FaultInjector — a scripted fault schedule against one
+ * BackupCluster, shared by the remote, fleet, and forensics suites.
+ *
+ * Faults are (tick, fault) pairs applied in schedule order when the
+ * test's virtual time passes them: a fail-stop shard kill, an
+ * injected slow-replica service delay, or a single-byte corruption of
+ * one stored segment (the fault read-side voting and chain-verifying
+ * source selection must survive). The injector is deliberately dumb —
+ * it owns no clock; the test drives advanceTo() from whatever time
+ * base it already has (device clocks, the fleet event spine, or a
+ * bare counter), which keeps every run deterministic.
+ */
+
+#ifndef RSSD_TESTS_COMMON_FAULT_INJECTION_HH
+#define RSSD_TESTS_COMMON_FAULT_INJECTION_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "remote/backup_cluster.hh"
+
+namespace rssd::test {
+
+struct ScriptedFault
+{
+    enum class Kind : std::uint8_t {
+        KillShard,      ///< fail-stop crash (no migration)
+        DelayShard,     ///< add per-segment service latency
+        CorruptSegment, ///< flip one payload byte in a stored segment
+    };
+
+    Tick at = 0;
+    Kind kind = Kind::KillShard;
+    remote::ShardId shard = 0;
+
+    /** DelayShard: extra per-segment service time. */
+    Tick delay = 0;
+
+    /** CorruptSegment: which stream and which of its live segments
+     *  (0-based, stream order). */
+    remote::DeviceId stream = 0;
+    std::uint64_t segmentIdx = 0;
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(remote::BackupCluster &cluster)
+        : cluster_(cluster)
+    {
+    }
+
+    void
+    schedule(const ScriptedFault &fault)
+    {
+        faults_.push_back(fault);
+        // Stable by arrival tick: same-tick faults keep schedule
+        // order, so a script is a deterministic program.
+        std::stable_sort(faults_.begin() + applied_, faults_.end(),
+                         [](const ScriptedFault &a,
+                            const ScriptedFault &b) {
+                             return a.at < b.at;
+                         });
+    }
+
+    /** Apply every not-yet-applied fault with at <= @p now. */
+    void
+    advanceTo(Tick now)
+    {
+        while (applied_ < faults_.size() &&
+               faults_[applied_].at <= now) {
+            apply(faults_[applied_]);
+            applied_++;
+        }
+    }
+
+    /** Faults applied so far (tests assert the script ran). */
+    std::size_t applied() const { return applied_; }
+
+  private:
+    void
+    apply(const ScriptedFault &f)
+    {
+        switch (f.kind) {
+          case ScriptedFault::Kind::KillShard:
+            cluster_.crashShard(f.shard);
+            break;
+          case ScriptedFault::Kind::DelayShard:
+            cluster_.setShardDelay(f.shard, f.delay);
+            break;
+          case ScriptedFault::Kind::CorruptSegment:
+            cluster_.mutableShardStore(f.shard).corruptStoredSegment(
+                f.stream, f.segmentIdx);
+            break;
+        }
+    }
+
+    remote::BackupCluster &cluster_;
+    std::vector<ScriptedFault> faults_;
+    std::size_t applied_ = 0;
+};
+
+} // namespace rssd::test
+
+#endif // RSSD_TESTS_COMMON_FAULT_INJECTION_HH

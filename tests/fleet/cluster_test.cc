@@ -264,14 +264,21 @@ TEST(BackupCluster, RejectedWorkIsAccountedApartFromThePipeline)
     const std::uint32_t fill_before = before.maxBatchFill;
     const std::uint64_t backlog_before = before.backlog.count();
 
-    // 20 replays of an already-stored segment: all refused.
-    const auto replay = chain.next();
+    ASSERT_TRUE(cluster.ingest(1, chain.next(), units::MS, ack));
+
+    // 20 offers of a segment sealed after one the cluster never
+    // saw: every one refused (ChainViolation), stored nowhere. (A
+    // replayed *tail* would now be acked idempotently — quorum
+    // retries rely on that — so the reject flood needs a genuinely
+    // un-ingestable segment.)
+    const auto lost = chain.next(); // never delivered
+    (void)lost;
+    const auto orphan = chain.next();
     std::uint64_t rejected_wire = 0;
-    ASSERT_TRUE(cluster.ingest(1, replay, units::MS, ack));
     for (int i = 0; i < 20; i++) {
         EXPECT_FALSE(
-            cluster.ingest(1, replay, 2 * units::MS, ack));
-        rejected_wire += replay.wireSize();
+            cluster.ingest(1, orphan, 2 * units::MS, ack));
+        rejected_wire += orphan.wireSize();
     }
 
     const ShardIngestStats &st = cluster.shardStats(0);

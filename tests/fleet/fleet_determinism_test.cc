@@ -202,9 +202,63 @@ TEST(FleetSim, GoldenReportDigest)
     //                    bytesPruned/heldStreams, totals
     //                    segmentsPruned/bytesPruned, per-device
     //                    remoteRejects)
+    //   current        — schema 4 (PR 6: replication & membership —
+    //                    fleet replication/liveShards, per-device
+    //                    replicas, per-shard status/duplicates,
+    //                    totals quorum/migration counters)
     EXPECT_EQ(digest,
-              "f7d689b058f324f69b923e6fdeec55a3543f7e15dac6138905c"
-              "f36546da2af10");
+              "1796163bbfe1663b2241acc3b90a06bbeb0b948cb31b1850007"
+              "5472ef89cc39c");
+}
+
+TEST(FleetSim, CrashMidOutbreakLosesNoEvidence)
+{
+    // The paper's evidence-loss scenario: the acceptance outbreak
+    // with R=3 and one shard fail-stopping mid-campaign (after the
+    // malware turned, before the fleet drained). Durability claim:
+    // forensics reaches the same conclusions as the crash-free run's
+    // ground truth and every victim restores to 100% intact — read
+    // entirely from surviving replicas.
+    FleetConfig cfg;
+    cfg.devices = 16;
+    cfg.shards = 4;
+    cfg.replication = 3;
+    cfg.seed = 7;
+    cfg.opsPerDevice = 40;
+    cfg.campaign.scenario = Scenario::Outbreak;
+    cfg.campaign.victimPages = 16;
+    cfg.membership.push_back({60 * units::MS,
+                              MembershipKind::CrashShard, 1});
+
+    FleetScheduler sched(cfg);
+    const FleetReport rep = sched.run();
+    EXPECT_EQ(rep.replication, 3u);
+    EXPECT_EQ(rep.liveShards, 3u);
+    EXPECT_EQ(rep.shardReports[1].status, "crashed");
+    EXPECT_TRUE(rep.allChainsOk);
+    // The crash actually bit: some quorum acks were partial.
+    EXPECT_GT(rep.replicationStats.partialWrites, 0u);
+    EXPECT_EQ(rep.replicationStats.quorumStalls, 0u); // R=3 absorbs 1
+
+    const forensics::ForensicsReport fr = sched.runForensics();
+    EXPECT_TRUE(fr.patientZeroMatch);
+    EXPECT_TRUE(fr.infectionOrderMatch);
+    EXPECT_TRUE(fr.campaignClassMatch);
+    ASSERT_GT(fr.recovery.size(), 0u);
+    for (const forensics::RecoveryOutcome &o : fr.recovery) {
+        EXPECT_DOUBLE_EQ(o.victimIntactAfter, 1.0)
+            << "device " << o.device;
+        EXPECT_EQ(o.unresolved, 0u) << "device " << o.device;
+        // Never sourced from the dead shard.
+        EXPECT_NE(o.restoredFromShard, 1u) << "device " << o.device;
+        EXPECT_NE(o.restoredFromShard, remote::kNoShard);
+    }
+
+    // Zero evidence loss is pinned byte-for-byte: the crash run has
+    // its own golden digest (same discipline as GoldenReportDigest).
+    EXPECT_EQ(jsonDigest(rep),
+              "fcd7465d47a5eed54a7f601a26810d154fbfdaba16990d04ef4"
+              "8f8726afdcbac");
 }
 
 } // namespace

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Replicated-cluster tests: R-way placement, write-quorum ack timing
+ * and edge cases (ack at exactly ceil((R+1)/2), below-quorum stall
+ * that never drops, idempotent duplicate ingest), crash survival,
+ * membership migration that copies sealed bytes verbatim (never
+ * reseals), and the device-side park-and-resubmit loop across a
+ * crash + join repair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/rssd_device.hh"
+#include "remote/backup_cluster.hh"
+
+#include "tests/common/fault_injection.hh"
+#include "tests/common/segment_chain.hh"
+
+namespace rssd::remote {
+namespace {
+
+BackupClusterConfig
+replicatedCluster(std::uint32_t shards, std::uint32_t r)
+{
+    BackupClusterConfig cfg;
+    cfg.shards = shards;
+    cfg.replication = r;
+    cfg.shard.capacityBytes = 64 * units::MiB;
+    cfg.perSegmentProcessing = 50 * units::US;
+    cfg.batchOverhead = 200 * units::US;
+    cfg.batchSegments = 4;
+    cfg.maxPending = 8;
+    return cfg;
+}
+
+TEST(Replication, AttachPinsRSuccessorsAndIngestReachesAll)
+{
+    BackupCluster cluster(replicatedCluster(5, 3));
+    test::SegmentChain chain("r3-dev");
+    const ShardId primary = cluster.attachDevice(9, chain.codec());
+
+    const std::vector<ShardId> &set = cluster.replicaSetOf(9);
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set.front(), primary);
+    EXPECT_EQ(cluster.shardOfDevice(9), primary);
+    EXPECT_EQ(std::set<ShardId>(set.begin(), set.end()).size(), 3u);
+
+    Tick ack = 0;
+    for (int i = 0; i < 3; i++)
+        ASSERT_TRUE(cluster.ingest(9, chain.next(2, 256), 0, ack));
+
+    // Systematic duplication: every replica holds the whole stream.
+    for (const ShardId s : set) {
+        EXPECT_TRUE(cluster.shardStore(s).hasStream(9));
+        EXPECT_EQ(cluster.shardStore(s).streamSegments(9).size(), 3u);
+        EXPECT_TRUE(cluster.shardStore(s).verifyStreamChain(9));
+    }
+    EXPECT_EQ(cluster.totalSegments(), 9u);
+    EXPECT_EQ(cluster.replicationStats().quorumWrites, 3u);
+    EXPECT_EQ(cluster.replicationStats().partialWrites, 0u);
+}
+
+TEST(Replication, AckFiresAtExactlyTheWriteQuorum)
+{
+    BackupClusterConfig cfg = replicatedCluster(3, 3);
+    BackupCluster cluster(cfg);
+    EXPECT_EQ(cluster.writeQuorum(), 2u);
+
+    test::SegmentChain chain("quorum-dev");
+    cluster.attachDevice(1, chain.codec());
+    const std::vector<ShardId> set = cluster.replicaSetOf(1);
+
+    // Distinct per-replica service times: the device's ack must be
+    // the 2nd fastest replica ack — not the fastest, not the
+    // slowest.
+    const Tick mid_delay = 1 * units::MS;
+    const Tick slow_delay = 10 * units::MS;
+    cluster.setShardDelay(set[1], mid_delay);
+    cluster.setShardDelay(set[2], slow_delay);
+
+    Tick ack = 0;
+    ASSERT_TRUE(cluster.ingest(1, chain.next(), 0, ack));
+
+    const Tick base = cfg.batchOverhead + cfg.perSegmentProcessing;
+    EXPECT_EQ(ack, base + mid_delay);
+    EXPECT_GT(ack, base);              // not the fastest replica
+    EXPECT_LT(ack, base + slow_delay); // not the slowest
+    // The slow replica still stored its copy — quorum acks early,
+    // it does not shed the minority write.
+    EXPECT_EQ(cluster.shardStore(set[2]).liveSegmentCount(), 1u);
+}
+
+TEST(Replication, BelowQuorumStallsWithoutOfferingAnywhere)
+{
+    BackupClusterConfig cfg = replicatedCluster(3, 3);
+    BackupCluster cluster(cfg);
+    test::SegmentChain chain("stall-dev");
+    cluster.attachDevice(4, chain.codec());
+    const std::vector<ShardId> set = cluster.replicaSetOf(4);
+
+    cluster.crashShard(set[1]);
+    cluster.crashShard(set[2]);
+    ASSERT_EQ(cluster.liveShardCount(), 1u); // < quorum of 2
+
+    // CP choice: with a minority alive the capsule is not offered
+    // even to the survivor — no half-written minority state, the
+    // initiator re-offers after the retry delay.
+    const log::SealedSegment seg = chain.next(2, 128);
+    Tick ack = 0;
+    EXPECT_FALSE(cluster.ingest(4, seg, units::MS, ack));
+    EXPECT_EQ(ack, units::MS + cfg.backpressureRetryDelay);
+    EXPECT_EQ(cluster.replicationStats().quorumStalls, 1u);
+    EXPECT_EQ(cluster.totalSegments(), 0u);
+
+    // Membership repair restores quorum; the very same capsule (the
+    // initiator never dropped it) is accepted.
+    cluster.joinShard(2 * units::MS);
+    EXPECT_TRUE(cluster.ingest(4, seg, 3 * units::MS, ack));
+    EXPECT_EQ(cluster.replicationStats().quorumWrites, 1u);
+    EXPECT_GT(cluster.totalSegments(), 0u);
+    EXPECT_TRUE(cluster.verifyAll());
+}
+
+TEST(Replication, DuplicateTailReofferIsIdempotentOnEveryReplica)
+{
+    BackupCluster cluster(replicatedCluster(2, 2));
+    test::SegmentChain chain("dup-dev");
+    cluster.attachDevice(2, chain.codec());
+    const std::vector<ShardId> set = cluster.replicaSetOf(2);
+
+    const log::SealedSegment seg = chain.next(3, 200);
+    Tick ack = 0;
+    ASSERT_TRUE(cluster.ingest(2, seg, 0, ack));
+    // A retry of the quorum-acked tail (the initiator could not know
+    // every replica stored it) converges instead of faulting.
+    EXPECT_TRUE(cluster.ingest(2, seg, units::MS, ack));
+
+    for (const ShardId s : set) {
+        EXPECT_EQ(cluster.shardStore(s).liveSegmentCount(), 1u);
+        EXPECT_EQ(cluster.shardStore(s).stats().duplicateSegments,
+                  1u);
+    }
+    EXPECT_TRUE(cluster.verifyAll());
+}
+
+TEST(Replication, CrashedReplicaStillReachesQuorum)
+{
+    BackupCluster cluster(replicatedCluster(5, 3));
+    test::SegmentChain chain("crash-dev");
+    cluster.attachDevice(6, chain.codec());
+    const std::vector<ShardId> set = cluster.replicaSetOf(6);
+
+    Tick ack = 0;
+    ASSERT_TRUE(cluster.ingest(6, chain.next(), 0, ack));
+
+    // Scripted fail-stop of one set member mid-stream.
+    test::FaultInjector faults(cluster);
+    faults.schedule({.at = units::MS,
+                     .kind = test::ScriptedFault::Kind::KillShard,
+                     .shard = set[2]});
+    faults.advanceTo(units::MS);
+    ASSERT_EQ(faults.applied(), 1u);
+    EXPECT_EQ(cluster.shardStatus(set[2]), ShardStatus::Crashed);
+
+    // 2 of 3 replicas alive == quorum: writes keep flowing, counted
+    // as partial (repair debt for the next rebalance).
+    ASSERT_TRUE(cluster.ingest(6, chain.next(), 2 * units::MS, ack));
+    EXPECT_EQ(cluster.replicationStats().quorumWrites, 2u);
+    EXPECT_EQ(cluster.replicationStats().partialWrites, 1u);
+    for (const ShardId s : {set[0], set[1]})
+        EXPECT_EQ(cluster.shardStore(s).streamSegments(6).size(), 2u);
+
+    // Read side never picks the dead copy.
+    const ShardId src = cluster.chainVerifyingReplicaOf(6);
+    EXPECT_NE(src, set[2]);
+    EXPECT_TRUE(cluster.shardAlive(src));
+}
+
+TEST(Replication, RepairMigratesSealedBytesVerbatim)
+{
+    // A replica destroyed by a crash is rebuilt by membership repair
+    // (join + rebalance) from a surviving copy — same ids, same
+    // HMACs, same payload bytes. Re-sealing would need device keys
+    // the cluster must never hold.
+    BackupCluster cluster(replicatedCluster(3, 3));
+    test::SegmentChain chain("repair-dev");
+    cluster.attachDevice(8, chain.codec());
+    std::vector<ShardId> old_set = cluster.replicaSetOf(8);
+
+    Tick ack = 0;
+    for (int i = 0; i < 2; i++)
+        ASSERT_TRUE(cluster.ingest(8, chain.next(2, 300), 0, ack));
+    cluster.crashShard(old_set[1]);
+    for (int i = 0; i < 2; i++)
+        ASSERT_TRUE(
+            cluster.ingest(8, chain.next(2, 300), units::MS, ack));
+
+    const std::uint64_t migrated_before =
+        cluster.replicationStats().segmentsMigrated;
+    cluster.joinShard(2 * units::MS);
+
+    const std::vector<ShardId> &set = cluster.replicaSetOf(8);
+    ASSERT_EQ(set.size(), 3u);
+    const ShardId survivor = old_set[0];
+    ASSERT_TRUE(cluster.shardAlive(survivor));
+    for (const ShardId s : set) {
+        ASSERT_TRUE(cluster.shardAlive(s));
+        const BackupStore &store = cluster.shardStore(s);
+        ASSERT_TRUE(store.hasStream(8));
+        ASSERT_EQ(store.streamSegments(8).size(), 4u);
+        EXPECT_TRUE(store.verifyStreamChain(8));
+
+        // Byte-for-byte identical to the survivor's copy.
+        const BackupStore &ref = cluster.shardStore(survivor);
+        auto it = store.streamSegments(8).begin();
+        for (const std::uint32_t ref_idx : ref.streamSegments(8)) {
+            const log::SealedSegment &a = ref.sealedSegment(ref_idx);
+            const log::SealedSegment &b = store.sealedSegment(*it++);
+            EXPECT_EQ(a.id, b.id);
+            EXPECT_EQ(a.hmac, b.hmac);
+            EXPECT_EQ(a.payload, b.payload);
+        }
+    }
+    EXPECT_GT(cluster.replicationStats().segmentsMigrated,
+              migrated_before);
+}
+
+TEST(Replication, MigrationAdoptsThePruneRecord)
+{
+    // A graceful departure must carry a pruned stream's signed
+    // re-anchor to the replacement replica: the migrated prefix IS a
+    // re-anchored chain.
+    BackupClusterConfig cfg = replicatedCluster(2, 1);
+    cfg.shard.retention.gcEnabled = true;
+    cfg.shard.retention.retentionWindow = 10 * units::MS;
+    BackupCluster cluster(cfg);
+    test::SegmentChain chain("prune-dev");
+    const ShardId pinned = cluster.attachDevice(5, chain.codec());
+
+    Tick ack = 0;
+    for (int i = 0; i < 3; i++)
+        ASSERT_TRUE(cluster.ingest(5, chain.next(2, 256), 0, ack));
+    cluster.runRetentionGc(units::SEC); // expire all three
+    ASSERT_TRUE(
+        cluster.ingest(5, chain.next(2, 256), units::SEC, ack));
+
+    const log::PruneRecord *src_rec =
+        cluster.shardStore(pinned).pruneRecordOf(5);
+    ASSERT_NE(src_rec, nullptr);
+
+    cluster.leaveShard(pinned, units::SEC + units::MS);
+    EXPECT_EQ(cluster.shardStatus(pinned), ShardStatus::Departed);
+
+    const ShardId target = cluster.shardOfDevice(5);
+    ASSERT_NE(target, pinned);
+    const BackupStore &store = cluster.shardStore(target);
+    const log::PruneRecord *rec = store.pruneRecordOf(5);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->upToId, 2u);
+    EXPECT_EQ(rec->segmentsPruned, 3u);
+    EXPECT_EQ(store.streamSegments(5).size(), 1u);
+    EXPECT_TRUE(store.verifyStreamChain(5));
+    EXPECT_EQ(cluster.replicationStats().streamsMigrated, 1u);
+}
+
+TEST(Replication, QuorumLossParksAtTheDeviceAndResubmits)
+{
+    // End to end through a real device: losing quorum turns into
+    // remoteRejects + a parked capsule at the OffloadEngine, and a
+    // membership repair lets the very same sealed segment land —
+    // resubmitted, never resealed.
+    BackupClusterConfig cfg;
+    cfg.shards = 2;
+    cfg.replication = 2;
+    BackupCluster cluster(cfg);
+
+    core::RssdConfig dev_cfg = core::RssdConfig::forTests();
+    dev_cfg.segmentPages = 8;
+    dev_cfg.pumpThreshold = 8;
+    dev_cfg.keySeed = "park-dev";
+    VirtualClock clock;
+    ClusterPortal portal(cluster, 0);
+    core::RssdDevice dev(dev_cfg, clock, portal);
+    cluster.attachDevice(0, dev.codec());
+    const std::vector<ShardId> set = cluster.replicaSetOf(0);
+
+    // One sealed segment lands while both replicas are up.
+    for (int i = 0; i < 8; i++) {
+        dev.writePage(static_cast<flash::Lpa>(i),
+                      std::vector<std::uint8_t>(dev.pageSize(), 0x5A));
+    }
+    dev.drainOffload();
+    const std::uint64_t accepted_before =
+        dev.offload().stats().segmentsAccepted;
+    ASSERT_GT(accepted_before, 0u);
+
+    // Crash one replica: quorum 2 > 1 live, so the next sealed
+    // segment is refused and parks on-device.
+    cluster.crashShard(set[1]);
+    for (int i = 0; i < 8; i++) {
+        dev.writePage(static_cast<flash::Lpa>(i),
+                      std::vector<std::uint8_t>(dev.pageSize(), 0xA5));
+    }
+    dev.drainOffload();
+    EXPECT_GT(dev.offload().stats().remoteRejects, 0u);
+    EXPECT_EQ(dev.offload().stats().segmentsAccepted,
+              accepted_before);
+    EXPECT_GT(cluster.replicationStats().quorumStalls, 0u);
+
+    // Join repairs the set (migrating the survivor's copy over);
+    // the parked capsule is re-offered and accepted at quorum.
+    cluster.joinShard(clock.now());
+    dev.drainOffload();
+    EXPECT_GT(dev.offload().stats().segmentsAccepted,
+              accepted_before);
+    for (const ShardId s : cluster.replicaSetOf(0)) {
+        EXPECT_TRUE(cluster.shardAlive(s));
+        EXPECT_TRUE(cluster.shardStore(s).verifyStreamChain(0));
+    }
+    EXPECT_TRUE(cluster.verifyAll());
+}
+
+TEST(Replication, LeaveBelowReplicationIsRefused)
+{
+    BackupCluster cluster(replicatedCluster(2, 2));
+    EXPECT_DEATH(cluster.leaveShard(0, 0),
+                 "departure would break replication");
+}
+
+} // namespace
+} // namespace rssd::remote

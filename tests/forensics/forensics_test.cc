@@ -249,6 +249,10 @@ TEST(Forensics, GoldenReportDigest)
     //                   finding segmentsPruned/entriesPruned/
     //                   reanchors, per-recovery
     //                   beforePrunedHorizon)
+    //   current       — schema 3 (PR 6: replication — source
+    //                   replication/liveShards, per-finding
+    //                   replicas/replicasAlive/tailVotes/failovers,
+    //                   per-recovery restoredFromShard)
     fleet::FleetScheduler sched(
         acceptanceFleet(fleet::Scenario::Outbreak, 7));
     sched.run();
@@ -256,8 +260,8 @@ TEST(Forensics, GoldenReportDigest)
     const std::string digest = crypto::toHex(
         crypto::Sha256::hash(json.data(), json.size()));
     EXPECT_EQ(digest,
-              "f8b3f4848734e76bf9f4e5b79b8fb764912cb8a998202e93b1b"
-              "64369bb369b14");
+              "4bd6f8da714ebd6352444782402921d3bec718e14354c9f0ef6"
+              "7ce197b1fd3e3");
 }
 
 TEST(Forensics, IncrementalReanalysisIsONew)

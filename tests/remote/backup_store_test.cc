@@ -11,6 +11,7 @@
 #include "remote/backup_store.hh"
 
 #include "sim/rng.hh"
+#include "tests/common/fault_injection.hh"
 #include "tests/common/segment_chain.hh"
 
 namespace rssd::remote {
@@ -127,13 +128,26 @@ TEST_F(StoreTest, RejectsOutOfOrderSegments)
     EXPECT_TRUE(store_.ingestSegment(s2, 0, ack));
 }
 
-TEST_F(StoreTest, RejectsReplayedSegment)
+TEST_F(StoreTest, RejectsReplayedSegmentButAcksTheTailIdempotently)
 {
     Tick ack = 0;
     const auto s0 = nextSegment();
+    const auto s1 = nextSegment();
     ASSERT_TRUE(store_.ingestSegment(s0, 0, ack));
+    ASSERT_TRUE(store_.ingestSegment(s1, 0, ack));
+
+    // Replaying history is still a chain violation...
     EXPECT_FALSE(store_.ingestSegment(s0, 0, ack));
     EXPECT_EQ(store_.lastRejectReason(), RejectReason::ChainViolation);
+
+    // ...but re-offering the current tail is acked idempotently
+    // (replicated ingest retries until quorum; a replica that
+    // already stored the tail must not poison the chain).
+    EXPECT_TRUE(store_.ingestSegment(s1, 0, ack));
+    EXPECT_EQ(store_.stats().duplicateSegments, 1u);
+    EXPECT_EQ(store_.stats().segmentsAccepted, 2u);
+    EXPECT_EQ(store_.liveSegmentCount(), 2u);
+    EXPECT_TRUE(store_.verifyFullChain());
 }
 
 TEST_F(StoreTest, CapacityBudgetEnforced)
@@ -562,6 +576,43 @@ TEST_F(RetentionGcTest, PrunedSlotsAreTombstonedThenRecycled)
     EXPECT_EQ(store->segmentCount(), 2u); // no growth
     EXPECT_EQ(store->liveSegmentCount(), 1u);
     EXPECT_TRUE(store->verifyFullChain());
+}
+
+TEST(StoreFaultInjection, ScriptedCorruptionIsCaughtByStreamVerify)
+{
+    // The shared FaultInjector harness against a single-shard
+    // cluster: a scripted one-byte rot in a stored segment must trip
+    // per-stream verification (BadAuthentication), while the other
+    // stream on the same shard stays verifiable — corruption is a
+    // per-copy fault, not a store-wide verdict.
+    BackupClusterConfig cfg;
+    cfg.shards = 1;
+    BackupCluster cluster(cfg);
+    test::SegmentChain a("fi-a"), b("fi-b");
+    cluster.attachDevice(0, a.codec());
+    cluster.attachDevice(1, b.codec());
+    Tick ack = 0;
+    for (int i = 0; i < 3; i++) {
+        ASSERT_TRUE(cluster.ingest(0, a.next(2, 128), 0, ack));
+        ASSERT_TRUE(cluster.ingest(1, b.next(2, 128), 0, ack));
+    }
+    ASSERT_TRUE(cluster.shardStore(0).verifyFullChain());
+
+    test::FaultInjector faults(cluster);
+    faults.schedule(
+        {.at = units::MS,
+         .kind = test::ScriptedFault::Kind::CorruptSegment,
+         .shard = 0,
+         .stream = 0,
+         .segmentIdx = 1});
+    faults.advanceTo(0);
+    EXPECT_EQ(faults.applied(), 0u); // not due yet
+    faults.advanceTo(units::MS);
+    ASSERT_EQ(faults.applied(), 1u);
+
+    EXPECT_FALSE(cluster.shardStore(0).verifyStreamChain(0));
+    EXPECT_TRUE(cluster.shardStore(0).verifyStreamChain(1));
+    EXPECT_FALSE(cluster.shardStore(0).verifyFullChain());
 }
 
 } // namespace
