@@ -30,6 +30,25 @@
  *                           victim recovered 100% intact from a
  *                           live (surviving) replica.
  *
+ * Anti-entropy repair & scrubbing knobs:
+ *   --repair                enable the RepairEngine: degraded replica
+ *                           sets are re-replicated in the background
+ *                           and run to convergence after the drain
+ *   --repair-bw-mb N        per-target-shard repair bandwidth budget
+ *                           in MiB/s (default 200)
+ *   --scrub-ms N            integrity-scrub cadence in milliseconds
+ *                           (0 disables scrubbing; default 10 under
+ *                           --repair)
+ *   --bitrot-at-ms T        inject silent bit-rot at T into one
+ *                           stored copy of --bitrot-device's stream
+ *   --bitrot-device D       the rotted device stream (default 0)
+ *   --repair-check          exit non-zero unless the run converged to
+ *                           zero degraded replica sets and zero
+ *                           quarantined copies, every injected rot
+ *                           was caught by a scrub, and forensics +
+ *                           recovery lost no evidence (ground truth
+ *                           reconstructed, victims 100% intact).
+ *
  * Determinism: the same flags (and RSSD_SMOKE setting) produce a
  * byte-identical report, including the JSON file — diff two runs to
  * convince yourself. Scenarios: benign, outbreak, staggered,
@@ -56,7 +75,9 @@ const char *kUsage =
     "[--shard-capacity-mb N] [--retention-ms N] [--flood-pages N] "
     "[--retention-check] [--replication R] [--crash-shard S] "
     "[--crash-at-ms T] [--join-at-ms T] [--leave-shard S] "
-    "[--leave-at-ms T] [--replication-check] [--json PATH]";
+    "[--leave-at-ms T] [--replication-check] [--repair] "
+    "[--repair-bw-mb N] [--scrub-ms N] [--bitrot-at-ms T] "
+    "[--bitrot-device D] [--repair-check] [--json PATH]";
 
 constexpr std::uint64_t kNoFlag = ~0ull;
 
@@ -93,8 +114,30 @@ main(int argc, char **argv)
         args.u64("--leave-shard", kNoFlag);
     const std::uint64_t leave_at_ms = args.u64("--leave-at-ms", 60);
     const bool replication_check = args.flag("--replication-check");
+    const bool repair = args.flag("--repair");
+    const std::uint64_t repair_bw_mb = args.u64("--repair-bw-mb", 200);
+    const std::uint64_t scrub_ms =
+        args.u64("--scrub-ms", repair ? 10 : 0);
+    const std::uint64_t bitrot_at_ms =
+        args.u64("--bitrot-at-ms", kNoFlag);
+    const std::uint64_t bitrot_device = args.u64("--bitrot-device", 0);
+    const bool repair_check = args.flag("--repair-check");
     const std::string json_path = args.str("--json", "");
     args.finish(kUsage);
+
+    if (repair) {
+        cfg.repair.enabled = true;
+        cfg.repair.bandwidthBytesPerSec = repair_bw_mb * units::MiB;
+        cfg.repair.scrubInterval = scrub_ms * units::MS;
+    }
+    if (bitrot_at_ms != kNoFlag) {
+        // Rot the second live copy-holder (mod live holders), a few
+        // segments in — a non-primary copy so foreground ingest and
+        // tail votes stay clean and only the scrub can notice.
+        cfg.bitRot.push_back(
+            {bitrot_at_ms * units::MS,
+             static_cast<remote::DeviceId>(bitrot_device), 1, 2});
+    }
 
     if (crash_shard != kNoFlag) {
         cfg.membership.push_back(
@@ -205,6 +248,33 @@ main(int argc, char **argv)
                         rs.segmentsMigrated),
                     formatBytes(rs.bytesMigrated).c_str());
     }
+    if (report.repairEnabled) {
+        const remote::RepairStats &ps = report.repairStats;
+        std::printf("repair: %llu streams repaired (%llu enqueued), "
+                    "%llu segments (%s) re-replicated, %llu "
+                    "re-anchors, converged at %s\n",
+                    static_cast<unsigned long long>(
+                        ps.streamsRepaired),
+                    static_cast<unsigned long long>(ps.enqueues),
+                    static_cast<unsigned long long>(
+                        ps.segmentsCopied),
+                    formatBytes(ps.bytesCopied).c_str(),
+                    static_cast<unsigned long long>(ps.reanchors),
+                    formatTime(report.repairConvergedAt).c_str());
+        std::printf("scrub: %llu segments verified over %llu passes, "
+                    "%llu corruptions quarantined and healed; "
+                    "degraded at end: %llu, quarantined at end: "
+                    "%llu\n",
+                    static_cast<unsigned long long>(
+                        ps.scrubbedSegments),
+                    static_cast<unsigned long long>(ps.scrubPasses),
+                    static_cast<unsigned long long>(
+                        ps.scrubCorruptions),
+                    static_cast<unsigned long long>(
+                        report.degradedAtEnd),
+                    static_cast<unsigned long long>(
+                        report.quarantinedAtEnd));
+    }
 
     bool check_ok = true;
     if (retention_check) {
@@ -304,6 +374,77 @@ main(int argc, char **argv)
                         "%u/%u shards live)\n",
                         static_cast<unsigned long long>(recovered),
                         report.liveShards, report.shards);
+        }
+    }
+
+    if (repair_check) {
+        // The self-healing acceptance gate: whatever faults the run
+        // scripted (crashes, bit-rot), anti-entropy must have
+        // converged — every replica set back to full strength, no
+        // copy left quarantined — and the healed cluster must still
+        // support a full-fidelity investigation.
+        if (!repair) {
+            std::printf("repair-check: FAIL (--repair not enabled)\n");
+            check_ok = false;
+        }
+        if (report.degradedAtEnd != 0 ||
+            report.quarantinedAtEnd != 0) {
+            std::printf("repair-check: FAIL (%llu degraded replica "
+                        "sets, %llu quarantined copies at end)\n",
+                        static_cast<unsigned long long>(
+                            report.degradedAtEnd),
+                        static_cast<unsigned long long>(
+                            report.quarantinedAtEnd));
+            check_ok = false;
+        }
+        if (bitrot_at_ms != kNoFlag &&
+            report.repairStats.scrubCorruptions == 0) {
+            std::printf("repair-check: FAIL (injected bit-rot never "
+                        "caught by a scrub)\n");
+            check_ok = false;
+        }
+        const forensics::ForensicsReport fr = sched.runForensics();
+        if (!sched.cluster().verifyAll()) {
+            std::printf("repair-check: FAIL (chain verification "
+                        "after repair)\n");
+            check_ok = false;
+        }
+        if (!fr.campaignClassMatch || !fr.patientZeroMatch ||
+            !fr.infectionOrderMatch) {
+            std::printf("repair-check: FAIL (ground truth not "
+                        "reconstructed from the healed cluster)\n");
+            check_ok = false;
+        }
+        std::uint64_t recovered = 0;
+        for (const forensics::RecoveryOutcome &r : fr.recovery) {
+            recovered++;
+            if (r.victimIntactAfter != 1.0 || r.unresolved != 0) {
+                std::printf("repair-check: FAIL (device %llu "
+                            "recovered %.3f intact, %llu "
+                            "unresolved)\n",
+                            static_cast<unsigned long long>(r.device),
+                            r.victimIntactAfter,
+                            static_cast<unsigned long long>(
+                                r.unresolved));
+                check_ok = false;
+            }
+        }
+        if (recovered == 0 &&
+            cfg.campaign.scenario != fleet::Scenario::Benign) {
+            std::printf("repair-check: FAIL (no device was detected "
+                        "and recovered)\n");
+            check_ok = false;
+        }
+        if (check_ok) {
+            std::printf("repair-check: OK (%llu streams repaired, "
+                        "%llu corruptions healed, %llu devices "
+                        "recovered 100%% intact, 0 degraded / 0 "
+                        "quarantined)\n",
+                        static_cast<unsigned long long>(
+                            report.repairStats.streamsRepaired),
+                        static_cast<unsigned long long>(
+                            report.repairStats.scrubCorruptions),
+                        static_cast<unsigned long long>(recovered));
         }
     }
 

@@ -20,6 +20,8 @@ emitDevice(JsonWriter &j, const DeviceReport &d)
         j.u64(r);
     }
     j.close(']');
+    j.key("replicasLive"); j.u64(d.replicasLive);
+    j.key("quarantinedCopies"); j.u64(d.quarantinedCopies);
     j.key("role"); j.str(d.role);
     j.key("attackStart"); j.u64(d.attackStart);
     j.key("attack");
@@ -76,6 +78,7 @@ emitShard(JsonWriter &j, const ShardReport &s)
     j.key("segmentsPruned"); j.u64(s.segmentsPruned);
     j.key("bytesPruned"); j.u64(s.bytesPruned);
     j.key("heldStreams"); j.u64(s.heldStreams);
+    j.key("quarantined"); j.u64(s.quarantined);
     j.key("chainOk"); j.boolean(s.chainOk);
     j.close('}');
 }
@@ -123,6 +126,28 @@ FleetReport::toJson() const
     j.key("bytesMigrated"); j.u64(replicationStats.bytesMigrated);
     j.key("makespanNs"); j.u64(makespan);
     j.key("allChainsOk"); j.boolean(allChainsOk);
+    j.close('}');
+
+    j.key("repair");
+    j.open('{');
+    j.key("enabled"); j.boolean(repairEnabled);
+    j.key("enqueues"); j.u64(repairStats.enqueues);
+    j.key("streamsRepaired"); j.u64(repairStats.streamsRepaired);
+    j.key("segmentsCopied"); j.u64(repairStats.segmentsCopied);
+    j.key("bytesCopied"); j.u64(repairStats.bytesCopied);
+    j.key("reanchors"); j.u64(repairStats.reanchors);
+    j.key("copyRestarts"); j.u64(repairStats.copyRestarts);
+    j.key("repairRejects"); j.u64(repairStats.repairRejects);
+    j.key("irreparable"); j.u64(repairStats.irreparable);
+    j.key("scrubbedSegments"); j.u64(repairStats.scrubbedSegments);
+    j.key("scrubPasses"); j.u64(repairStats.scrubPasses);
+    j.key("scrubCorruptions"); j.u64(repairStats.scrubCorruptions);
+    j.key("tailVoteQuarantines");
+    j.u64(repairStats.tailVoteQuarantines);
+    j.key("quarantines"); j.u64(repairStats.quarantines);
+    j.key("degradedAtEnd"); j.u64(degradedAtEnd);
+    j.key("quarantinedAtEnd"); j.u64(quarantinedAtEnd);
+    j.key("convergedAtNs"); j.u64(repairConvergedAt);
     j.close('}');
 
     j.key("devices");

@@ -25,6 +25,7 @@
 #include "core/rssd_device.hh"
 #include "net/transport.hh"
 #include "remote/backup_cluster.hh"
+#include "remote/repair_engine.hh"
 
 namespace rssd::fleet {
 
@@ -47,8 +48,13 @@ namespace rssd::fleet {
  *       "status" and "duplicates"; totals "quorumWrites",
  *       "quorumStalls", "partialWrites", "streamsMigrated",
  *       "segmentsMigrated", "bytesMigrated".
+ *   5 — PR 7: anti-entropy repair & scrubbing — per-device
+ *       "replicasLive" and "quarantinedCopies" (replication
+ *       health); per-shard "quarantined"; new top-level "repair"
+ *       object (repair/scrub counters, degraded and quarantined
+ *       counts at end of run, convergence tick).
  */
-constexpr std::uint64_t kFleetReportSchema = 4;
+constexpr std::uint64_t kFleetReportSchema = 5;
 
 /** One device's slice of the fleet outcome. */
 struct DeviceReport
@@ -58,6 +64,10 @@ struct DeviceReport
     remote::ShardId shard = 0;
     /** The full pinned replica set, ring order. */
     std::vector<remote::ShardId> replicas;
+    /** Replication health at end of run: live copies out of R, and
+     *  how many of them a scrub quarantined. */
+    std::uint32_t replicasLive = 0;
+    std::uint32_t quarantinedCopies = 0;
     std::string role;
     Tick attackStart = 0;
 
@@ -102,6 +112,8 @@ struct ShardReport
     std::uint64_t segmentsPruned = 0;
     std::uint64_t bytesPruned = 0;
     std::uint64_t heldStreams = 0;
+    /** Copies on this shard under scrub quarantine at end of run. */
+    std::uint64_t quarantined = 0;
     bool chainOk = true;
 };
 
@@ -132,6 +144,18 @@ struct FleetReport
     /** Replication & membership counters (quorum writes/stalls,
      *  migration volume) — cluster-wide. */
     remote::ReplicationStats replicationStats;
+
+    // -- Anti-entropy repair & scrubbing --------------------------------
+    bool repairEnabled = false;
+    remote::RepairStats repairStats;
+    /** Degraded replica sets / quarantined copies left at end of
+     *  run (with repair enabled both must be zero). */
+    std::uint64_t degradedAtEnd = 0;
+    std::uint64_t quarantinedAtEnd = 0;
+    /** Tick at which repair + scrub fully converged (0 when repair
+     *  is disabled). */
+    Tick repairConvergedAt = 0;
+
     Tick makespan = 0; ///< latest device clock at completion
     bool allChainsOk = true;
 

@@ -89,6 +89,14 @@ FleetScheduler::FleetScheduler(const FleetConfig &config)
     cluster_cfg.replication = config_.replication;
     cluster_ = std::make_unique<remote::BackupCluster>(cluster_cfg);
 
+    if (config_.repair.enabled) {
+        // The engine registers itself as the cluster's repair
+        // observer: crashShard()/quarantineCopy() feed its queue
+        // from the moment the degradation exists.
+        engine_ = std::make_unique<remote::RepairEngine>(
+            *cluster_, config_.repair);
+    }
+
     // Per-device seeds come off one master stream in device-id order:
     // device k's whole behavior is independent of fleet size.
     Rng master(config_.seed);
@@ -254,18 +262,44 @@ FleetScheduler::run()
                     actor->id});
     }
 
-    // Membership events ride the same spine with ids past the device
-    // range, so the (tick, id) tie-break sorts them after every
-    // device wakeup at the same tick — deterministically.
+    // Membership and bit-rot events ride the same spine with ids
+    // past the device range, so the (tick, id) tie-break sorts them
+    // after every device wakeup at the same tick — deterministically.
+    const std::uint32_t membership_base = config_.devices;
+    const std::uint32_t bitrot_base =
+        membership_base +
+        static_cast<std::uint32_t>(config_.membership.size());
+    const std::uint32_t engine_id =
+        bitrot_base + static_cast<std::uint32_t>(config_.bitRot.size());
     for (std::uint32_t i = 0; i < config_.membership.size(); i++)
-        queue.push({config_.membership[i].at, config_.devices + i});
+        queue.push({config_.membership[i].at, membership_base + i});
+    for (std::uint32_t i = 0; i < config_.bitRot.size(); i++)
+        queue.push({config_.bitRot[i].at, bitrot_base + i});
+
+    // The repair engine is a periodic actor on the same spine: its
+    // copies pass through the shard ingest queues, so repair traffic
+    // and foreground quorum writes contend deterministically.
+    std::uint32_t active = static_cast<std::uint32_t>(actors_.size());
+    if (engine_)
+        queue.push({config_.repair.tickInterval, engine_id});
 
     while (!queue.empty()) {
         const auto [at, id] = queue.top();
         queue.pop();
-        if (id >= actors_.size()) {
+        if (id == engine_id && engine_) {
+            engine_->tick(at);
+            if (active > 0)
+                queue.push({at + config_.repair.tickInterval,
+                            engine_id});
+            continue;
+        }
+        if (id >= bitrot_base && id < engine_id) {
+            applyBitRot(config_.bitRot[id - bitrot_base]);
+            continue;
+        }
+        if (id >= membership_base) {
             const MembershipEvent &e =
-                config_.membership[id - config_.devices];
+                config_.membership[id - membership_base];
             switch (e.kind) {
               case MembershipKind::CrashShard:
                 cluster_->crashShard(e.shard);
@@ -282,7 +316,9 @@ FleetScheduler::run()
         Actor &a = *actors_[id];
         a.clock.advanceTo(at);
         const Tick next = step(a);
-        if (next != 0)
+        if (next == 0)
+            active--;
+        else
             queue.push({next, id});
     }
 
@@ -291,7 +327,48 @@ FleetScheduler::run()
     for (auto &actor : actors_)
         actor->dev->drainOffload();
 
+    // With repair enabled the campaign does not end until the
+    // cluster converged: the queue drains, quarantined copies are
+    // rebuilt, and one full scrub pass comes back clean — all in
+    // virtual time, after the last device op.
+    if (engine_) {
+        Tick end = 0;
+        for (const auto &actor : actors_)
+            end = std::max(end, actor->clock.now());
+        repairConvergedAt_ = engine_->drainAll(end);
+    }
+
     return aggregate();
+}
+
+void
+FleetScheduler::applyBitRot(const BitRotEvent &event)
+{
+    // Deterministic target pick: the replicaIdx-th live replica-set
+    // member whose copy currently stores segments. A stream with no
+    // stored copy anywhere makes the fault a no-op.
+    std::vector<remote::ShardId> holders;
+    for (const remote::ShardId s :
+         cluster_->replicaSetOf(event.device)) {
+        if (cluster_->shardAlive(s) &&
+            cluster_->shardStore(s).hasStream(event.device) &&
+            !cluster_->shardStore(s)
+                 .streamSegments(event.device)
+                 .empty()) {
+            holders.push_back(s);
+        }
+    }
+    if (holders.empty())
+        return;
+    const remote::ShardId shard =
+        holders[event.replicaIdx % holders.size()];
+    remote::BackupStore &store = cluster_->mutableShardStore(shard);
+    const std::uint64_t count =
+        store.streamSegments(event.device).size();
+    const std::uint64_t k =
+        event.segmentIdx < count ? event.segmentIdx : count - 1;
+    store.injectBitRot(event.device, k, /*first_byte=*/7,
+                       /*byte_count=*/5);
 }
 
 forensics::GroundTruth
@@ -388,6 +465,10 @@ FleetScheduler::aggregate()
         d.device = a.id;
         d.shard = cluster_->shardOfDevice(a.id);
         d.replicas = cluster_->replicaSetOf(a.id);
+        const remote::StreamHealth health =
+            cluster_->streamHealth(a.id);
+        d.replicasLive = health.live;
+        d.quarantinedCopies = health.quarantined;
         d.role = roleName(plans_[a.id].role);
         d.attackStart = plans_[a.id].role == DeviceRole::Benign
             ? 0
@@ -450,6 +531,9 @@ FleetScheduler::aggregate()
         sr.segmentsPruned = store.stats().segmentsPruned;
         sr.bytesPruned = store.stats().bytesPruned;
         sr.heldStreams = store.heldStreams();
+        sr.quarantined = cluster_->shardAlive(s)
+            ? store.quarantinedStreams()
+            : 0;
         // A crashed shard is fail-stop: its store is gone from the
         // ring and never read again, so it neither vouches for nor
         // taints the fleet's chain verdict.
@@ -466,6 +550,13 @@ FleetScheduler::aggregate()
         rep.shardReports.push_back(sr);
     }
     rep.replicationStats = cluster_->replicationStats();
+
+    rep.repairEnabled = config_.repair.enabled;
+    if (engine_)
+        rep.repairStats = engine_->stats();
+    rep.degradedAtEnd = cluster_->degradedStreams().size();
+    rep.quarantinedAtEnd = cluster_->quarantinedCopies();
+    rep.repairConvergedAt = repairConvergedAt_;
     return rep;
 }
 

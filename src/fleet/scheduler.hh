@@ -34,6 +34,7 @@
 #include "fleet/report.hh"
 #include "forensics/forensics.hh"
 #include "remote/backup_cluster.hh"
+#include "remote/repair_engine.hh"
 #include "workload/profiles.hh"
 
 namespace rssd::fleet {
@@ -52,6 +53,23 @@ struct MembershipEvent
     /** Target shard (ignored for JoinShard — the joiner gets the
      *  next fresh id). */
     remote::ShardId shard = 0;
+};
+
+/**
+ * A scripted silent-corruption fault: at tick @p at, flip payload
+ * bytes in one stored copy of @p device's stream without touching
+ * the tail metadata — the fault class only integrity scrubbing can
+ * catch. Rides the DES spine like membership events, so the injected
+ * rot lands at a deterministic point in the interleaving.
+ */
+struct BitRotEvent
+{
+    Tick at = 0;
+    remote::DeviceId device = 0;
+    /** Which live copy-holding replica to rot (mod live holders). */
+    std::uint32_t replicaIdx = 0;
+    /** Stored-segment index, clamped to the copy's current size. */
+    std::uint64_t segmentIdx = 0;
 };
 
 struct FleetConfig
@@ -95,6 +113,20 @@ struct FleetConfig
      */
     std::vector<MembershipEvent> membership;
 
+    /** Scripted bit-rot faults (see BitRotEvent); a no-op when the
+     *  targeted copy holds no segments yet. */
+    std::vector<BitRotEvent> bitRot;
+
+    /**
+     * Anti-entropy repair and integrity scrubbing. When enabled the
+     * RepairEngine rides the DES spine at repair.tickInterval, so
+     * repair copies contend with foreground quorum writes on the
+     * shard workers deterministically; after the fleet drains, the
+     * engine runs to full convergence (zero degraded sets, one
+     * clean scrub pass) before the report is aggregated.
+     */
+    remote::RepairEngineConfig repair;
+
     /** Attach per-device online detectors and report their alarms. */
     bool attachDetectors = true;
 
@@ -127,6 +159,9 @@ class FleetScheduler
     remote::BackupCluster &cluster() { return *cluster_; }
     const remote::BackupCluster &cluster() const { return *cluster_; }
 
+    /** The anti-entropy engine (nullptr when repair is disabled). */
+    remote::RepairEngine *repairEngine() { return engine_.get(); }
+
     /**
      * Post-campaign analysis hook: run the cluster-side forensics
      * pipeline over the evidence this fleet offloaded, then execute
@@ -157,10 +192,15 @@ class FleetScheduler
      *  tick, or 0 when the actor is finished. */
     Tick step(Actor &actor);
 
+    /** Apply one scripted bit-rot fault (no-op on an empty copy). */
+    void applyBitRot(const BitRotEvent &event);
+
     FleetReport aggregate();
 
     FleetConfig config_;
     std::unique_ptr<remote::BackupCluster> cluster_;
+    std::unique_ptr<remote::RepairEngine> engine_;
+    Tick repairConvergedAt_ = 0;
     /** Lazily created by runForensics(); kept so repeated analysis
      *  passes resume from the verified prefix. */
     std::unique_ptr<forensics::EvidenceScanner> scanner_;

@@ -61,14 +61,19 @@ EvidenceScanner::scan()
 
         // Source selection (read-side voting): prefer any live
         // chain-verifying copy. Re-select on first contact, when
-        // the current source died, or when it faulted — a replica
-        // fault is exactly what the other copies exist to outvote.
+        // the current source died, when the scrubber quarantined it
+        // (rotten payload bytes the tail vote cannot see), or when
+        // it faulted — a replica fault is exactly what the other
+        // copies exist to outvote.
         const bool source_dead =
             st.source != remote::kNoShard &&
             std::find(live.begin(), live.end(), st.source) ==
                 live.end();
+        const bool source_quarantined =
+            st.source != remote::kNoShard && !source_dead &&
+            cluster_.copyQuarantined(st.source, device);
         if (st.source == remote::kNoShard || source_dead ||
-            !st.evidence.intact) {
+            source_quarantined || !st.evidence.intact) {
             const remote::ShardId pick =
                 cluster_.chainVerifyingReplicaOf(device);
             if (pick != st.source)

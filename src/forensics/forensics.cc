@@ -33,7 +33,7 @@ analyzeCluster(EvidenceScanner &scanner, const ForensicsConfig &config,
     report.correlation = correlate(scanner, config.correlation);
 
     // 3. Recovery planning for every compromised (and still
-    //    trustworthy) device, under both policies.
+    //    trustworthy) device, under all three policies.
     std::vector<RestoreJob> jobs;
     for (const DeviceFinding &f : report.correlation.findings) {
         if (!f.finding.detected || !f.chainIntact)
@@ -44,12 +44,35 @@ analyzeCluster(EvidenceScanner &scanner, const ForensicsConfig &config,
         job.bytes = scanner.evidence(f.device).bytesVerified;
         job.damage = f.finding.implicatedOps;
         job.recoverySeq = f.finding.recommendedRecoverySeq;
+        // Candidate source replicas for the replica-aware planner:
+        // live, non-quarantined copies whose chain tail agrees with
+        // the scanner's verified source — any of them can serve the
+        // restore byte-for-byte.
+        if (cluster.shardAlive(f.shard) &&
+            cluster.shardStore(f.shard).hasStream(f.device)) {
+            const remote::BackupStore::StreamTail want =
+                cluster.shardStore(f.shard).streamTail(f.device);
+            for (const remote::ShardId s :
+                 cluster.replicaSetOf(f.device)) {
+                if (!cluster.shardAlive(s) ||
+                    !cluster.shardStore(s).hasStream(f.device) ||
+                    cluster.copyQuarantined(s, f.device)) {
+                    continue;
+                }
+                if (cluster.shardStore(s).streamTail(f.device) ==
+                    want) {
+                    job.sources.push_back(s);
+                }
+            }
+        }
         jobs.push_back(job);
     }
     report.plans.push_back(planRestores(
         jobs, PlanPolicy::GreedyMostDamagedFirst, config.planner));
     report.plans.push_back(
         planRestores(jobs, PlanPolicy::FairShare, config.planner));
+    report.plans.push_back(
+        planRestores(jobs, PlanPolicy::ReplicaAware, config.planner));
 
     // 4. Scorecard (only when the campaign's truth is known).
     report.truth = truth;

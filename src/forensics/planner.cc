@@ -15,6 +15,8 @@ planPolicyName(PlanPolicy p)
         return "greedy-most-damaged-first";
       case PlanPolicy::FairShare:
         return "fair-share";
+      case PlanPolicy::ReplicaAware:
+        return "replica-aware";
     }
     return "?";
 }
@@ -101,22 +103,61 @@ planRestores(const std::vector<RestoreJob> &jobs, PlanPolicy policy,
     RestorePlan plan;
     plan.policy = policy;
 
+    // Replica-aware source selection: instead of pinning each job to
+    // its primary, assign it (biggest first — the hardest to place)
+    // to whichever candidate source replica has the least restore
+    // bytes already assigned. Same-primary victims spread across
+    // their replica sets, so restores parallelize over the copies
+    // replication already paid for. Ties break on the smaller shard
+    // id, order ties on device id — fully deterministic.
+    std::vector<RestoreJob> routed;
+    if (policy == PlanPolicy::ReplicaAware) {
+        routed = jobs;
+        std::vector<RestoreJob *> order;
+        order.reserve(routed.size());
+        for (RestoreJob &j : routed)
+            order.push_back(&j);
+        std::sort(order.begin(), order.end(),
+                  [](const RestoreJob *a, const RestoreJob *b) {
+                      if (a->bytes != b->bytes)
+                          return a->bytes > b->bytes;
+                      return a->device < b->device;
+                  });
+        std::map<remote::ShardId, std::uint64_t> load;
+        for (RestoreJob *j : order) {
+            std::vector<remote::ShardId> candidates = j->sources;
+            if (candidates.empty())
+                candidates.push_back(j->shard);
+            remote::ShardId best = candidates.front();
+            for (const remote::ShardId s : candidates) {
+                if (load[s] < load[best] ||
+                    (load[s] == load[best] && s < best)) {
+                    best = s;
+                }
+            }
+            j->shard = best;
+            load[best] += j->bytes;
+        }
+    }
+    const std::vector<RestoreJob> &effective =
+        policy == PlanPolicy::ReplicaAware ? routed : jobs;
+
     std::map<remote::ShardId, std::vector<const RestoreJob *>>
         by_shard;
-    for (const RestoreJob &j : jobs)
+    for (const RestoreJob &j : effective)
         by_shard[j.shard].push_back(&j);
 
     std::map<DeviceId, ScheduledRestore> scheduled;
     for (auto &[shard, shard_jobs] : by_shard) {
         (void)shard;
-        if (policy == PlanPolicy::GreedyMostDamagedFirst)
-            scheduleGreedy(shard_jobs,
-                           config.shardBandwidthBytesPerSec,
-                           scheduled);
-        else
+        if (policy == PlanPolicy::FairShare)
             scheduleFairShare(shard_jobs,
                               config.shardBandwidthBytesPerSec,
                               scheduled);
+        else // greedy, and replica-aware after source routing
+            scheduleGreedy(shard_jobs,
+                           config.shardBandwidthBytesPerSec,
+                           scheduled);
     }
 
     std::uint64_t sum = 0;

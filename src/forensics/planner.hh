@@ -16,6 +16,14 @@
  *    share of the bandwidth (processor sharing) — small restores
  *    finish early, the tail is the same makespan, completion times
  *    are egalitarian.
+ *  - replica-aware: with R-way replication every stream has several
+ *    healthy copies, so a job is not pinned to its primary — the
+ *    planner assigns each restore (biggest first) to its least-
+ *    loaded candidate source replica, spreading same-primary
+ *    victims across shards before scheduling each shard greedily.
+ *    This is ROADMAP item 1's "read different victims from
+ *    different copies" follow-up: more aggregate read bandwidth,
+ *    strictly no-worse makespan.
  *
  * Deterministic: integer tick arithmetic only, ties by device id.
  */
@@ -39,6 +47,7 @@ struct PlannerConfig
 enum class PlanPolicy : std::uint8_t {
     GreedyMostDamagedFirst,
     FairShare,
+    ReplicaAware,
 };
 
 const char *planPolicyName(PlanPolicy p);
@@ -51,6 +60,10 @@ struct RestoreJob
     std::uint64_t bytes = 0;  ///< evidence bytes to stream back
     std::uint64_t damage = 0; ///< implicated ops (priority metric)
     std::uint64_t recoverySeq = 0;
+    /** Healthy (live, chain-verifying, non-quarantined) replicas
+     *  the restore could source from; empty means primary only.
+     *  Only the replica-aware policy reads this. */
+    std::vector<remote::ShardId> sources;
 };
 
 /** One scheduled restore in a plan. */

@@ -39,8 +39,10 @@ namespace rssd::forensics {
  *       "source"; "replicas"/"replicasAlive"/"tailVotes"/
  *       "failovers" per device finding; "restoredFromShard" per
  *       recovery outcome.
+ *   4 — PR 7: anti-entropy — third "replica-aware" recovery plan in
+ *       "plans" (restores spread over healthy source replicas).
  */
-constexpr std::uint64_t kForensicsReportSchema = 3;
+constexpr std::uint64_t kForensicsReportSchema = 4;
 
 /**
  * What actually generated the evidence (exported by the fleet

@@ -302,6 +302,19 @@ BackupCluster::crashShard(ShardId shard)
     // repairs them, and quorum counts against survivors meanwhile.
     sh.status = ShardStatus::Crashed;
     map_.removeShard(shard);
+
+    // Every stream the dead shard replicated is now degraded — tell
+    // the repair observer the moment the debt is created, not at the
+    // next join. placement_ is an ordered map, so notification order
+    // is deterministic.
+    if (repairObserver_ != nullptr) {
+        for (const auto &[device, replicas] : placement_) {
+            if (std::find(replicas.begin(), replicas.end(), shard) !=
+                replicas.end()) {
+                repairObserver_->streamDegraded(device);
+            }
+        }
+    }
 }
 
 void
@@ -310,6 +323,13 @@ BackupCluster::migrateStream(DeviceId device,
                              ShardId target, Tick now)
 {
     Shard &dst = shardAt(target);
+    // A partial repair copy may already sit on the target (repair
+    // racing this join/rebalance). Migration copies everything in
+    // one step, so the cheap resolution is: drop the partial copy
+    // and let the migration win; the repair engine finds the stream
+    // healthy and dequeues it.
+    if (dst.store->hasStream(device))
+        dropCopy(target, device);
     dst.store->registerStream(device, codecs_.at(device));
     dst.devices.push_back(device);
     repl_.streamsMigrated++;
@@ -408,11 +428,21 @@ BackupCluster::liveShardCount() const
 ShardId
 BackupCluster::chainVerifyingReplicaOf(DeviceId device) const
 {
+    // Quarantined copies are passed over even if they happen to
+    // verify — the scrub's verdict stands until the repair rebuilds
+    // the copy. They remain the last-ditch fallback when every
+    // other copy is gone.
     ShardId fallback = kNoShard;
+    ShardId quarantined_fallback = kNoShard;
     for (const ShardId s : replicaSetOf(device)) {
         const Shard &sh = shardAt(s);
         if (sh.status != ShardStatus::Live ||
             !sh.store->hasStream(device)) {
+            continue;
+        }
+        if (sh.store->quarantined(device)) {
+            if (quarantined_fallback == kNoShard)
+                quarantined_fallback = s;
             continue;
         }
         if (fallback == kNoShard)
@@ -420,7 +450,153 @@ BackupCluster::chainVerifyingReplicaOf(DeviceId device) const
         if (sh.store->verifyStreamChain(device))
             return s;
     }
-    return fallback;
+    return fallback != kNoShard ? fallback : quarantined_fallback;
+}
+
+// -- Anti-entropy repair --------------------------------------------------
+
+void
+BackupCluster::setRepairObserver(RepairObserver *observer)
+{
+    repairObserver_ = observer;
+}
+
+StreamHealth
+BackupCluster::streamHealth(DeviceId device) const
+{
+    StreamHealth h;
+    h.replicas = config_.replication;
+    for (const ShardId s : replicaSetOf(device)) {
+        const Shard &sh = shardAt(s);
+        if (sh.status != ShardStatus::Live ||
+            !sh.store->hasStream(device)) {
+            continue;
+        }
+        h.live++;
+        if (sh.store->quarantined(device))
+            h.quarantined++;
+    }
+    return h;
+}
+
+std::vector<DeviceId>
+BackupCluster::degradedStreams() const
+{
+    // "Degraded" is judged against what the ring can currently
+    // support: with fewer live shards than R the best any repair can
+    // do is min(R, live) copies, and a stream holding that many
+    // healthy copies is as repaired as it can get.
+    const std::uint32_t achievable =
+        std::min(config_.replication, liveShardCount());
+    std::vector<DeviceId> out;
+    for (const auto &[device, replicas] : placement_) {
+        (void)replicas;
+        const StreamHealth h = streamHealth(device);
+        if (h.live < h.quarantined + achievable || h.quarantined > 0)
+            out.push_back(device);
+    }
+    return out;
+}
+
+std::uint64_t
+BackupCluster::quarantinedCopies() const
+{
+    std::uint64_t n = 0;
+    for (const Shard &sh : shards_) {
+        if (sh.status == ShardStatus::Live)
+            n += sh.store->quarantinedStreams();
+    }
+    return n;
+}
+
+bool
+BackupCluster::copyQuarantined(ShardId shard, DeviceId device) const
+{
+    const Shard &sh = shardAt(shard);
+    return sh.status == ShardStatus::Live &&
+           sh.store->hasStream(device) &&
+           sh.store->quarantined(device);
+}
+
+void
+BackupCluster::quarantineCopy(ShardId shard, DeviceId device)
+{
+    Shard &sh = shardAt(shard);
+    panicIf(sh.status != ShardStatus::Live,
+            "BackupCluster: quarantine on a dead shard");
+    sh.store->setQuarantined(device, true);
+    if (repairObserver_ != nullptr)
+        repairObserver_->streamDegraded(device);
+}
+
+std::vector<ShardId>
+BackupCluster::repairTargetsOf(DeviceId device) const
+{
+    return map_.successorsOf(device, config_.replication);
+}
+
+void
+BackupCluster::beginRepairCopy(DeviceId device, ShardId target)
+{
+    Shard &dst = shardAt(target);
+    panicIf(dst.status != ShardStatus::Live,
+            "BackupCluster: repair copy onto a dead shard");
+    panicIf(dst.store->hasStream(device),
+            "BackupCluster: repair copy already present");
+    dst.store->registerStream(device, codecs_.at(device));
+    dst.devices.push_back(device);
+}
+
+void
+BackupCluster::dropCopy(ShardId shard, DeviceId device)
+{
+    Shard &sh = shardAt(shard);
+    panicIf(!sh.store->hasStream(device),
+            "BackupCluster: dropCopy of a stream the shard lacks");
+    sh.store->releaseStream(device);
+    sh.devices.erase(
+        std::find(sh.devices.begin(), sh.devices.end(), device));
+}
+
+void
+BackupCluster::adoptPruneRecordOn(ShardId target, DeviceId device,
+                                  const log::PruneRecord &record)
+{
+    shardAt(target).store->adoptPruneRecord(device, record);
+}
+
+bool
+BackupCluster::repairIngest(ShardId target, DeviceId device,
+                            const log::SealedSegment &segment,
+                            Tick arrive_at, Tick &ack_ready_at)
+{
+    Shard &sh = shardAt(target);
+    panicIf(sh.status != ShardStatus::Live,
+            "BackupCluster: repair ingest into a dead shard");
+    return shardIngest(sh, device, segment, arrive_at, ack_ready_at);
+}
+
+void
+BackupCluster::commitReplicaSet(DeviceId device,
+                                std::vector<ShardId> set)
+{
+    auto it = placement_.find(device);
+    panicIf(it == placement_.end(),
+            "BackupCluster: device not attached");
+    panicIf(set.empty(), "BackupCluster: empty replica set");
+    // Sweep every live shard, not just the old set's members: a
+    // rebalance racing the repair can strand a partial repair copy
+    // on a shard that is in neither the old nor the new set.
+    for (ShardId s = 0; s < shardCount(); s++) {
+        if (std::find(set.begin(), set.end(), s) != set.end())
+            continue;
+        const Shard &sh = shardAt(s);
+        if (sh.status == ShardStatus::Live &&
+            sh.store->hasStream(device)) {
+            dropCopy(s, device);
+        }
+    }
+    it->second = std::move(set);
 }
 
 void

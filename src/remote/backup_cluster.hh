@@ -142,6 +142,28 @@ struct ShardIngestStats
     }
 };
 
+/**
+ * Anti-entropy hook: whoever registers as the cluster's repair
+ * observer is told the moment a stream's replica set degrades — a
+ * member crashed, or a scrub quarantined one of its copies. The
+ * RepairEngine uses this to keep its repair queue exact instead of
+ * rediscovering degradation by polling.
+ */
+class RepairObserver
+{
+  public:
+    virtual ~RepairObserver() = default;
+    virtual void streamDegraded(DeviceId device) = 0;
+};
+
+/** Per-stream replication health (degraded-set observability). */
+struct StreamHealth
+{
+    std::uint32_t replicas = 0;    ///< configured R
+    std::uint32_t live = 0;        ///< live members holding a copy
+    std::uint32_t quarantined = 0; ///< live copies under quarantine
+};
+
 class BackupCluster
 {
   public:
@@ -241,8 +263,10 @@ class BackupCluster
     /**
      * First live replica of @p device whose stored chain verifies
      * end to end — the read-side vote winner recovery and forensics
-     * should source from. Falls back to the first live replica when
-     * none verifies, and kNoShard when the whole set is dead.
+     * should source from. Quarantined copies are passed over (the
+     * scrub already voted them suspect); falls back to the first
+     * live non-quarantined replica when none verifies, then to any
+     * live holder, and kNoShard when the whole set is dead.
      */
     ShardId chainVerifyingReplicaOf(DeviceId device) const;
 
@@ -250,6 +274,68 @@ class BackupCluster
     {
         return repl_;
     }
+
+    // -- Anti-entropy repair (RepairEngine hooks) -------------------------
+
+    /** Register the repair observer (one at most; nullptr clears). */
+    void setRepairObserver(RepairObserver *observer);
+
+    /** Replication health of @p device's stream right now. */
+    StreamHealth streamHealth(DeviceId device) const;
+
+    /**
+     * Devices whose replica sets are degraded: fewer live copies
+     * than the ring can currently support (min(R, live shards)) or
+     * any copy under quarantine. Ascending id (deterministic). This
+     * is the repair debt PR 6 left visible only implicitly.
+     */
+    std::vector<DeviceId> degradedStreams() const;
+
+    /** Quarantined copies across all live shards. */
+    std::uint64_t quarantinedCopies() const;
+
+    /** True if @p shard's copy of @p device is quarantined. */
+    bool copyQuarantined(ShardId shard, DeviceId device) const;
+
+    /**
+     * Scrub verdict: mark @p shard's copy of @p device suspect.
+     * Readers fail over to another replica and the repair observer
+     * is notified so the copy gets rebuilt from a healthy source.
+     */
+    void quarantineCopy(ShardId shard, DeviceId device);
+
+    /** Ring-successor set repair should converge @p device onto
+     *  (crashed members are already off the ring). */
+    std::vector<ShardId> repairTargetsOf(DeviceId device) const;
+
+    /** Register a fresh (empty) repair copy of @p device on
+     *  @p target. The copy is invisible to foreground quorum writes
+     *  until commitReplicaSet() publishes it. */
+    void beginRepairCopy(DeviceId device, ShardId target);
+
+    /** Drop @p shard's copy of @p device (quarantine rebuild, or a
+     *  restart after a prune overtook the copy's tail). */
+    void dropCopy(ShardId shard, DeviceId device);
+
+    /** Seed a fresh repair copy's chain state from the source's
+     *  signed prune record (resumeFrom() semantics). */
+    void adoptPruneRecordOn(ShardId target, DeviceId device,
+                            const log::PruneRecord &record);
+
+    /**
+     * Repair-path ingest: offer one verbatim sealed segment to
+     * @p target's ingest queue at @p arrive_at. Unlike migration's
+     * direct store copy, this runs the full admission/batching/
+     * backpressure model — repair traffic and foreground quorum
+     * writes contend on the same shard worker, deterministically.
+     */
+    bool repairIngest(ShardId target, DeviceId device,
+                      const log::SealedSegment &segment, Tick arrive_at,
+                      Tick &ack_ready_at);
+
+    /** Publish @p device's repaired replica set (ring order) and
+     *  release copies on live members the set no longer names. */
+    void commitReplicaSet(DeviceId device, std::vector<ShardId> set);
 
     // -- Fault injection (tests) ------------------------------------------
 
@@ -339,6 +425,7 @@ class BackupCluster
      *  on new replicas, including after total source loss. */
     std::map<DeviceId, log::SegmentCodec> codecs_;
     ReplicationStats repl_;
+    RepairObserver *repairObserver_ = nullptr;
 };
 
 /**

@@ -484,4 +484,56 @@ BackupStore::corruptStoredSegment(StreamId stream, std::uint64_t k)
     sealed.payload[sealed.payload.size() / 2] ^= 0x40;
 }
 
+void
+BackupStore::injectBitRot(StreamId stream, std::uint64_t k,
+                          std::size_t first_byte,
+                          std::size_t byte_count)
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    StreamState &st = it->second;
+    panicIf(k >= st.stored.size(),
+            "BackupStore: bit-rot index past stream");
+    log::SealedSegment &sealed = segments_[st.stored[k]];
+    panicIf(sealed.payload.empty(),
+            "BackupStore: bit-rot on an empty payload");
+    const std::size_t first =
+        first_byte < sealed.payload.size() ? first_byte
+                                           : sealed.payload.size() - 1;
+    const std::size_t last =
+        first + byte_count < sealed.payload.size()
+            ? first + byte_count
+            : sealed.payload.size();
+    for (std::size_t i = first; i < last; i++)
+        sealed.payload[i] ^= 0x5A;
+}
+
+void
+BackupStore::setQuarantined(StreamId stream, bool quarantined)
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    it->second.quarantined = quarantined;
+}
+
+bool
+BackupStore::quarantined(StreamId stream) const
+{
+    auto it = streams_.find(stream);
+    panicIf(it == streams_.end(), "BackupStore: unknown stream");
+    return it->second.quarantined;
+}
+
+std::uint64_t
+BackupStore::quarantinedStreams() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[stream, st] : streams_) {
+        (void)stream;
+        if (st.quarantined)
+            n++;
+    }
+    return n;
+}
+
 } // namespace rssd::remote

@@ -252,6 +252,35 @@ class BackupStore : public net::CapsuleTarget
      */
     void corruptStoredSegment(StreamId stream, std::uint64_t k);
 
+    /**
+     * Bit-rot fault (tests / fault harness): flip @p byte_count
+     * payload bytes starting at @p first_byte (clamped to the
+     * payload) in the @p k-th live stored segment of @p stream. The
+     * tail metadata — segment ids, anchors, the stream's chain tail
+     * — is untouched, so ingest keeps flowing and tail votes still
+     * agree; only a payload (HMAC) verification of the stored copy
+     * catches it. This is exactly the silent corruption integrity
+     * scrubbing exists to find.
+     */
+    void injectBitRot(StreamId stream, std::uint64_t k,
+                      std::size_t first_byte, std::size_t byte_count);
+
+    // -- Quarantine (anti-entropy scrub) -----------------------------------
+
+    /**
+     * Mark this store's copy of @p stream as quarantined: the scrub
+     * found it corrupt (or diverged from the replica majority), so
+     * readers must prefer another replica and the repair engine will
+     * rebuild the copy from a healthy source. Quarantine is a
+     * per-copy verdict — dropping and re-registering the stream
+     * (the rebuild) clears it.
+     */
+    void setQuarantined(StreamId stream, bool quarantined);
+    bool quarantined(StreamId stream) const;
+
+    /** Streams of this store currently under quarantine. */
+    std::uint64_t quarantinedStreams() const;
+
     /** Cumulative segments pruned from @p stream. */
     std::uint64_t prunedSegments(StreamId stream) const;
 
@@ -340,6 +369,9 @@ class BackupStore : public net::CapsuleTarget
         std::optional<log::PruneRecord> prune;
         bool evictionHold = false;
         std::uint64_t liveBytes = 0; ///< wire bytes currently stored
+
+        // -- Anti-entropy state ------------------------------------------
+        bool quarantined = false; ///< scrub verdict: copy is suspect
 
         explicit StreamState(const log::SegmentCodec &c) : codec(c) {}
     };

@@ -5,9 +5,11 @@
  *
  * Faults are (tick, fault) pairs applied in schedule order when the
  * test's virtual time passes them: a fail-stop shard kill, an
- * injected slow-replica service delay, or a single-byte corruption of
+ * injected slow-replica service delay, a single-byte corruption of
  * one stored segment (the fault read-side voting and chain-verifying
- * source selection must survive). The injector is deliberately dumb —
+ * source selection must survive), or silent bit-rot over a payload
+ * byte range with the tail metadata untouched (the fault only an
+ * integrity scrub catches). The injector is deliberately dumb —
  * it owns no clock; the test drives advanceTo() from whatever time
  * base it already has (device clocks, the fleet event spine, or a
  * bare counter), which keeps every run deterministic.
@@ -29,6 +31,7 @@ struct ScriptedFault
         KillShard,      ///< fail-stop crash (no migration)
         DelayShard,     ///< add per-segment service latency
         CorruptSegment, ///< flip one payload byte in a stored segment
+        BitRot,         ///< flip a payload byte range, tail untouched
     };
 
     Tick at = 0;
@@ -38,10 +41,17 @@ struct ScriptedFault
     /** DelayShard: extra per-segment service time. */
     Tick delay = 0;
 
-    /** CorruptSegment: which stream and which of its live segments
-     *  (0-based, stream order). */
+    /** CorruptSegment / BitRot: which stream and which of its live
+     *  segments (0-based, stream order). */
     remote::DeviceId stream = 0;
     std::uint64_t segmentIdx = 0;
+
+    /** BitRot: payload byte range to flip (clamped to the payload).
+     *  Segment ids, anchors and the chain tail stay pristine, so
+     *  ingest keeps flowing and tail votes still agree — only an
+     *  integrity scrub that re-verifies stored bytes catches it. */
+    std::size_t byteOffset = 0;
+    std::size_t byteCount = 1;
 };
 
 class FaultInjector
@@ -93,6 +103,10 @@ class FaultInjector
           case ScriptedFault::Kind::CorruptSegment:
             cluster_.mutableShardStore(f.shard).corruptStoredSegment(
                 f.stream, f.segmentIdx);
+            break;
+          case ScriptedFault::Kind::BitRot:
+            cluster_.mutableShardStore(f.shard).injectBitRot(
+                f.stream, f.segmentIdx, f.byteOffset, f.byteCount);
             break;
         }
     }

@@ -202,13 +202,16 @@ TEST(FleetSim, GoldenReportDigest)
     //                    bytesPruned/heldStreams, totals
     //                    segmentsPruned/bytesPruned, per-device
     //                    remoteRejects)
-    //   current        — schema 4 (PR 6: replication & membership —
+    //   179616...c39c  — schema 4 (PR 6: replication & membership —
     //                    fleet replication/liveShards, per-device
     //                    replicas, per-shard status/duplicates,
     //                    totals quorum/migration counters)
+    //   current        — schema 5 (PR 7: anti-entropy — "repair"
+    //                    totals block, per-device replicasLive/
+    //                    quarantinedCopies, per-shard quarantined)
     EXPECT_EQ(digest,
-              "1796163bbfe1663b2241acc3b90a06bbeb0b948cb31b1850007"
-              "5472ef89cc39c");
+              "8606a6822f2d4269806aff44c1e9f6a0d3db511ce5ea63e4b2b"
+              "bcedb67794eea");
 }
 
 TEST(FleetSim, CrashMidOutbreakLosesNoEvidence)
@@ -257,8 +260,8 @@ TEST(FleetSim, CrashMidOutbreakLosesNoEvidence)
     // Zero evidence loss is pinned byte-for-byte: the crash run has
     // its own golden digest (same discipline as GoldenReportDigest).
     EXPECT_EQ(jsonDigest(rep),
-              "fcd7465d47a5eed54a7f601a26810d154fbfdaba16990d04ef4"
-              "8f8726afdcbac");
+              "7bc3a623d802ce9d966fbd320ff7a545680dfa9ed01ba6e3cc5"
+              "3c56eb07423c2");
 }
 
 } // namespace

@@ -249,10 +249,12 @@ TEST(Forensics, GoldenReportDigest)
     //                   finding segmentsPruned/entriesPruned/
     //                   reanchors, per-recovery
     //                   beforePrunedHorizon)
-    //   current       — schema 3 (PR 6: replication — source
+    //   4bd6f8...d3e3 — schema 3 (PR 6: replication — source
     //                   replication/liveShards, per-finding
     //                   replicas/replicasAlive/tailVotes/failovers,
     //                   per-recovery restoredFromShard)
+    //   current       — schema 4 (PR 7: anti-entropy — third
+    //                   "replica-aware" recovery plan in "plans")
     fleet::FleetScheduler sched(
         acceptanceFleet(fleet::Scenario::Outbreak, 7));
     sched.run();
@@ -260,8 +262,8 @@ TEST(Forensics, GoldenReportDigest)
     const std::string digest = crypto::toHex(
         crypto::Sha256::hash(json.data(), json.size()));
     EXPECT_EQ(digest,
-              "4bd6f8da714ebd6352444782402921d3bec718e14354c9f0ef6"
-              "7ce197b1fd3e3");
+              "339315dd677e8d277311ee17cc2becf5869c3104533f27dd9bc"
+              "1c33154e00036");
 }
 
 TEST(Forensics, IncrementalReanalysisIsONew)
@@ -363,6 +365,58 @@ TEST(RecoveryPlanner, FairShareSplitsBandwidthEqually)
     EXPECT_EQ(d1.finishAt, 16 * units::SEC);
 
     EXPECT_EQ(plan.makespan, 16 * units::SEC);
+}
+
+TEST(RecoveryPlanner, ReplicaAwareSpreadsVictimsAcrossCopies)
+{
+    // Four victims all pinned to shard 0, but R-way replication left
+    // each with a healthy copy on shard 1 too. Per-primary greedy
+    // serializes all four on shard 0; the replica-aware policy
+    // routes biggest-first to the least-loaded candidate source and
+    // cuts the makespan in half — the before/after bandwidth claim.
+    std::vector<RestoreJob> jobs(4);
+    jobs[0] = {0, 0, 8 * units::MiB, 4, 0, {0, 1}};
+    jobs[1] = {1, 0, 6 * units::MiB, 3, 0, {0, 1}};
+    jobs[2] = {2, 0, 4 * units::MiB, 2, 0, {0, 1}};
+    jobs[3] = {3, 0, 2 * units::MiB, 1, 0, {0, 1}};
+
+    const RestorePlan before = planRestores(
+        jobs, PlanPolicy::GreedyMostDamagedFirst, mibPerSec(1));
+    EXPECT_EQ(before.makespan, 20 * units::SEC); // serial on shard 0
+
+    const RestorePlan after =
+        planRestores(jobs, PlanPolicy::ReplicaAware, mibPerSec(1));
+    // 8 -> shard 0, 6 -> shard 1, 4 -> shard 1 (load 6 < 8),
+    // 2 -> shard 0: both shards restore 10 MiB in parallel.
+    EXPECT_EQ(after.makespan, 10 * units::SEC);
+    EXPECT_LT(after.makespan, before.makespan);
+    ASSERT_EQ(after.restores.size(), 4u);
+    for (const ScheduledRestore &r : after.restores) {
+        EXPECT_TRUE(r.shard == 0 || r.shard == 1)
+            << "device " << r.device;
+    }
+    EXPECT_EQ(after.restores[0].shard, 0u);
+    EXPECT_EQ(after.restores[1].shard, 1u);
+    EXPECT_EQ(after.restores[2].shard, 1u);
+    EXPECT_EQ(after.restores[3].shard, 0u);
+}
+
+TEST(RecoveryPlanner, ReplicaAwareFallsBackToThePrimary)
+{
+    // No candidate sources recorded (R=1, or no healthy agreeing
+    // peer): the job stays on its primary — the plan degenerates to
+    // per-shard greedy.
+    const RestorePlan plan = planRestores(
+        twoShardJobs(), PlanPolicy::ReplicaAware, mibPerSec(1));
+    const RestorePlan greedy = planRestores(
+        twoShardJobs(), PlanPolicy::GreedyMostDamagedFirst,
+        mibPerSec(1));
+    ASSERT_EQ(plan.restores.size(), greedy.restores.size());
+    for (std::size_t i = 0; i < plan.restores.size(); i++) {
+        EXPECT_EQ(plan.restores[i].shard, greedy.restores[i].shard);
+        EXPECT_EQ(plan.restores[i].finishAt,
+                  greedy.restores[i].finishAt);
+    }
 }
 
 TEST(RecoveryPlanner, PoliciesShareMakespanWhenOneJobPerShard)

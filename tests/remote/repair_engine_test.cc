@@ -1,0 +1,370 @@
+/**
+ * @file
+ * RepairEngine tests: anti-entropy repair of degraded replica sets
+ * (crash-fed queue, suspicion-held priority, bandwidth budgeting,
+ * verbatim sealed-byte copies, prune re-anchoring) and integrity
+ * scrubbing (bit-rot detection, quarantine, rebuild), plus the edge
+ * cases ISSUE 7 calls out: repair racing a joinShard rebalance,
+ * fully-pruned streams repairing to a chain-tail-only copy, and a
+ * scrub pass surviving a mid-pass prune.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "remote/backup_cluster.hh"
+#include "remote/repair_engine.hh"
+
+#include "tests/common/segment_chain.hh"
+
+namespace rssd::remote {
+namespace {
+
+BackupClusterConfig
+replicatedCluster(std::uint32_t shards, std::uint32_t r)
+{
+    BackupClusterConfig cfg;
+    cfg.shards = shards;
+    cfg.replication = r;
+    cfg.shard.capacityBytes = 256 * units::MiB;
+    cfg.perSegmentProcessing = 50 * units::US;
+    cfg.batchOverhead = 200 * units::US;
+    cfg.batchSegments = 4;
+    cfg.maxPending = 64;
+    return cfg;
+}
+
+RepairEngineConfig
+repairOn()
+{
+    RepairEngineConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+TEST(RepairEngine, CrashEnqueuesAndRepairConvergesVerbatim)
+{
+    BackupCluster cluster(replicatedCluster(5, 3));
+    RepairEngine engine(cluster, repairOn());
+    test::SegmentChain chain("heal-dev");
+    cluster.attachDevice(9, chain.codec());
+    const std::vector<ShardId> old_set = cluster.replicaSetOf(9);
+
+    Tick ack = 0;
+    for (int i = 0; i < 3; i++)
+        ASSERT_TRUE(cluster.ingest(9, chain.next(2, 256), 0, ack));
+
+    // The observer hook fires the moment the crash degrades the set.
+    cluster.crashShard(old_set[1]);
+    EXPECT_TRUE(engine.queued(9));
+    EXPECT_EQ(engine.stats().enqueues, 1u);
+    const StreamHealth before = cluster.streamHealth(9);
+    EXPECT_EQ(before.live, 2u);
+    const std::vector<DeviceId> degraded = cluster.degradedStreams();
+    ASSERT_EQ(degraded.size(), 1u);
+    EXPECT_EQ(degraded[0], 9u);
+
+    // More foreground writes land while degraded (partial quorum).
+    for (int i = 0; i < 2; i++)
+        ASSERT_TRUE(
+            cluster.ingest(9, chain.next(2, 256), units::MS, ack));
+
+    const Tick done = engine.drainAll(2 * units::MS);
+    EXPECT_GT(done, 2 * units::MS);
+    EXPECT_TRUE(engine.idle());
+    EXPECT_TRUE(cluster.degradedStreams().empty());
+    EXPECT_EQ(engine.stats().streamsRepaired, 1u);
+    EXPECT_EQ(engine.stats().segmentsCopied, 5u);
+    EXPECT_GT(engine.stats().bytesCopied, 0u);
+    EXPECT_EQ(engine.stats().lastRepairDoneAt, done);
+
+    // The committed set is the live ring target set, back at full
+    // strength, and every copy is byte-for-byte the survivor's.
+    const std::vector<ShardId> &set = cluster.replicaSetOf(9);
+    ASSERT_EQ(set.size(), 3u);
+    const ShardId survivor = old_set[0];
+    const BackupStore &ref = cluster.shardStore(survivor);
+    for (const ShardId s : set) {
+        ASSERT_TRUE(cluster.shardAlive(s));
+        const BackupStore &store = cluster.shardStore(s);
+        ASSERT_TRUE(store.hasStream(9));
+        ASSERT_EQ(store.streamSegments(9).size(), 5u);
+        EXPECT_TRUE(store.verifyStreamChain(9));
+        auto it = store.streamSegments(9).begin();
+        for (const std::uint32_t ref_idx : ref.streamSegments(9)) {
+            const log::SealedSegment &a = ref.sealedSegment(ref_idx);
+            const log::SealedSegment &b = store.sealedSegment(*it++);
+            EXPECT_EQ(a.id, b.id);
+            EXPECT_EQ(a.hmac, b.hmac);
+            EXPECT_EQ(a.payload, b.payload);
+        }
+    }
+
+    // Foreground quorum writes flow to the repaired set: no more
+    // partial acks.
+    const std::uint64_t partial_before =
+        cluster.replicationStats().partialWrites;
+    ASSERT_TRUE(cluster.ingest(9, chain.next(2, 256), done, ack));
+    EXPECT_EQ(cluster.replicationStats().partialWrites,
+              partial_before);
+}
+
+TEST(RepairEngine, SuspicionHeldStreamGetsTheBandwidthFirst)
+{
+    // Two degraded streams compete for one target shard's budget;
+    // the detector-alarmed (eviction-held) one must repair first
+    // even though its device id sorts last.
+    BackupCluster cluster(replicatedCluster(3, 2));
+    RepairEngineConfig rcfg = repairOn();
+    rcfg.bandwidthBytesPerSec = 1; // bucket floor: one 8 MiB burst
+    RepairEngine engine(cluster, rcfg);
+
+    // Find two devices whose replica set is exactly {0, 1}: after
+    // crashing shard 1 both survive on shard 0 and rebuild on 2 —
+    // the same token bucket.
+    std::vector<DeviceId> on01;
+    std::vector<std::unique_ptr<test::SegmentChain>> chains;
+    for (DeviceId d = 0; d < 64 && on01.size() < 2; d++) {
+        auto chain = std::make_unique<test::SegmentChain>(
+            "held-" + std::to_string(d));
+        cluster.attachDevice(d, chain->codec());
+        chains.push_back(std::move(chain));
+        const std::vector<ShardId> &set = cluster.replicaSetOf(d);
+        if (std::count(set.begin(), set.end(), 0) == 1 &&
+            std::count(set.begin(), set.end(), 1) == 1) {
+            on01.push_back(d);
+        }
+    }
+    ASSERT_EQ(on01.size(), 2u);
+    const DeviceId unheld = on01[0];
+    const DeviceId held = on01[1];
+
+    // ~10 MiB per stream: more than the 8 MiB burst floor, so one
+    // tick cannot finish even a single stream.
+    Tick ack = 0;
+    for (int i = 0; i < 5; i++) {
+        ASSERT_TRUE(cluster.ingest(
+            unheld, chains[unheld]->next(2, 2 * units::MiB), 0, ack));
+        ASSERT_TRUE(cluster.ingest(
+            held, chains[held]->next(2, 2 * units::MiB), 0, ack));
+    }
+    cluster.setEvictionHold(held, true);
+
+    cluster.crashShard(1);
+    EXPECT_TRUE(engine.queued(unheld));
+    EXPECT_TRUE(engine.queued(held));
+
+    engine.tick(units::MS);
+
+    // The held stream drained the bucket; the unheld one got
+    // nothing. (Neither converged — both still queued.)
+    EXPECT_TRUE(engine.queued(held));
+    EXPECT_TRUE(engine.queued(unheld));
+    const BackupStore &target = cluster.shardStore(2);
+    ASSERT_TRUE(target.hasStream(held));
+    EXPECT_GT(target.streamSegments(held).size(), 0u);
+    ASSERT_TRUE(target.hasStream(unheld));
+    EXPECT_EQ(target.streamSegments(unheld).size(), 0u);
+    EXPECT_GT(engine.stats().segmentsCopied, 0u);
+}
+
+TEST(RepairEngine, FullyPrunedStreamRepairsToChainTailOnlyCopy)
+{
+    // Retention GC expired the stream's whole history; a repair copy
+    // is then the signed PruneRecord re-anchor plus whatever landed
+    // after the horizon — never a resurrected prefix.
+    BackupClusterConfig cfg = replicatedCluster(3, 2);
+    cfg.shard.retention.gcEnabled = true;
+    cfg.shard.retention.retentionWindow = 10 * units::MS;
+    BackupCluster cluster(cfg);
+    RepairEngine engine(cluster, repairOn());
+    test::SegmentChain chain("pruned-dev");
+    cluster.attachDevice(5, chain.codec());
+    const std::vector<ShardId> set = cluster.replicaSetOf(5);
+
+    Tick ack = 0;
+    for (int i = 0; i < 3; i++)
+        ASSERT_TRUE(cluster.ingest(5, chain.next(2, 256), 0, ack));
+    cluster.runRetentionGc(units::SEC); // expire all three
+    ASSERT_TRUE(
+        cluster.ingest(5, chain.next(2, 256), units::SEC, ack));
+
+    cluster.crashShard(set[1]);
+    ASSERT_TRUE(engine.queued(5));
+    engine.drainAll(units::SEC + units::MS);
+
+    EXPECT_TRUE(cluster.degradedStreams().empty());
+    EXPECT_EQ(engine.stats().reanchors, 1u);
+    EXPECT_EQ(engine.stats().segmentsCopied, 1u); // post-horizon only
+    for (const ShardId s : cluster.replicaSetOf(5)) {
+        const BackupStore &store = cluster.shardStore(s);
+        ASSERT_TRUE(store.hasStream(5));
+        const log::PruneRecord *rec = store.pruneRecordOf(5);
+        ASSERT_NE(rec, nullptr);
+        EXPECT_EQ(rec->segmentsPruned, 3u);
+        EXPECT_EQ(store.streamSegments(5).size(), 1u);
+        EXPECT_TRUE(store.verifyStreamChain(5));
+    }
+}
+
+TEST(RepairEngine, RepairRacingJoinShardResolvesToTheRingSet)
+{
+    // A join + rebalance lands while a repair copy is mid-flight.
+    // Migration wins (it drops the partial copy), the engine finds
+    // the stream healthy on the post-join ring, and no shard is left
+    // holding a stray partial copy.
+    BackupCluster cluster(replicatedCluster(3, 2));
+    RepairEngineConfig rcfg = repairOn();
+    rcfg.bandwidthBytesPerSec = 1; // starve: repair stays partial
+    RepairEngine engine(cluster, rcfg);
+    test::SegmentChain chain("race-dev");
+    cluster.attachDevice(7, chain.codec());
+    const std::vector<ShardId> set = cluster.replicaSetOf(7);
+
+    Tick ack = 0;
+    for (int i = 0; i < 6; i++) {
+        ASSERT_TRUE(
+            cluster.ingest(7, chain.next(2, 2 * units::MiB), 0, ack));
+    }
+    cluster.crashShard(set[1]);
+    engine.tick(units::MS); // partial copy: budget runs dry
+    ASSERT_TRUE(engine.queued(7));
+
+    cluster.joinShard(2 * units::MS); // rebalance wins the race
+    engine.drainAll(3 * units::MS);
+
+    EXPECT_TRUE(engine.idle());
+    EXPECT_TRUE(cluster.degradedStreams().empty());
+    EXPECT_TRUE(cluster.verifyAll());
+    // Exactly the replica set holds the stream — no stray copies.
+    const std::vector<ShardId> &final_set = cluster.replicaSetOf(7);
+    for (ShardId s = 0; s < cluster.shardCount(); s++) {
+        if (!cluster.shardAlive(s))
+            continue;
+        const bool member =
+            std::find(final_set.begin(), final_set.end(), s) !=
+            final_set.end();
+        EXPECT_EQ(cluster.shardStore(s).hasStream(7), member)
+            << "shard " << s;
+    }
+}
+
+TEST(RepairEngine, ScrubDetectsBitRotQuarantinesAndHeals)
+{
+    BackupCluster cluster(replicatedCluster(3, 3));
+    RepairEngineConfig rcfg = repairOn();
+    rcfg.scrubInterval = units::MS;
+    RepairEngine engine(cluster, rcfg);
+    test::SegmentChain chain("rot-dev");
+    cluster.attachDevice(3, chain.codec());
+    const std::vector<ShardId> set = cluster.replicaSetOf(3);
+
+    Tick ack = 0;
+    for (int i = 0; i < 4; i++)
+        ASSERT_TRUE(cluster.ingest(3, chain.next(2, 512), 0, ack));
+
+    // Rot payload bytes in one copy. The chain tail still agrees
+    // with the peers — tail votes cannot see it; only the scrub can.
+    cluster.mutableShardStore(set[1]).injectBitRot(3, 2, 7, 5);
+    EXPECT_TRUE(cluster.shardStore(set[1]).streamTail(3) ==
+                cluster.shardStore(set[0]).streamTail(3));
+    EXPECT_FALSE(cluster.shardStore(set[1]).verifyStreamChain(3));
+
+    engine.drainAll(units::MS);
+
+    EXPECT_EQ(engine.stats().scrubCorruptions, 1u);
+    EXPECT_EQ(engine.stats().quarantines, 1u);
+    EXPECT_EQ(engine.stats().tailVoteQuarantines, 0u);
+    EXPECT_GT(engine.stats().scrubPasses, 0u);
+    // Healed: the rotten copy was rebuilt from a healthy replica,
+    // nothing is quarantined, nothing is degraded.
+    EXPECT_EQ(cluster.quarantinedCopies(), 0u);
+    EXPECT_TRUE(cluster.degradedStreams().empty());
+    for (const ShardId s : cluster.replicaSetOf(3))
+        EXPECT_TRUE(cluster.shardStore(s).verifyStreamChain(3));
+    EXPECT_TRUE(cluster.verifyAll());
+}
+
+TEST(RepairEngine, ReadersSkipQuarantinedCopies)
+{
+    BackupCluster cluster(replicatedCluster(3, 2));
+    RepairEngine engine(cluster, repairOn());
+    test::SegmentChain chain("reader-dev");
+    cluster.attachDevice(4, chain.codec());
+    const std::vector<ShardId> set = cluster.replicaSetOf(4);
+
+    Tick ack = 0;
+    ASSERT_TRUE(cluster.ingest(4, chain.next(2, 256), 0, ack));
+
+    cluster.quarantineCopy(set[0], 4);
+    EXPECT_TRUE(cluster.copyQuarantined(set[0], 4));
+    // Quarantine re-degrades the stream (observer notification) and
+    // steers readers to the healthy peer.
+    EXPECT_TRUE(engine.queued(4));
+    EXPECT_EQ(cluster.chainVerifyingReplicaOf(4), set[1]);
+    EXPECT_EQ(cluster.streamHealth(4).quarantined, 1u);
+    ASSERT_EQ(cluster.degradedStreams().size(), 1u);
+
+    // Repair rebuilds the quarantined copy and clears the verdict.
+    engine.drainAll(units::MS);
+    EXPECT_FALSE(cluster.copyQuarantined(set[0], 4));
+    EXPECT_EQ(cluster.quarantinedCopies(), 0u);
+    EXPECT_TRUE(cluster.degradedStreams().empty());
+}
+
+TEST(RepairEngine, ScrubSurvivesMidPassPrune)
+{
+    // Retention GC shrinks a stream between scrub chunks; the pass
+    // cursor skips ahead instead of faulting, and the pass completes.
+    BackupClusterConfig cfg = replicatedCluster(2, 2);
+    cfg.shard.retention.gcEnabled = true;
+    cfg.shard.retention.retentionWindow = 10 * units::MS;
+    BackupCluster cluster(cfg);
+    RepairEngineConfig rcfg = repairOn();
+    rcfg.scrubInterval = units::MS;
+    rcfg.scrubSegmentsPerStep = 1; // one segment per chunk
+    RepairEngine engine(cluster, rcfg);
+    test::SegmentChain chain("midprune-dev");
+    cluster.attachDevice(6, chain.codec());
+
+    Tick ack = 0;
+    for (int i = 0; i < 6; i++)
+        ASSERT_TRUE(cluster.ingest(6, chain.next(2, 256), 0, ack));
+
+    engine.tick(units::MS); // pass begins, cursor inside the stream
+    ASSERT_GT(engine.stats().scrubbedSegments, 0u);
+    cluster.runRetentionGc(units::SEC); // expire everything mid-pass
+    ASSERT_TRUE(
+        cluster.ingest(6, chain.next(2, 256), units::SEC, ack));
+
+    engine.drainAll(units::SEC);
+    EXPECT_GT(engine.stats().scrubPasses, 0u);
+    EXPECT_EQ(engine.stats().scrubCorruptions, 0u);
+    EXPECT_TRUE(cluster.verifyAll());
+    EXPECT_TRUE(cluster.degradedStreams().empty());
+}
+
+TEST(RepairEngine, DisabledEngineIgnoresDegradation)
+{
+    BackupCluster cluster(replicatedCluster(3, 2));
+    RepairEngineConfig rcfg; // enabled = false
+    RepairEngine engine(cluster, rcfg);
+    test::SegmentChain chain("off-dev");
+    cluster.attachDevice(2, chain.codec());
+
+    Tick ack = 0;
+    ASSERT_TRUE(cluster.ingest(2, chain.next(), 0, ack));
+    cluster.crashShard(cluster.replicaSetOf(2)[1]);
+
+    EXPECT_FALSE(engine.queued(2));
+    EXPECT_EQ(engine.stats().enqueues, 0u);
+    engine.tick(units::MS);
+    EXPECT_EQ(engine.drainAll(units::MS), units::MS);
+    // The repair debt stays (PR 6 behavior: paid at the next join).
+    EXPECT_EQ(cluster.degradedStreams().size(), 1u);
+}
+
+} // namespace
+} // namespace rssd::remote
