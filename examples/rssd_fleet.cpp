@@ -49,10 +49,22 @@
  *                           recovery lost no evidence (ground truth
  *                           reconstructed, victims 100% intact).
  *
+ * Observability knobs:
+ *   --trace-out PATH        write a Chrome trace_event JSON file
+ *                           spanning the capsule lifecycle (seal ->
+ *                           queue -> quorum -> repair) — load it in
+ *                           chrome://tracing or Perfetto. Timestamps
+ *                           are sim ticks (1 trace-us = 1 sim-ns).
+ *   --metrics-out PATH      write a metrics snapshot (counters,
+ *                           gauges, latency histograms) sampled
+ *                           after the run, as one JSON document.
+ *
  * Determinism: the same flags (and RSSD_SMOKE setting) produce a
  * byte-identical report, including the JSON file — diff two runs to
- * convince yourself. Scenarios: benign, outbreak, staggered,
- * shard-flood (see src/fleet/campaign.hh).
+ * convince yourself; the trace and metrics files are byte-identical
+ * too, and attaching them never changes the report. Scenarios:
+ * benign, outbreak, staggered, shard-flood (see
+ * src/fleet/campaign.hh).
  *
  * RSSD_SMOKE=1 divides the per-device benign op count and the
  * shard-flood volume by 10 so the ctest/CI smoke entry finishes in
@@ -63,6 +75,8 @@
 
 #include "examples/argparse.hh"
 #include "fleet/scheduler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/stats.hh"
 
 using namespace rssd;
@@ -77,9 +91,22 @@ const char *kUsage =
     "[--crash-at-ms T] [--join-at-ms T] [--leave-shard S] "
     "[--leave-at-ms T] [--replication-check] [--repair] "
     "[--repair-bw-mb N] [--scrub-ms N] [--bitrot-at-ms T] "
-    "[--bitrot-device D] [--repair-check] [--json PATH]";
+    "[--bitrot-device D] [--repair-check] [--json PATH] "
+    "[--trace-out PATH] [--metrics-out PATH]";
 
 constexpr std::uint64_t kNoFlag = ~0ull;
+
+void
+writeTextFile(const std::string &path, const std::string &text,
+              const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot open " + path);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("%s written to %s\n", what, path.c_str());
+}
 
 } // namespace
 
@@ -123,6 +150,8 @@ main(int argc, char **argv)
     const std::uint64_t bitrot_device = args.u64("--bitrot-device", 0);
     const bool repair_check = args.flag("--repair-check");
     const std::string json_path = args.str("--json", "");
+    const std::string trace_path = args.str("--trace-out", "");
+    const std::string metrics_path = args.str("--metrics-out", "");
     args.finish(kUsage);
 
     if (repair) {
@@ -181,6 +210,14 @@ main(int argc, char **argv)
                 smoke ? " [RSSD_SMOKE]" : "");
 
     fleet::FleetScheduler sched(cfg);
+
+    obs::TraceSink trace;
+    if (!trace_path.empty())
+        sched.attachTrace(&trace);
+    obs::MetricsRegistry registry;
+    if (!metrics_path.empty())
+        sched.registerMetrics(registry);
+
     const fleet::FleetReport report = sched.run();
 
     std::printf("\n%-7s %-10s %-6s %9s %9s %7s %9s\n", "device",
@@ -448,14 +485,13 @@ main(int argc, char **argv)
         }
     }
 
-    if (!json_path.empty()) {
-        std::FILE *f = std::fopen(json_path.c_str(), "w");
-        if (f == nullptr)
-            fatal("cannot open " + json_path);
-        const std::string json = report.toJson();
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fclose(f);
-        std::printf("FleetReport written to %s\n", json_path.c_str());
+    if (!json_path.empty())
+        writeTextFile(json_path, report.toJson(), "FleetReport");
+    if (!trace_path.empty())
+        writeTextFile(trace_path, trace.toChromeJson(), "trace");
+    if (!metrics_path.empty()) {
+        writeTextFile(metrics_path, registry.snapshotJson(),
+                      "metrics");
     }
     return report.allChainsOk && check_ok ? 0 : 1;
 }

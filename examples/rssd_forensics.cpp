@@ -14,8 +14,17 @@
  * against the campaign ground truth (patient zero, infection order,
  * campaign class) — the CI smoke job runs with it.
  *
+ * Observability knobs:
+ *   --trace-out PATH    Chrome trace_event JSON of the campaign run
+ *                       (chrome://tracing / Perfetto; sim-tick
+ *                       timestamps, 1 trace-us = 1 sim-ns)
+ *   --metrics-out PATH  metrics snapshot (fleet instruments plus the
+ *                       evidence scanner's scan-cost counters under
+ *                       "forensics."), sampled after the analysis
+ *
  * Determinism: the same flags (and RSSD_SMOKE setting) produce a
- * byte-identical report; CI byte-compares two runs.
+ * byte-identical report; CI byte-compares two runs. The trace and
+ * metrics files are byte-identical too.
  *
  * RSSD_SMOKE=1 divides the per-device benign op count and the
  * shard-flood volume by 10 so the ctest/CI smoke entry finishes in
@@ -26,6 +35,8 @@
 
 #include "examples/argparse.hh"
 #include "fleet/scheduler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/stats.hh"
 
 using namespace rssd;
@@ -35,7 +46,20 @@ namespace {
 const char *kUsage =
     "rssd_forensics [--devices N] [--shards M] [--scenario "
     "benign|outbreak|staggered|shard-flood] [--seed S] [--ops N] "
-    "[--json PATH] [--check]";
+    "[--json PATH] [--check] [--trace-out PATH] "
+    "[--metrics-out PATH]";
+
+void
+writeTextFile(const std::string &path, const std::string &text,
+              const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot open " + path);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("%s written to %s\n", what, path.c_str());
+}
 
 } // namespace
 
@@ -55,6 +79,8 @@ main(int argc, char **argv)
         fleet::scenarioByName(args.str("--scenario", "outbreak"));
     const std::string json_path = args.str("--json", "");
     const bool check = args.flag("--check");
+    const std::string trace_path = args.str("--trace-out", "");
+    const std::string metrics_path = args.str("--metrics-out", "");
     args.finish(kUsage);
 
     if (smoke) {
@@ -77,8 +103,23 @@ main(int argc, char **argv)
                 smoke ? " [RSSD_SMOKE]" : "");
 
     fleet::FleetScheduler sched(cfg);
+
+    obs::TraceSink trace;
+    if (!trace_path.empty())
+        sched.attachTrace(&trace);
+    obs::MetricsRegistry registry;
+    if (!metrics_path.empty())
+        sched.registerMetrics(registry);
+
     sched.run();
     const forensics::ForensicsReport report = sched.runForensics();
+
+    // The scanner exists only after runForensics(); registering here
+    // still precedes the snapshot (closures sample at write time).
+    if (!metrics_path.empty() && sched.evidenceScanner() != nullptr) {
+        sched.evidenceScanner()->registerMetrics(registry,
+                                                 "forensics.");
+    }
 
     std::printf("\nevidence: %llu segments (%s) across %llu shards; "
                 "scan verified %llu segments / %llu entries (%s)\n",
@@ -144,15 +185,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(restored),
                 worst_after * 100);
 
-    if (!json_path.empty()) {
-        std::FILE *f = std::fopen(json_path.c_str(), "w");
-        if (f == nullptr)
-            fatal("cannot open " + json_path);
-        const std::string json = report.toJson();
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fclose(f);
-        std::printf("ForensicsReport written to %s\n",
-                    json_path.c_str());
+    if (!json_path.empty())
+        writeTextFile(json_path, report.toJson(), "ForensicsReport");
+    if (!trace_path.empty())
+        writeTextFile(trace_path, trace.toChromeJson(), "trace");
+    if (!metrics_path.empty()) {
+        writeTextFile(metrics_path, registry.snapshotJson(),
+                      "metrics");
     }
 
     if (check) {

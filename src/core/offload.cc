@@ -51,9 +51,20 @@ OffloadEngine::resubmit(Tick now)
     if (!result.accepted) {
         retryAt_ = now + config_.remoteRetryDelay;
         stats_.remoteRejects++;
+        if (trace_ != nullptr) {
+            trace_->instant("offload", "park", obs::kTrackDevices,
+                            traceTid_, now,
+                            {{"segment", pending_->segId},
+                             {"retryAtNs", retryAt_}});
+        }
         return false;
     }
     retryAt_ = 0;
+    if (trace_ != nullptr) {
+        trace_->complete("offload", "resubmit", obs::kTrackDevices,
+                         traceTid_, now, result.ackAt,
+                         {{"segment", pending_->segId}});
+    }
 
     // The parked batch is still the oldest slice of the retention
     // index (seqs only grow; re-added holds stay in front), so
@@ -141,6 +152,23 @@ OffloadEngine::sealOne(Tick now, bool force)
     stats_.segmentsSealed++;
     stats_.bytesRaw += sealed.rawSize;
     stats_.bytesSealed += sealed.payload.size();
+    sealLatency_.add(seal_done > now ? seal_done - now : 0);
+
+    // Seal span and the capsule's flow start go in before the
+    // submit, so the downstream shard/quorum events they link to
+    // appear after them in the event log.
+    if (trace_ != nullptr) {
+        obs::Span span(trace_, "offload", "seal", obs::kTrackDevices,
+                       traceTid_, now);
+        span.arg("segment", seg.id)
+            .arg("pages", batch.size())
+            .arg("entries", shipped_entries)
+            .arg("rawBytes", sealed.rawSize)
+            .arg("sealedBytes", sealed.payload.size());
+        span.end(seal_done);
+        trace_->flowBegin("offload", "capsule", flowId(seg.id),
+                          obs::kTrackDevices, traceTid_, seal_done);
+    }
 
     const log::SubmitResult result =
         sink_.submitSegment(sealed, seal_done);
@@ -159,9 +187,20 @@ OffloadEngine::sealOne(Tick now, bool force)
                                    seg.id};
         retryAt_ = now + config_.remoteRetryDelay;
         stats_.remoteRejects++;
+        if (trace_ != nullptr) {
+            trace_->instant("offload", "park", obs::kTrackDevices,
+                            traceTid_, seal_done,
+                            {{"segment", seg.id},
+                             {"retryAtNs", retryAt_}});
+        }
         return false;
     }
     retryAt_ = 0;
+    if (trace_ != nullptr) {
+        trace_->complete("offload", "ship", obs::kTrackDevices,
+                         traceTid_, seal_done, result.ackAt,
+                         {{"segment", seg.id}});
+    }
 
     // Acknowledged: release the FTL holds and truncate the shipped
     // log prefix. Relocations cannot have happened concurrently —
@@ -178,6 +217,26 @@ OffloadEngine::sealOne(Tick now, bool force)
     stats_.pagesOffloaded += batch.size();
     stats_.entriesOffloaded += shipped_entries;
     return true;
+}
+
+void
+OffloadEngine::registerMetrics(obs::MetricsRegistry &registry,
+                               const std::string &prefix) const
+{
+    registry.counter(prefix + "segmentsSealed",
+                     [this] { return stats_.segmentsSealed; });
+    registry.counter(prefix + "segmentsAccepted",
+                     [this] { return stats_.segmentsAccepted; });
+    registry.counter(prefix + "remoteRejects",
+                     [this] { return stats_.remoteRejects; });
+    registry.counter(prefix + "pagesOffloaded",
+                     [this] { return stats_.pagesOffloaded; });
+    registry.counter(prefix + "bytesSealed",
+                     [this] { return stats_.bytesSealed; });
+    registry.gauge(prefix + "compressionRatio",
+                   [this] { return stats_.compressionRatio(); });
+    registry.histogram(prefix + "sealLatency",
+                       [this] { return sealLatency_; });
 }
 
 } // namespace rssd::core

@@ -14,13 +14,17 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "core/rssd_config.hh"
 #include "ftl/ftl.hh"
 #include "log/oplog.hh"
 #include "log/retention.hh"
 #include "log/segment.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/clock.hh"
+#include "sim/stats.hh"
 
 namespace rssd::core {
 
@@ -81,6 +85,28 @@ class OffloadEngine
 
     const OffloadStats &stats() const { return stats_; }
 
+    /** Seal-stage latency (flash reads + compress + encrypt, per
+     *  sealed segment) — always on, merged fleet-wide into the
+     *  FleetReport's "latency" block. */
+    const LatencyHistogram &sealLatency() const { return sealLatency_; }
+
+    /**
+     * Attach a trace sink (nullptr detaches): seal spans, capsule
+     * flow starts, ship/park/resubmit events land on the devices
+     * track under @p tid. Read-only — tracing never perturbs the
+     * engine's state or timing.
+     */
+    void
+    attachTrace(obs::TraceSink *sink, std::uint64_t tid)
+    {
+        trace_ = sink;
+        traceTid_ = tid;
+    }
+
+    /** Register this engine's instruments under @p prefix. */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
+
   private:
     /** Seal and submit one segment of up to segmentPages pages. */
     bool sealOne(Tick now, bool force);
@@ -113,6 +139,13 @@ class OffloadEngine
     log::SegmentSink &sink_;
     VirtualClock &clock_;
 
+    /** Capsule flow id: links this device's seal span to the shard
+     *  ingest and quorum events downstream. */
+    std::uint64_t flowId(std::uint64_t seg_id) const
+    {
+        return (traceTid_ << 32) | (seg_id & 0xffffffffull);
+    }
+
     std::uint64_t nextSegmentId_ = 0;
     std::uint64_t prevSegmentId_ = log::kNoSegment;
     BusyResource sealEngine_;
@@ -120,6 +153,9 @@ class OffloadEngine
     Tick retryAt_ = 0; ///< reject backoff deadline (0 = none)
     std::optional<PendingResubmit> pending_;
     OffloadStats stats_;
+    LatencyHistogram sealLatency_;
+    obs::TraceSink *trace_ = nullptr;
+    std::uint64_t traceTid_ = 0;
 };
 
 } // namespace rssd::core

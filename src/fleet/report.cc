@@ -83,6 +83,19 @@ emitShard(JsonWriter &j, const ShardReport &s)
     j.close('}');
 }
 
+void
+emitLatencyStage(JsonWriter &j, const char *name,
+                 const LatencyHistogram &h)
+{
+    j.key(name);
+    j.open('{');
+    j.key("count"); j.u64(h.count());
+    j.key("p50Ns"); j.u64(h.count() > 0 ? h.percentileNs(50) : 0);
+    j.key("p99Ns"); j.u64(h.count() > 0 ? h.percentileNs(99) : 0);
+    j.key("maxNs"); j.u64(h.maxNs());
+    j.close('}');
+}
+
 } // namespace
 
 std::string
@@ -124,6 +137,14 @@ FleetReport::toJson() const
     j.key("segmentsMigrated");
     j.u64(replicationStats.segmentsMigrated);
     j.key("bytesMigrated"); j.u64(replicationStats.bytesMigrated);
+    j.key("offloadAckP50Ns");
+    j.u64(offloadAckLatency.count() > 0
+              ? offloadAckLatency.percentileNs(50)
+              : 0);
+    j.key("offloadAckP99Ns");
+    j.u64(offloadAckLatency.count() > 0
+              ? offloadAckLatency.percentileNs(99)
+              : 0);
     j.key("makespanNs"); j.u64(makespan);
     j.key("allChainsOk"); j.boolean(allChainsOk);
     j.close('}');
@@ -148,6 +169,14 @@ FleetReport::toJson() const
     j.key("degradedAtEnd"); j.u64(degradedAtEnd);
     j.key("quarantinedAtEnd"); j.u64(quarantinedAtEnd);
     j.key("convergedAtNs"); j.u64(repairConvergedAt);
+    j.close('}');
+
+    j.key("latency");
+    j.open('{');
+    emitLatencyStage(j, "seal", sealLatency);
+    emitLatencyStage(j, "queueWait", queueWaitLatency);
+    emitLatencyStage(j, "quorumWait", quorumWaitLatency);
+    emitLatencyStage(j, "repairCopy", repairCopyLatency);
     j.close('}');
 
     j.key("devices");

@@ -26,6 +26,7 @@
 #include "net/transport.hh"
 #include "remote/backup_cluster.hh"
 #include "remote/repair_engine.hh"
+#include "sim/stats.hh"
 
 namespace rssd::fleet {
 
@@ -53,8 +54,13 @@ namespace rssd::fleet {
  *       health); per-shard "quarantined"; new top-level "repair"
  *       object (repair/scrub counters, degraded and quarantined
  *       counts at end of run, convergence tick).
+ *   6 — PR 8: latency attribution — totals "offloadAckP50Ns" and
+ *       "offloadAckP99Ns" (the formerly report-invisible cluster
+ *       backlog histogram); new top-level "latency" object with
+ *       per-stage count/p50Ns/p99Ns/maxNs for the capsule
+ *       lifecycle stages seal, queueWait, quorumWait, repairCopy.
  */
-constexpr std::uint64_t kFleetReportSchema = 5;
+constexpr std::uint64_t kFleetReportSchema = 6;
 
 /** One device's slice of the fleet outcome. */
 struct DeviceReport
@@ -155,6 +161,19 @@ struct FleetReport
     /** Tick at which repair + scrub fully converged (0 when repair
      *  is disabled). */
     Tick repairConvergedAt = 0;
+
+    // -- Latency attribution (capsule lifecycle stages) ------------------
+    /** Device seal work: segment close to sealed capsule ready. */
+    LatencyHistogram sealLatency;
+    /** Shard admission: ingest arrival to service start (accepted). */
+    LatencyHistogram queueWaitLatency;
+    /** Quorum wait: cluster arrival to quorum-th replica ack. */
+    LatencyHistogram quorumWaitLatency;
+    /** Repair copies: target-shard ingest arrival to ack. */
+    LatencyHistogram repairCopyLatency;
+    /** End-to-end shard backlog (arrival to ack, accepted only) —
+     *  merged across shards for the totals' offload-ack view. */
+    LatencyHistogram offloadAckLatency;
 
     Tick makespan = 0; ///< latest device clock at completion
     bool allChainsOk = true;

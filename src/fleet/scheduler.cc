@@ -186,6 +186,45 @@ FleetScheduler::plan(std::uint32_t idx) const
     return plans_[idx];
 }
 
+void
+FleetScheduler::attachTrace(obs::TraceSink *sink)
+{
+    panicIf(ran_, "FleetScheduler: attachTrace after run()");
+    trace_ = sink;
+    for (auto &actor : actors_)
+        actor->dev->offload().attachTrace(sink, actor->id);
+    cluster_->attachTrace(sink);
+    if (engine_)
+        engine_->attachTrace(sink);
+    if (sink == nullptr)
+        return;
+    sink->setProcessName(obs::kTrackDevices, "devices");
+    sink->setProcessName(obs::kTrackCluster, "cluster");
+    sink->setProcessName(obs::kTrackRepair, "repair");
+    sink->setProcessName(obs::kTrackFleet, "fleet");
+    for (const auto &actor : actors_) {
+        sink->setThreadName(obs::kTrackDevices, actor->id,
+                            "device " + std::to_string(actor->id));
+    }
+    for (remote::ShardId s = 0; s < cluster_->shardCount(); s++) {
+        sink->setThreadName(obs::kTrackCluster, s,
+                            "shard " + std::to_string(s));
+    }
+}
+
+void
+FleetScheduler::registerMetrics(obs::MetricsRegistry &registry) const
+{
+    for (const auto &actor : actors_) {
+        actor->dev->offload().registerMetrics(
+            registry,
+            "device." + std::to_string(actor->id) + ".offload.");
+    }
+    cluster_->registerMetrics(registry, "cluster.");
+    if (engine_)
+        engine_->registerMetrics(registry, "repair.");
+}
+
 namespace {
 
 /** Integer-jittered think time: uniform in [gap/2, 3*gap/2). */
@@ -239,6 +278,12 @@ FleetScheduler::step(Actor &a)
             if (!det->alarms().empty()) {
                 cluster_->setEvictionHold(a.id, true);
                 a.holdFlagged = true;
+                if (trace_ != nullptr) {
+                    trace_->instant("fleet", "suspicion-hold",
+                                    obs::kTrackFleet, 0,
+                                    a.clock.now(),
+                                    {{"device", a.id}});
+                }
                 break;
             }
         }
@@ -294,22 +339,35 @@ FleetScheduler::run()
             continue;
         }
         if (id >= bitrot_base && id < engine_id) {
-            applyBitRot(config_.bitRot[id - bitrot_base]);
+            const BitRotEvent &e = config_.bitRot[id - bitrot_base];
+            if (trace_ != nullptr) {
+                trace_->instant("fleet", "bit-rot", obs::kTrackFleet,
+                                0, at, {{"device", e.device}});
+            }
+            applyBitRot(e);
             continue;
         }
         if (id >= membership_base) {
             const MembershipEvent &e =
                 config_.membership[id - membership_base];
+            remote::ShardId shard = e.shard;
+            const char *name = "crash-shard";
             switch (e.kind) {
               case MembershipKind::CrashShard:
                 cluster_->crashShard(e.shard);
                 break;
               case MembershipKind::JoinShard:
-                cluster_->joinShard(at);
+                shard = cluster_->joinShard(at);
+                name = "join-shard";
                 break;
               case MembershipKind::LeaveShard:
                 cluster_->leaveShard(e.shard, at);
+                name = "leave-shard";
                 break;
+            }
+            if (trace_ != nullptr) {
+                trace_->instant("fleet", name, obs::kTrackFleet, 0,
+                                at, {{"shard", shard}});
             }
             continue;
         }
@@ -497,6 +555,7 @@ FleetScheduler::aggregate()
         d.offload = a.dev->offload().stats();
         d.transport = a.dev->transport().stats();
         d.finishedAt = a.clock.now();
+        rep.sealLatency.merge(a.dev->offload().sealLatency());
 
         rep.totalPagesEncrypted += d.attack.pagesEncrypted;
         rep.totalPagesTrimmed += d.attack.pagesTrimmed;
@@ -541,6 +600,9 @@ FleetScheduler::aggregate()
             ? store.verifyFullChain()
             : true;
 
+        rep.queueWaitLatency.merge(st.queueWait);
+        rep.offloadAckLatency.merge(st.backlog);
+
         rep.totalSegments += sr.segmentsAccepted;
         rep.totalBytesStored += sr.usedBytes;
         rep.totalBackpressureStalls += sr.backpressureStalls;
@@ -550,10 +612,13 @@ FleetScheduler::aggregate()
         rep.shardReports.push_back(sr);
     }
     rep.replicationStats = cluster_->replicationStats();
+    rep.quorumWaitLatency.merge(cluster_->quorumWait());
 
     rep.repairEnabled = config_.repair.enabled;
-    if (engine_)
+    if (engine_) {
         rep.repairStats = engine_->stats();
+        rep.repairCopyLatency.merge(engine_->copyLatency());
+    }
     rep.degradedAtEnd = cluster_->degradedStreams().size();
     rep.quarantinedAtEnd = cluster_->quarantinedCopies();
     rep.repairConvergedAt = repairConvergedAt_;

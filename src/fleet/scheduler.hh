@@ -33,6 +33,8 @@
 #include "fleet/campaign.hh"
 #include "fleet/report.hh"
 #include "forensics/forensics.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "remote/backup_cluster.hh"
 #include "remote/repair_engine.hh"
 #include "workload/profiles.hh"
@@ -185,6 +187,35 @@ class FleetScheduler
     core::RssdDevice &device(std::uint32_t idx);
     const DevicePlan &plan(std::uint32_t idx) const;
 
+    // -- Observability ----------------------------------------------------
+
+    /**
+     * Attach a trace sink before run(): every capsule lifecycle
+     * stage — device seal, offload park/retry, shard queue wait,
+     * batch, quorum ack, repair copy, scrub step, GC prune,
+     * membership change — lands on the sink as tick-stamped events
+     * on fixed tracks (obs::kTrack*). Tracing is strictly read-only:
+     * the run, and every byte of the FleetReport, is identical with
+     * or without a sink attached. Pass nullptr to detach.
+     */
+    void attachTrace(obs::TraceSink *sink);
+
+    /**
+     * Register the fleet's instruments on @p registry: per-device
+     * offload engines ("device.<id>.offload."), the cluster and its
+     * shards ("cluster.", "cluster.shard.<id>."), and the repair
+     * engine ("repair.", when enabled). Call before run(); sampling
+     * happens at snapshotJson() time.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry) const;
+
+    /** Scanner created by runForensics() (nullptr before the first
+     *  analysis pass) — lets CLIs register its scan-cost metrics. */
+    forensics::EvidenceScanner *evidenceScanner()
+    {
+        return scanner_.get();
+    }
+
   private:
     struct Actor;
 
@@ -209,6 +240,7 @@ class FleetScheduler
     /** Per-device (victim seed, attacker seed), drawn at attach time
      *  but consumed only for devices the campaign infects. */
     std::vector<std::pair<std::uint64_t, std::uint64_t>> actorSeeds_;
+    obs::TraceSink *trace_ = nullptr;
     bool ran_ = false;
 };
 

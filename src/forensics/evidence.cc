@@ -180,4 +180,22 @@ EvidenceScanner::evidence(DeviceId device) const
     return it->second.evidence;
 }
 
+void
+EvidenceScanner::registerMetrics(obs::MetricsRegistry &registry,
+                                 const std::string &prefix) const
+{
+    registry.counter(prefix + "passes",
+                     [this] { return passes_; });
+    registry.counter(prefix + "streamsScanned",
+                     [this] { return total_.streamsScanned; });
+    registry.counter(prefix + "segmentsVerified",
+                     [this] { return total_.segmentsVerified; });
+    registry.counter(prefix + "segmentsCached",
+                     [this] { return total_.segmentsCached; });
+    registry.counter(prefix + "bytesVerified",
+                     [this] { return total_.bytesVerified; });
+    registry.counter(prefix + "entriesReplayed",
+                     [this] { return total_.entriesReplayed; });
+}
+
 } // namespace rssd::forensics

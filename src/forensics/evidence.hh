@@ -23,9 +23,11 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "log/chain_verify.hh"
+#include "obs/metrics.hh"
 #include "remote/backup_cluster.hh"
 
 namespace rssd::forensics {
@@ -140,6 +142,11 @@ class EvidenceScanner
     const ScanPassCost &total() const { return total_; }
 
     const remote::BackupCluster &cluster() const { return cluster_; }
+
+    /** Register the cumulative scan-cost counters under @p prefix
+     *  (e.g. "forensics."); sampled at snapshot time. */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
 
   private:
     struct StreamState

@@ -1,0 +1,89 @@
+#include "obs/metrics.hh"
+
+#include <utility>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace rssd::obs {
+
+void
+MetricsRegistry::claimName(const std::string &name)
+{
+    panicIf(name.empty(), "MetricsRegistry: empty instrument name");
+    panicIf(!names_.insert(name).second,
+            "MetricsRegistry: duplicate instrument \"" + name + "\"");
+}
+
+void
+MetricsRegistry::counter(const std::string &name, U64Fn sample)
+{
+    claimName(name);
+    Instrument in;
+    in.kind = Kind::Counter;
+    in.name = name;
+    in.u64 = std::move(sample);
+    instruments_.push_back(std::move(in));
+}
+
+void
+MetricsRegistry::gauge(const std::string &name, F64Fn sample)
+{
+    claimName(name);
+    Instrument in;
+    in.kind = Kind::Gauge;
+    in.name = name;
+    in.f64 = std::move(sample);
+    instruments_.push_back(std::move(in));
+}
+
+void
+MetricsRegistry::histogram(const std::string &name, HistFn sample)
+{
+    claimName(name);
+    Instrument in;
+    in.kind = Kind::Histogram;
+    in.name = name;
+    in.hist = std::move(sample);
+    instruments_.push_back(std::move(in));
+}
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    std::string out;
+    out.reserve(64 + instruments_.size() * 48);
+    sim::JsonWriter j(out);
+    j.open('{');
+    j.key("schema"); j.u64(1);
+    j.key("metrics");
+    j.open('{');
+    for (const Instrument &in : instruments_) {
+        j.key(in.name.c_str());
+        switch (in.kind) {
+          case Kind::Counter:
+            j.u64(in.u64());
+            break;
+          case Kind::Gauge:
+            j.f64(in.f64());
+            break;
+          case Kind::Histogram: {
+            const LatencyHistogram h = in.hist();
+            j.open('{');
+            j.key("count"); j.u64(h.count());
+            j.key("meanNs"); j.f64(h.meanNs());
+            j.key("p50Ns"); j.u64(h.percentileNs(50));
+            j.key("p99Ns"); j.u64(h.percentileNs(99));
+            j.key("maxNs"); j.u64(h.maxNs());
+            j.close('}');
+            break;
+          }
+        }
+    }
+    j.close('}');
+    j.close('}');
+    out += '\n';
+    return out;
+}
+
+} // namespace rssd::obs

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * MetricsRegistry: named counters, gauges and latency histograms
+ * with one deterministic snapshotJson().
+ *
+ * Instruments are *sampled*, not pushed: a module registers a name
+ * plus a closure that reads its live state, so registration costs
+ * nothing on the hot path and a snapshot always reflects the state
+ * at the moment it is taken. Registration order is the emission
+ * order (stable registration order is part of the determinism
+ * contract — same config, same seed, same bytes), and duplicate
+ * names panic at registration time rather than silently shadowing.
+ *
+ * This is the instrumentation floor the per-module ad-hoc totals
+ * structs grow toward: OffloadEngine, BackupCluster, RepairEngine,
+ * the FleetScheduler and the forensics scanner all register their
+ * instruments here (registerMetrics() methods), and callers render
+ * one document via sim/json.hh.
+ */
+
+#ifndef RSSD_OBS_METRICS_HH
+#define RSSD_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace rssd::obs {
+
+class MetricsRegistry
+{
+  public:
+    using U64Fn = std::function<std::uint64_t()>;
+    using F64Fn = std::function<double()>;
+    /** Sampled by value so a provider may merge several live
+     *  histograms into the returned snapshot. */
+    using HistFn = std::function<LatencyHistogram()>;
+
+    /** Monotonic counter (emitted as a JSON integer). */
+    void counter(const std::string &name, U64Fn sample);
+
+    /** Point-in-time value (emitted as a JSON number). */
+    void gauge(const std::string &name, F64Fn sample);
+
+    /** Latency histogram (emitted as {count, meanNs, p50Ns, p99Ns,
+     *  maxNs}). */
+    void histogram(const std::string &name, HistFn sample);
+
+    std::size_t size() const { return instruments_.size(); }
+
+    /**
+     * Sample every instrument and render one JSON document, keys in
+     * registration order:
+     *   {"schema":1,"metrics":{"<name>":<value>,...}}
+     */
+    std::string snapshotJson() const;
+
+  private:
+    enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+    struct Instrument
+    {
+        Kind kind;
+        std::string name;
+        U64Fn u64;
+        F64Fn f64;
+        HistFn hist;
+    };
+
+    void claimName(const std::string &name);
+
+    std::vector<Instrument> instruments_;
+    std::set<std::string> names_; ///< duplicate-registration guard
+};
+
+} // namespace rssd::obs
+
+#endif // RSSD_OBS_METRICS_HH

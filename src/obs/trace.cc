@@ -1,0 +1,173 @@
+#include "obs/trace.hh"
+
+#include "sim/json.hh"
+
+namespace rssd::obs {
+
+void
+TraceSink::setProcessName(std::uint64_t pid, const std::string &name)
+{
+    Event e;
+    e.phase = 'M';
+    e.name = "process_name";
+    e.pid = pid;
+    e.strArg = name;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::setThreadName(std::uint64_t pid, std::uint64_t tid,
+                         const std::string &name)
+{
+    Event e;
+    e.phase = 'M';
+    e.name = "thread_name";
+    e.pid = pid;
+    e.tid = tid;
+    e.strArg = name;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::completeN(const char *cat, const char *name,
+                     std::uint64_t pid, std::uint64_t tid, Tick start,
+                     Tick end, const TraceArg *args, std::size_t n)
+{
+    Event e;
+    e.phase = 'X';
+    e.cat = cat;
+    e.name = name;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = start;
+    e.dur = end > start ? end - start : 0;
+    e.args.reserve(n);
+    for (std::size_t i = 0; i < n; i++)
+        e.args.push_back({args[i].key, args[i].value});
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::instant(const char *cat, const char *name, std::uint64_t pid,
+                   std::uint64_t tid, Tick at,
+                   std::initializer_list<TraceArg> args)
+{
+    Event e;
+    e.phase = 'i';
+    e.cat = cat;
+    e.name = name;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = at;
+    e.args.reserve(args.size());
+    for (const TraceArg &a : args)
+        e.args.push_back({a.key, a.value});
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::flowBegin(const char *cat, const char *name,
+                     std::uint64_t flow_id, std::uint64_t pid,
+                     std::uint64_t tid, Tick at)
+{
+    Event e;
+    e.phase = 's';
+    e.cat = cat;
+    e.name = name;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = at;
+    e.flowId = flow_id;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::flowEnd(const char *cat, const char *name,
+                   std::uint64_t flow_id, std::uint64_t pid,
+                   std::uint64_t tid, Tick at)
+{
+    Event e;
+    e.phase = 'f';
+    e.cat = cat;
+    e.name = name;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = at;
+    e.flowId = flow_id;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::emitEvent(std::string &out, const Event &e) const
+{
+    sim::JsonWriter j(out);
+    const char ph[2] = {e.phase, '\0'};
+    j.open('{');
+    j.key("name"); j.str(e.name);
+    if (e.phase != 'M') {
+        j.key("cat"); j.str(e.cat);
+    }
+    j.key("ph"); j.str(ph);
+    j.key("pid"); j.u64(e.pid);
+    j.key("tid"); j.u64(e.tid);
+    j.key("ts"); j.u64(e.ts);
+    if (e.phase == 'X') {
+        j.key("dur"); j.u64(e.dur);
+    }
+    if (e.phase == 'i') {
+        j.key("s"); j.str("t");
+    }
+    if (e.phase == 's' || e.phase == 'f') {
+        j.key("id"); j.u64(e.flowId);
+        if (e.phase == 'f') {
+            j.key("bp"); j.str("e");
+        }
+    }
+    if (e.phase == 'M') {
+        j.key("args");
+        j.open('{');
+        j.key("name"); j.str(e.strArg);
+        j.close('}');
+    } else if (!e.args.empty()) {
+        j.key("args");
+        j.open('{');
+        for (const auto &[key, value] : e.args) {
+            j.key(key);
+            j.u64(value);
+        }
+        j.close('}');
+    }
+    j.close('}');
+}
+
+std::string
+TraceSink::toChromeJson() const
+{
+    std::string out;
+    out.reserve(128 + events_.size() * 160);
+    out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const Event &e : events_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '\n';
+        emitEvent(out, e);
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::string
+TraceSink::toJsonl() const
+{
+    std::string out;
+    out.reserve(events_.size() * 160);
+    for (const Event &e : events_) {
+        emitEvent(out, e);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace rssd::obs

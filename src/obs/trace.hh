@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic span tracing on the DES spine.
+ *
+ * A TraceSink records tick-stamped, causally-linked events for each
+ * capsule's lifecycle — device seal, offload park/retry, shard queue
+ * wait, batch, quorum ack, repair copy, scrub step, GC prune,
+ * membership change — and renders them as Chrome trace_event JSON
+ * (loadable in chrome://tracing or Perfetto) or a JSONL event log.
+ *
+ * Determinism contract: events are stored in call order, every
+ * timestamp is a sim Tick, and every value is an integer derived
+ * from simulation state. The same seed and config therefore produce
+ * byte-identical trace files; CI byte-compares two runs. Tracing is
+ * strictly read-only — attaching a sink never perturbs simulation
+ * state, so the FleetReport is byte-identical with tracing on or off
+ * (pinned by tests/obs/trace_test.cc).
+ *
+ * Time units: Chrome's "ts"/"dur" fields are nominally microseconds.
+ * The sink writes raw ticks (sim nanoseconds) into them unscaled —
+ * 1 trace-us on screen = 1 sim-ns — because integer timestamps are
+ * the only way to keep the file byte-stable (no float formatting).
+ * Divide on-screen durations by 1000 when reading a trace.
+ */
+
+#ifndef RSSD_OBS_TRACE_HH
+#define RSSD_OBS_TRACE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace rssd::obs {
+
+/**
+ * Fixed track ids (Chrome "pid") every subsystem agrees on, so one
+ * trace file lays out devices, cluster shards, the repair engine and
+ * the fleet spine as separate process tracks.
+ */
+constexpr std::uint64_t kTrackDevices = 1;
+constexpr std::uint64_t kTrackCluster = 2;
+constexpr std::uint64_t kTrackRepair = 3;
+constexpr std::uint64_t kTrackFleet = 4;
+
+/** One integer-valued event argument (key is a string literal). */
+struct TraceArg
+{
+    const char *key;
+    std::uint64_t value;
+};
+
+class TraceSink
+{
+  public:
+    /** Name a process track ('M' metadata event). */
+    void setProcessName(std::uint64_t pid, const std::string &name);
+
+    /** Name a thread track within a process. */
+    void setThreadName(std::uint64_t pid, std::uint64_t tid,
+                       const std::string &name);
+
+    /** A complete span ('X'): [start, end] on (pid, tid). */
+    void complete(const char *cat, const char *name, std::uint64_t pid,
+                  std::uint64_t tid, Tick start, Tick end,
+                  std::initializer_list<TraceArg> args = {})
+    {
+        completeN(cat, name, pid, tid, start, end, args.begin(),
+                  args.size());
+    }
+    void completeN(const char *cat, const char *name,
+                   std::uint64_t pid, std::uint64_t tid, Tick start,
+                   Tick end, const TraceArg *args, std::size_t n);
+
+    /** A thread-scoped instant event ('i'). */
+    void instant(const char *cat, const char *name, std::uint64_t pid,
+                 std::uint64_t tid, Tick at,
+                 std::initializer_list<TraceArg> args = {});
+
+    /**
+     * Causal link across tracks: flowBegin ('s') at the producer,
+     * flowEnd ('f') at the consumer, joined by @p flow_id. The
+     * capsule lifecycle uses (device << 32 | segment id).
+     */
+    void flowBegin(const char *cat, const char *name,
+                   std::uint64_t flow_id, std::uint64_t pid,
+                   std::uint64_t tid, Tick at);
+    void flowEnd(const char *cat, const char *name,
+                 std::uint64_t flow_id, std::uint64_t pid,
+                 std::uint64_t tid, Tick at);
+
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** The full Chrome trace_event document (one JSON object). */
+    std::string toChromeJson() const;
+
+    /** One JSON object per event per line (grep-friendly log). */
+    std::string toJsonl() const;
+
+  private:
+    struct Event
+    {
+        char phase = 'X'; ///< 'X','i','M','s','f'
+        const char *cat = "";
+        const char *name = "";
+        std::uint64_t pid = 0;
+        std::uint64_t tid = 0;
+        Tick ts = 0;
+        Tick dur = 0;          ///< 'X' only
+        std::uint64_t flowId = 0; ///< 's'/'f' only
+        std::vector<std::pair<const char *, std::uint64_t>> args;
+        std::string strArg; ///< 'M' only: args:{"name": strArg}
+    };
+
+    void emitEvent(std::string &out, const Event &e) const;
+
+    std::vector<Event> events_;
+};
+
+/**
+ * A span under construction: collect args between begin and end,
+ * emit one complete event on end(). Null-sink safe — every method is
+ * a no-op when constructed with nullptr, so call sites need no
+ * guards and tracing-off costs one pointer compare.
+ */
+class Span
+{
+  public:
+    Span(TraceSink *sink, const char *cat, const char *name,
+         std::uint64_t pid, std::uint64_t tid, Tick start)
+        : sink_(sink), cat_(cat), name_(name), pid_(pid), tid_(tid),
+          start_(start)
+    {
+    }
+
+    Span &
+    arg(const char *key, std::uint64_t value)
+    {
+        if (sink_ != nullptr)
+            args_.push_back({key, value});
+        return *this;
+    }
+
+    /** Emit the complete event; at most once. */
+    void
+    end(Tick end_at)
+    {
+        if (sink_ == nullptr)
+            return;
+        sink_->completeN(cat_, name_, pid_, tid_, start_, end_at,
+                         args_.data(), args_.size());
+        sink_ = nullptr;
+    }
+
+  private:
+    TraceSink *sink_;
+    const char *cat_;
+    const char *name_;
+    std::uint64_t pid_;
+    std::uint64_t tid_;
+    Tick start_;
+    std::vector<TraceArg> args_;
+};
+
+} // namespace rssd::obs
+
+#endif // RSSD_OBS_TRACE_HH

@@ -43,6 +43,7 @@ BackupCluster::makeShard()
 
     Shard sh;
     sh.store = std::make_unique<BackupStore>(store_cfg);
+    sh.store->attachTrace(trace_, id);
     shards_.push_back(std::move(sh));
     map_.addShard(id);
 }
@@ -131,7 +132,7 @@ BackupCluster::attachedDevices() const
 }
 
 bool
-BackupCluster::shardIngest(Shard &sh, DeviceId device,
+BackupCluster::shardIngest(ShardId sid, Shard &sh, DeviceId device,
                            const log::SealedSegment &segment,
                            Tick arrive_at, Tick &ack_ready_at)
 {
@@ -161,6 +162,13 @@ BackupCluster::shardIngest(Shard &sh, DeviceId device,
 
     const Tick service = config_.perSegmentProcessing + sh.extraDelay;
 
+    if (trace_ != nullptr && start > arrive) {
+        trace_->complete("ingest", "queue-wait", obs::kTrackCluster,
+                         sid, arrive, start,
+                         {{"device", device},
+                          {"segment", segment.id}});
+    }
+
     // The store decides first: verification is the head of service,
     // and a refused segment must not perturb the ingest pipeline
     // (the shard's processingTime is zeroed, so the admission
@@ -182,6 +190,12 @@ BackupCluster::shardIngest(Shard &sh, DeviceId device,
         sh.stats.rejectedBytes += segment.wireSize();
         sh.stats.rejectBacklog.add(
             done > arrive_at ? done - arrive_at : 0);
+        if (trace_ != nullptr) {
+            trace_->complete("ingest", "reject", obs::kTrackCluster,
+                             sid, start, done,
+                             {{"device", device},
+                              {"segment", segment.id}});
+        }
         return false;
     }
 
@@ -196,6 +210,11 @@ BackupCluster::shardIngest(Shard &sh, DeviceId device,
         sh.batchFill = 0;
         sh.stats.batches++;
         cost += config_.batchOverhead;
+        if (trace_ != nullptr) {
+            trace_->instant("ingest", "batch-open", obs::kTrackCluster,
+                            sid, start,
+                            {{"batch", sh.stats.batches}});
+        }
     }
     const Tick done = sh.worker.serve(start, cost);
     sh.batchEnd = done;
@@ -208,6 +227,17 @@ BackupCluster::shardIngest(Shard &sh, DeviceId device,
     sh.stats.segmentsAccepted++;
     sh.stats.backlog.add(
         done > arrive_at ? done - arrive_at : 0);
+    // Queue wait is admission-to-service (backpressure polls), kept
+    // separate from backlog (arrival-to-ack); accepted-only so both
+    // histograms describe the same population.
+    sh.stats.queueWait.add(start > arrive ? start - arrive : 0);
+    if (trace_ != nullptr) {
+        trace_->complete("ingest", "ingest", obs::kTrackCluster, sid,
+                         start, done,
+                         {{"device", device},
+                          {"segment", segment.id},
+                          {"batchFill", sh.batchFill}});
+    }
     return true;
 }
 
@@ -232,6 +262,15 @@ BackupCluster::ingest(DeviceId device,
         repl_.quorumStalls++;
         ack_ready_at = arrive_at +
                        std::max<Tick>(1, config_.backpressureRetryDelay);
+        if (trace_ != nullptr) {
+            trace_->instant("ingest", "quorum-stall",
+                            obs::kTrackCluster,
+                            replicas.front(), arrive_at,
+                            {{"device", device},
+                             {"segment", segment.id},
+                             {"live", live.size()},
+                             {"quorum", quorum}});
+        }
         return false;
     }
 
@@ -245,14 +284,25 @@ BackupCluster::ingest(DeviceId device,
     Tick worst = arrive_at;
     for (const ShardId s : live) {
         Tick ack = 0;
-        if (shardIngest(shardAt(s), device, segment, arrive_at, ack))
+        if (shardIngest(s, shardAt(s), device, segment, arrive_at,
+                        ack)) {
             acks.push_back(ack);
+        }
         worst = std::max(worst, ack);
     }
 
     if (acks.size() < quorum) {
         repl_.quorumFailures++;
         ack_ready_at = worst;
+        if (trace_ != nullptr) {
+            trace_->instant("ingest", "quorum-fail",
+                            obs::kTrackCluster,
+                            replicas.front(), worst,
+                            {{"device", device},
+                             {"segment", segment.id},
+                             {"acks", acks.size()},
+                             {"quorum", quorum}});
+        }
         return false;
     }
 
@@ -261,6 +311,21 @@ BackupCluster::ingest(DeviceId device,
     repl_.quorumWrites++;
     if (acks.size() < replicas.size())
         repl_.partialWrites++;
+    quorumWait_.add(
+        ack_ready_at > arrive_at ? ack_ready_at - arrive_at : 0);
+    if (trace_ != nullptr) {
+        trace_->complete("ingest", "quorum", obs::kTrackCluster,
+                         replicas.front(), arrive_at, ack_ready_at,
+                         {{"device", device},
+                          {"segment", segment.id},
+                          {"acks", acks.size()},
+                          {"quorum", quorum}});
+        trace_->flowEnd("offload", "capsule",
+                        (static_cast<std::uint64_t>(device) << 32) |
+                            (segment.id & 0xffffffffull),
+                        obs::kTrackCluster, replicas.front(),
+                        ack_ready_at);
+    }
     return true;
 }
 
@@ -573,7 +638,8 @@ BackupCluster::repairIngest(ShardId target, DeviceId device,
     Shard &sh = shardAt(target);
     panicIf(sh.status != ShardStatus::Live,
             "BackupCluster: repair ingest into a dead shard");
-    return shardIngest(sh, device, segment, arrive_at, ack_ready_at);
+    return shardIngest(target, sh, device, segment, arrive_at,
+                       ack_ready_at);
 }
 
 void
@@ -653,6 +719,63 @@ const std::vector<DeviceId> &
 BackupCluster::shardDevices(ShardId shard) const
 {
     return shardAt(shard).devices;
+}
+
+// -- Observability --------------------------------------------------------
+
+void
+BackupCluster::attachTrace(obs::TraceSink *sink)
+{
+    trace_ = sink;
+    for (ShardId s = 0; s < shardCount(); s++)
+        shards_[s].store->attachTrace(sink, s);
+}
+
+void
+BackupCluster::registerMetrics(obs::MetricsRegistry &registry,
+                               const std::string &prefix) const
+{
+    registry.counter(prefix + "quorumWrites",
+                     [this] { return repl_.quorumWrites; });
+    registry.counter(prefix + "partialWrites",
+                     [this] { return repl_.partialWrites; });
+    registry.counter(prefix + "quorumStalls",
+                     [this] { return repl_.quorumStalls; });
+    registry.counter(prefix + "quorumFailures",
+                     [this] { return repl_.quorumFailures; });
+    registry.counter(prefix + "streamsMigrated",
+                     [this] { return repl_.streamsMigrated; });
+    registry.counter(prefix + "segmentsMigrated",
+                     [this] { return repl_.segmentsMigrated; });
+    registry.counter(prefix + "bytesMigrated",
+                     [this] { return repl_.bytesMigrated; });
+    registry.histogram(prefix + "quorumWait",
+                       [this] { return quorumWait_; });
+    // Shards registered after this call (live joins) are not
+    // retro-registered; closures index shards_ because the vector
+    // reallocates on join.
+    for (std::size_t i = 0; i < shards_.size(); i++) {
+        const std::string shard =
+            prefix + "shard." + std::to_string(i) + ".";
+        registry.counter(shard + "segmentsAccepted", [this, i] {
+            return shards_[i].stats.segmentsAccepted;
+        });
+        registry.counter(shard + "segmentsRejected", [this, i] {
+            return shards_[i].stats.segmentsRejected;
+        });
+        registry.counter(shard + "batches", [this, i] {
+            return shards_[i].stats.batches;
+        });
+        registry.counter(shard + "backpressureStalls", [this, i] {
+            return shards_[i].stats.backpressureStalls;
+        });
+        registry.histogram(shard + "backlog", [this, i] {
+            return shards_[i].stats.backlog;
+        });
+        registry.histogram(shard + "queueWait", [this, i] {
+            return shards_[i].stats.queueWait;
+        });
+    }
 }
 
 bool

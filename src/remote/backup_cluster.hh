@@ -47,8 +47,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "remote/backup_store.hh"
 #include "remote/shard_map.hh"
 #include "sim/clock.hh"
@@ -130,6 +133,10 @@ struct ShardIngestStats
     std::uint32_t maxBatchFill = 0;
     LatencyHistogram backlog; ///< ack_ready - arrival, accepted only
     LatencyHistogram rejectBacklog; ///< same, refused segments
+    /** Queue-wait stage: service start - arrival, accepted only
+     *  (admission stalls and worker backlog, before any verify or
+     *  batch work). */
+    LatencyHistogram queueWait;
 
     double
     meanBatchSegments() const
@@ -275,6 +282,26 @@ class BackupCluster
         return repl_;
     }
 
+    /** Quorum-wait stage: quorum ack - arrival, successful ingests
+     *  cluster-wide. */
+    const LatencyHistogram &quorumWait() const { return quorumWait_; }
+
+    // -- Observability ----------------------------------------------------
+
+    /**
+     * Attach a trace sink (nullptr detaches): queue-wait/ingest/
+     * reject spans and batch-open instants per shard, quorum spans
+     * and capsule flow ends cluster-wide, GC-prune instants from the
+     * shard stores. Read-only — never perturbs ingest state.
+     */
+    void attachTrace(obs::TraceSink *sink);
+
+    /** Register cluster- and per-shard instruments under @p prefix
+     *  (per-shard names are prefix + "shard.<id>."). Covers shards
+     *  existing now; later joiners are not retro-registered. */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
+
     // -- Anti-entropy repair (RepairEngine hooks) -------------------------
 
     /** Register the repair observer (one at most; nullptr clears). */
@@ -405,7 +432,7 @@ class BackupCluster
 
     /** One replica's ingest queue model (admission, batching,
      *  reject-only service) — the pre-replication ingest() body. */
-    bool shardIngest(Shard &sh, DeviceId device,
+    bool shardIngest(ShardId sid, Shard &sh, DeviceId device,
                      const log::SealedSegment &segment, Tick arrive_at,
                      Tick &ack_ready_at);
 
@@ -425,7 +452,9 @@ class BackupCluster
      *  on new replicas, including after total source loss. */
     std::map<DeviceId, log::SegmentCodec> codecs_;
     ReplicationStats repl_;
+    LatencyHistogram quorumWait_;
     RepairObserver *repairObserver_ = nullptr;
+    obs::TraceSink *trace_ = nullptr;
 };
 
 /**

@@ -188,6 +188,13 @@ BackupStore::pruneOldest(StreamId stream, StreamState &st, Tick now,
         stats_.pressurePrunes++;
     else
         stats_.agePrunes++;
+    if (trace_ != nullptr) {
+        trace_->instant("retention", "prune", obs::kTrackCluster,
+                        traceTid_, now,
+                        {{"stream", stream},
+                         {"segment", rec.upToId},
+                         {"pressure", pressure ? 1u : 0u}});
+    }
 }
 
 void

@@ -45,6 +45,7 @@
 #include "log/chain_verify.hh"
 #include "log/segment.hh"
 #include "net/transport.hh"
+#include "obs/trace.hh"
 
 namespace rssd::remote {
 
@@ -354,6 +355,16 @@ class BackupStore : public net::CapsuleTarget
     RejectReason lastRejectReason() const { return lastReject_; }
     const BackupStoreStats &stats() const { return stats_; }
 
+    /** Observability: retention prunes emit tick-stamped instants on
+     *  the cluster track; @p tid is the owning shard's trace lane.
+     *  A null sink detaches (tracing is read-only either way). */
+    void
+    attachTrace(obs::TraceSink *sink, std::uint64_t tid)
+    {
+        trace_ = sink;
+        traceTid_ = tid;
+    }
+
   private:
     /** Per-stream chain state — the fix for the former single-client
      *  globals (one lastId/chainTail for the whole store). */
@@ -403,6 +414,8 @@ class BackupStore : public net::CapsuleTarget
     std::uint64_t used_ = 0;
     RejectReason lastReject_ = RejectReason::None;
     BackupStoreStats stats_;
+    obs::TraceSink *trace_ = nullptr;
+    std::uint64_t traceTid_ = 0;
 };
 
 } // namespace rssd::remote

@@ -98,6 +98,12 @@ RepairEngine::copyStep(DeviceId device, ShardId source, ShardId target,
                     src.pruneRecordOf(device)) {
                 cluster_.adoptPruneRecordOn(target, device, *rec);
                 stats_.reanchors++;
+                if (trace_ != nullptr) {
+                    trace_->instant("repair", "reanchor",
+                                    obs::kTrackRepair, target, now,
+                                    {{"device", device},
+                                     {"upToId", rec->upToId}});
+                }
                 continue;
             }
         }
@@ -121,6 +127,11 @@ RepairEngine::copyStep(DeviceId device, ShardId source, ShardId target,
             cluster_.dropCopy(target, device);
             cluster_.beginRepairCopy(device, target);
             stats_.copyRestarts++;
+            if (trace_ != nullptr) {
+                trace_->instant("repair", "copy-restart",
+                                obs::kTrackRepair, target, now,
+                                {{"device", device}});
+            }
             continue;
         }
 
@@ -138,6 +149,14 @@ RepairEngine::copyStep(DeviceId device, ShardId source, ShardId target,
         }
         stats_.segmentsCopied++;
         stats_.bytesCopied += wire;
+        copyLatency_.add(ack > now ? ack - now : 0);
+        if (trace_ != nullptr) {
+            trace_->complete("repair", "copy", obs::kTrackRepair,
+                             target, now, ack,
+                             {{"device", device},
+                              {"segment", next->id},
+                              {"source", source}});
+        }
     }
 }
 
@@ -156,6 +175,11 @@ RepairEngine::repairStream(DeviceId device, Tick now)
     if (source == kNoShard ||
         cluster_.copyQuarantined(source, device)) {
         stats_.irreparable++;
+        if (trace_ != nullptr) {
+            trace_->instant("repair", "irreparable",
+                            obs::kTrackRepair, 0, now,
+                            {{"device", device}});
+        }
         return true;
     }
 
@@ -207,6 +231,12 @@ RepairEngine::repairStep(Tick now)
         if (repairStream(device, now)) {
             queue_.erase(device);
             stats_.streamsRepaired++;
+            if (trace_ != nullptr) {
+                trace_->instant("repair", "stream-repaired",
+                                obs::kTrackRepair, 0, now,
+                                {{"device", device},
+                                 {"queued", queue_.size()}});
+            }
             if (queue_.empty())
                 stats_.lastRepairDoneAt = now;
         }
@@ -214,7 +244,8 @@ RepairEngine::repairStep(Tick now)
 }
 
 void
-RepairEngine::scrubFinishStream(ShardId shard, DeviceId device)
+RepairEngine::scrubFinishStream(ShardId shard, DeviceId device,
+                                Tick now)
 {
     // A stream mid-repair legitimately has copies at different
     // tails; judge only settled streams.
@@ -256,13 +287,18 @@ RepairEngine::scrubFinishStream(ShardId shard, DeviceId device)
         stats_.tailVoteQuarantines++;
         stats_.quarantines++;
         passCorruptions_++;
+        if (trace_ != nullptr) {
+            trace_->instant("repair", "quarantine",
+                            obs::kTrackRepair, shard, now,
+                            {{"device", device},
+                             {"tailVote", 1u}});
+        }
     }
 }
 
 void
 RepairEngine::scrubChunk(Tick now)
 {
-    (void)now;
     if (!scrubPlanValid_) {
         scrubPlan_.clear();
         for (ShardId s = 0; s < cluster_.shardCount(); s++) {
@@ -276,6 +312,13 @@ RepairEngine::scrubChunk(Tick now)
         scrubCursor_ = {};
         scrubPlanValid_ = true;
         passCorruptions_ = 0;
+    }
+
+    if (trace_ != nullptr) {
+        trace_->instant("repair", "scrub-step", obs::kTrackRepair, 0,
+                        now,
+                        {{"planEntry", scrubCursor_.entry},
+                         {"planSize", scrubPlan_.size()}});
     }
 
     std::uint32_t remaining = config_.scrubSegmentsPerStep;
@@ -304,7 +347,7 @@ RepairEngine::scrubChunk(Tick now)
         // A prune mid-pass pops from the front of the deque, so the
         // cursor effectively skips ahead — never faults.
         if (scrubCursor_.pos >= stored.size()) {
-            scrubFinishStream(s, d);
+            scrubFinishStream(s, d, now);
             scrubCursor_.entry++;
             scrubCursor_.pos = 0;
             continue;
@@ -322,6 +365,11 @@ RepairEngine::scrubChunk(Tick now)
             stats_.scrubCorruptions++;
             stats_.quarantines++;
             passCorruptions_++;
+            if (trace_ != nullptr) {
+                trace_->instant("repair", "quarantine",
+                                obs::kTrackRepair, s, now,
+                                {{"device", d}, {"tailVote", 0u}});
+            }
             scrubCursor_.entry++;
             scrubCursor_.pos = 0;
             continue;
@@ -364,6 +412,42 @@ RepairEngine::drainAll(Tick now)
     }
     draining_ = false;
     return t;
+}
+
+void
+RepairEngine::registerMetrics(obs::MetricsRegistry &registry,
+                              const std::string &prefix) const
+{
+    registry.counter(prefix + "enqueues",
+                     [this] { return stats_.enqueues; });
+    registry.counter(prefix + "streamsRepaired",
+                     [this] { return stats_.streamsRepaired; });
+    registry.counter(prefix + "segmentsCopied",
+                     [this] { return stats_.segmentsCopied; });
+    registry.counter(prefix + "bytesCopied",
+                     [this] { return stats_.bytesCopied; });
+    registry.counter(prefix + "reanchors",
+                     [this] { return stats_.reanchors; });
+    registry.counter(prefix + "copyRestarts",
+                     [this] { return stats_.copyRestarts; });
+    registry.counter(prefix + "repairRejects",
+                     [this] { return stats_.repairRejects; });
+    registry.counter(prefix + "irreparable",
+                     [this] { return stats_.irreparable; });
+    registry.counter(prefix + "scrubbedSegments",
+                     [this] { return stats_.scrubbedSegments; });
+    registry.counter(prefix + "scrubPasses",
+                     [this] { return stats_.scrubPasses; });
+    registry.counter(prefix + "scrubCorruptions",
+                     [this] { return stats_.scrubCorruptions; });
+    registry.counter(prefix + "tailVoteQuarantines",
+                     [this] { return stats_.tailVoteQuarantines; });
+    registry.counter(prefix + "quarantines",
+                     [this] { return stats_.quarantines; });
+    registry.counter(prefix + "queueDepth",
+                     [this] { return queue_.size(); });
+    registry.histogram(prefix + "copyLatency",
+                       [this] { return copyLatency_; });
 }
 
 } // namespace rssd::remote

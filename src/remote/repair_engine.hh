@@ -139,6 +139,25 @@ class RepairEngine : public RepairObserver
     const RepairStats &stats() const { return stats_; }
     const RepairEngineConfig &config() const { return config_; }
 
+    // -- Observability ----------------------------------------------------
+
+    /** Repair-copy stage latency: ingest arrival to shard ack, one
+     *  sample per verbatim segment copied. */
+    const LatencyHistogram &copyLatency() const
+    {
+        return copyLatency_;
+    }
+
+    /** Repair/scrub lifecycle events land on the repair track; a
+     *  null sink detaches. Tracing is read-only — attached or not,
+     *  the repair schedule is identical. */
+    void attachTrace(obs::TraceSink *sink) { trace_ = sink; }
+
+    /** Register repair counters and the copy-latency histogram under
+     *  @p prefix (e.g. "repair."). */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
+
   private:
     /** Per-target-shard token bucket (bytes). */
     struct Bucket
@@ -172,13 +191,15 @@ class RepairEngine : public RepairObserver
                   Tick now);
 
     void scrubChunk(Tick now);
-    void scrubFinishStream(ShardId shard, DeviceId device);
+    void scrubFinishStream(ShardId shard, DeviceId device, Tick now);
 
     bool scrubOn() const { return config_.scrubInterval != 0; }
 
     BackupCluster &cluster_;
     RepairEngineConfig config_;
     RepairStats stats_;
+    LatencyHistogram copyLatency_;
+    obs::TraceSink *trace_ = nullptr;
 
     /** Degraded streams awaiting repair (dedup by design). */
     std::set<DeviceId> queue_;

@@ -56,6 +56,12 @@ LatencyHistogram::bucketFor(Tick v)
 Tick
 LatencyHistogram::bucketUpperBound(int b)
 {
+    panicIf(b < 0 || b >= kBuckets, "bucket index out of range");
+    // The last bucket absorbs everything bucketFor() clamped, so its
+    // upper edge must cover the whole Tick range — 2^((b+1)/2) would
+    // under-report any sample past ~2^36 ns.
+    if (b == kBuckets - 1)
+        return ~Tick{0};
     // Inverse of bucketFor: upper edge is 2^((b+1)/2).
     return static_cast<Tick>(std::ceil(std::pow(2.0, (b + 1) / 2.0)));
 }
@@ -93,6 +99,10 @@ LatencyHistogram::percentileNs(double p) const
         return 0;
     const auto target = static_cast<std::uint64_t>(
         std::ceil(p / 100.0 * static_cast<double>(_count)));
+    // A percentile that demands every sample is the max, exactly —
+    // bucket upper bounds only ever over-approximate it.
+    if (target >= _count)
+        return _maxNs;
     std::uint64_t seen = 0;
     for (int i = 0; i < kBuckets; i++) {
         seen += buckets_[i];

@@ -55,16 +55,20 @@ class LatencyHistogram
     double meanNs() const { return _count ? _sumNs / _count : 0.0; }
     Tick maxNs() const { return _maxNs; }
 
-    /** Latency at percentile @p p (0 < p <= 100), in nanoseconds. */
+    /** Latency at percentile @p p (0 < p <= 100), in nanoseconds.
+     *  p == 100 returns maxNs() exactly. */
     Tick percentileNs(double p) const;
 
     /** Render "mean=… p50=… p99=… max=…" for reports. */
     std::string summary() const;
 
-  private:
+    // Bucket mapping, public for property tests: for every Tick v,
+    // v <= bucketUpperBound(bucketFor(v)) must hold (the last bucket
+    // is a catch-all whose upper bound is the full Tick range).
     static int bucketFor(Tick v);
     static Tick bucketUpperBound(int b);
 
+  private:
     std::array<std::uint64_t, kBuckets> buckets_{};
     std::uint64_t _count = 0;
     double _sumNs = 0.0;

@@ -206,12 +206,16 @@ TEST(FleetSim, GoldenReportDigest)
     //                    fleet replication/liveShards, per-device
     //                    replicas, per-shard status/duplicates,
     //                    totals quorum/migration counters)
-    //   current        — schema 5 (PR 7: anti-entropy — "repair"
+    //   8606a6...4eea  — schema 5 (PR 7: anti-entropy — "repair"
     //                    totals block, per-device replicasLive/
     //                    quarantinedCopies, per-shard quarantined)
+    //   current        — schema 6 (PR 8: latency attribution —
+    //                    totals offloadAckP50Ns/offloadAckP99Ns and
+    //                    the per-stage "latency" block: seal,
+    //                    queueWait, quorumWait, repairCopy)
     EXPECT_EQ(digest,
-              "8606a6822f2d4269806aff44c1e9f6a0d3db511ce5ea63e4b2b"
-              "bcedb67794eea");
+              "c2b2052af39fb78ad99d683d3e61867c5e5fb75c88183c46899"
+              "c6cce732cb2b4");
 }
 
 TEST(FleetSim, CrashMidOutbreakLosesNoEvidence)
@@ -260,8 +264,8 @@ TEST(FleetSim, CrashMidOutbreakLosesNoEvidence)
     // Zero evidence loss is pinned byte-for-byte: the crash run has
     // its own golden digest (same discipline as GoldenReportDigest).
     EXPECT_EQ(jsonDigest(rep),
-              "7bc3a623d802ce9d966fbd320ff7a545680dfa9ed01ba6e3cc5"
-              "3c56eb07423c2");
+              "30b42d5cec0b82916e138b37d44c65636e9c4966e5022276011"
+              "9cfcd274f252d");
 }
 
 } // namespace

@@ -114,12 +114,16 @@ TEST(FleetRepair, GoldenHealedReportDigest)
     FleetScheduler sched(healingFleet());
     const std::string digest = jsonDigest(sched.run());
     // Digest history (every bump must name its schema change):
-    //   current — schema 5 (PR 7: anti-entropy — "repair" totals
-    //             block, per-device replicasLive/quarantinedCopies,
-    //             per-shard quarantined)
+    //   30a007...42b0 — schema 5 (PR 7: anti-entropy — "repair"
+    //             totals block, per-device replicasLive/
+    //             quarantinedCopies, per-shard quarantined)
+    //   current — schema 6 (PR 8: latency attribution — totals
+    //             offloadAckP50Ns/offloadAckP99Ns and the per-stage
+    //             "latency" block: seal, queueWait, quorumWait,
+    //             repairCopy)
     EXPECT_EQ(digest,
-              "30a007def15987f57d3eabe98276c59bd85be63d9f539e26046"
-              "b6e3b7ec942b0");
+              "c2be225db28b22b1d56d0afcd51048e4b7b5c2b04649d2a5243"
+              "b5a84ad3b3b40");
 }
 
 TEST(FleetRepair, RepairDisabledLeavesTheDebt)

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the deterministic trace sink: event recording order,
+ * Chrome trace_event / JSONL rendering, span and flow semantics, and
+ * the two fleet-level acceptance pins — same-seed byte-identical
+ * traces, and a byte-identical FleetReport with tracing on vs. off
+ * (tracing is strictly read-only).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/scheduler.hh"
+#include "obs/trace.hh"
+
+#include "tests/common/json_checker.hh"
+
+namespace rssd::obs {
+namespace {
+
+using test::JsonChecker;
+
+/** Count occurrences of @p needle in @p hay. */
+std::size_t
+countSub(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle);
+         pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size())) {
+        n++;
+    }
+    return n;
+}
+
+TEST(TraceSink, RecordsEventsInCallOrder)
+{
+    TraceSink sink;
+    sink.complete("cat", "outer", kTrackDevices, 3, 100, 900);
+    sink.complete("cat", "inner", kTrackDevices, 3, 200, 400,
+                  {{"segment", 7}});
+    sink.instant("cat", "mark", kTrackDevices, 3, 300);
+    EXPECT_EQ(sink.eventCount(), 3u);
+
+    // Storage is call order, not timestamp order — that is what
+    // makes the file deterministic without a sort.
+    const std::string jsonl = sink.toJsonl();
+    const std::size_t outer = jsonl.find("\"outer\"");
+    const std::size_t inner = jsonl.find("\"inner\"");
+    const std::size_t mark = jsonl.find("\"mark\"");
+    ASSERT_NE(outer, std::string::npos);
+    ASSERT_NE(inner, std::string::npos);
+    ASSERT_NE(mark, std::string::npos);
+    EXPECT_LT(outer, inner);
+    EXPECT_LT(inner, mark);
+}
+
+TEST(TraceSink, CompleteEventCarriesDurationAndArgs)
+{
+    TraceSink sink;
+    sink.complete("offload", "seal", kTrackDevices, 2, 1000, 1500,
+                  {{"segment", 42}, {"bytes", 4096}});
+    const std::string json = sink.toChromeJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":500"), std::string::npos);
+    EXPECT_NE(json.find("\"segment\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+}
+
+TEST(TraceSink, InstantEventIsThreadScoped)
+{
+    TraceSink sink;
+    sink.instant("retention", "prune", kTrackCluster, 1, 777,
+                 {{"stream", 5}});
+    const std::string json = sink.toChromeJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":777"), std::string::npos);
+}
+
+TEST(TraceSink, FlowEventsShareAnIdAcrossTracks)
+{
+    TraceSink sink;
+    const std::uint64_t flow = (std::uint64_t{3} << 32) | 9u;
+    sink.flowBegin("offload", "capsule", flow, kTrackDevices, 3, 10);
+    sink.flowEnd("offload", "capsule", flow, kTrackCluster, 0, 60);
+    const std::string json = sink.toChromeJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_EQ(countSub(json, "\"ph\":\"s\""), 1u);
+    EXPECT_EQ(countSub(json, "\"ph\":\"f\""), 1u);
+    // The terminating flow event binds to the enclosing slice.
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    // Both ends carry the same id.
+    EXPECT_EQ(countSub(json, "\"id\":" + std::to_string(flow)), 2u);
+}
+
+TEST(TraceSink, MetadataNamesTracks)
+{
+    TraceSink sink;
+    sink.setProcessName(kTrackDevices, "devices");
+    sink.setThreadName(kTrackDevices, 4, "device 4");
+    const std::string json = sink.toChromeJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"devices\""), std::string::npos);
+    EXPECT_NE(json.find("\"device 4\""), std::string::npos);
+}
+
+TEST(TraceSink, ChromeDocumentShape)
+{
+    TraceSink sink;
+    sink.complete("a", "b", 1, 1, 0, 1);
+    const std::string json = sink.toChromeJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    // One object wrapping traceEvents, as chrome://tracing expects.
+    EXPECT_EQ(
+        json.rfind("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", 0),
+        0u);
+    EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+}
+
+TEST(TraceSink, JsonlEveryLineIsAnObject)
+{
+    TraceSink sink;
+    sink.setProcessName(kTrackFleet, "fleet");
+    sink.instant("fleet", "crash-shard", kTrackFleet, 0, 123,
+                 {{"shard", 1}});
+    sink.complete("repair", "copy", kTrackRepair, 2, 130, 190,
+                  {{"device", 6}});
+    const std::string jsonl = sink.toJsonl();
+    std::size_t lines = 0;
+    std::size_t start = 0;
+    while (start < jsonl.size()) {
+        std::size_t nl = jsonl.find('\n', start);
+        ASSERT_NE(nl, std::string::npos) << "missing final newline";
+        const std::string line = jsonl.substr(start, nl - start);
+        EXPECT_TRUE(JsonChecker(line).valid()) << line;
+        EXPECT_EQ(line.front(), '{');
+        lines++;
+        start = nl + 1;
+    }
+    EXPECT_EQ(lines, sink.eventCount());
+}
+
+TEST(TraceSpan, CollectsArgsAndEmitsOnce)
+{
+    TraceSink sink;
+    Span span(&sink, "offload", "seal", kTrackDevices, 0, 50);
+    span.arg("segment", 3).arg("entries", 12);
+    EXPECT_EQ(sink.eventCount(), 0u); // nothing until end()
+    span.end(80);
+    EXPECT_EQ(sink.eventCount(), 1u);
+    span.end(90); // second end is a no-op
+    EXPECT_EQ(sink.eventCount(), 1u);
+
+    const std::string json = sink.toChromeJson();
+    EXPECT_NE(json.find("\"dur\":30"), std::string::npos);
+    EXPECT_NE(json.find("\"segment\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"entries\":12"), std::string::npos);
+}
+
+TEST(TraceSpan, NullSinkIsSafe)
+{
+    Span span(nullptr, "offload", "seal", kTrackDevices, 0, 50);
+    span.arg("segment", 3);
+    span.end(80); // must not crash or emit
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-level acceptance pins.
+// ---------------------------------------------------------------------------
+
+/** The acceptance outbreak: 16 devices -> 4 shards with replication,
+ *  a mid-campaign shard crash, bit rot, and repair — every lifecycle
+ *  stage (seal, park, queue, batch, quorum, repair copy, scrub, GC
+ *  prune, membership) is exercised. Kept small via opsPerDevice. */
+fleet::FleetConfig
+tracedFleet()
+{
+    fleet::FleetConfig cfg;
+    cfg.devices = 16;
+    cfg.shards = 4;
+    cfg.replication = 3;
+    cfg.seed = 7;
+    cfg.opsPerDevice = 40;
+    cfg.campaign.scenario = fleet::Scenario::Outbreak;
+    cfg.campaign.victimPages = 16;
+    // Crash mid-outbreak while streams hold data (repair must move
+    // bytes), then rot a stored copy under the scrubber — the same
+    // shape as tests/fleet/repair_fleet_test's healingFleet().
+    cfg.membership.push_back(
+        {100 * units::MS, fleet::MembershipKind::CrashShard, 1});
+    cfg.bitRot.push_back({110 * units::MS, 2, 1, 2});
+    cfg.repair.enabled = true;
+    cfg.repair.scrubInterval = 10 * units::MS;
+    return cfg;
+}
+
+TEST(TraceFleet, SameSeedByteIdenticalTrace)
+{
+    TraceSink a, b;
+    fleet::FleetScheduler sa(tracedFleet());
+    sa.attachTrace(&a);
+    sa.run();
+    fleet::FleetScheduler sb(tracedFleet());
+    sb.attachTrace(&b);
+    sb.run();
+
+    ASSERT_GT(a.eventCount(), 0u);
+    EXPECT_EQ(a.eventCount(), b.eventCount());
+    EXPECT_EQ(a.toChromeJson(), b.toChromeJson());
+    EXPECT_EQ(a.toJsonl(), b.toJsonl());
+}
+
+TEST(TraceFleet, TraceIsWellFormedAndCoversLifecycle)
+{
+    TraceSink sink;
+    fleet::FleetScheduler sched(tracedFleet());
+    sched.attachTrace(&sink);
+    sched.run();
+
+    const std::string json = sink.toChromeJson();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+
+    // Every lifecycle stage the issue names must appear.
+    for (const char *name :
+         {"\"seal\"", "\"quorum\"", "\"copy\"", "\"scrub-step\"",
+          "\"crash-shard\"", "\"bit-rot\""}) {
+        EXPECT_NE(json.find(name), std::string::npos) << name;
+    }
+    // Capsule flows are balanced: every 's' has its 'f'.
+    EXPECT_EQ(countSub(json, "\"ph\":\"s\""),
+              countSub(json, "\"ph\":\"f\""));
+    EXPECT_GT(countSub(json, "\"ph\":\"s\""), 0u);
+}
+
+TEST(TraceFleet, TracingOffReproducesTheReportByteForByte)
+{
+    // The zero-overhead-when-off pin: attaching a sink must never
+    // perturb simulation state, so the schema-6 report is identical
+    // with tracing on or off.
+    fleet::FleetScheduler traced(tracedFleet());
+    TraceSink sink;
+    traced.attachTrace(&sink);
+    const std::string with = traced.run().toJson();
+
+    fleet::FleetScheduler plain(tracedFleet());
+    const std::string without = plain.run().toJson();
+
+    EXPECT_EQ(with, without);
+    EXPECT_GT(sink.eventCount(), 0u);
+}
+
+} // namespace
+} // namespace rssd::obs

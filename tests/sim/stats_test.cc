@@ -3,6 +3,8 @@
  * Tests for Summary, LatencyHistogram and formatting helpers.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "sim/stats.hh"
@@ -100,6 +102,90 @@ TEST(LatencyHistogram, MergeAddsCounts)
     a.merge(b);
     EXPECT_EQ(a.count(), 3u);
     EXPECT_EQ(a.maxNs(), 30u);
+}
+
+TEST(LatencyHistogram, BucketBoundsAreInverseConsistent)
+{
+    // Property: for every Tick v, v <= bucketUpperBound(bucketFor(v)).
+    // Sweep each power of two and its neighbours across the full
+    // 64-bit range — the seam where the old last-bucket bound (2^36)
+    // under-reported samples the clamp bucket had absorbed.
+    for (int shift = 0; shift < 64; shift++) {
+        const Tick base = Tick{1} << shift;
+        for (const Tick v : {base - 1, base, base + 1}) {
+            if (v == 0)
+                continue;
+            const int b = LatencyHistogram::bucketFor(v);
+            ASSERT_GE(b, 0) << "v=" << v;
+            ASSERT_LT(b, LatencyHistogram::kBuckets) << "v=" << v;
+            EXPECT_LE(v, LatencyHistogram::bucketUpperBound(b))
+                << "v=" << v << " bucket=" << b;
+        }
+    }
+    const Tick all_ones = ~Tick{0};
+    EXPECT_LE(all_ones, LatencyHistogram::bucketUpperBound(
+                            LatencyHistogram::bucketFor(all_ones)));
+}
+
+TEST(LatencyHistogram, BucketUpperBoundsAreMonotone)
+{
+    // Half-octave edges collapse at the bottom of the range —
+    // ceil(2^0.5) == ceil(2^1) == 2 — so buckets 0 and 1 share an
+    // upper bound; from bucket 1 on the edges are strictly rising.
+    Tick prev = 0;
+    for (int b = 0; b < LatencyHistogram::kBuckets; b++) {
+        const Tick u = LatencyHistogram::bucketUpperBound(b);
+        if (b == 1)
+            EXPECT_GE(u, prev) << "bucket=" << b;
+        else
+            EXPECT_GT(u, prev) << "bucket=" << b;
+        prev = u;
+    }
+}
+
+TEST(LatencyHistogram, P100IsExactMaxEvenPastBucketRange)
+{
+    // A sample beyond the last finite bucket bound lands in the
+    // clamp bucket; p100 must still answer the exact max, not the
+    // bucket boundary.
+    LatencyHistogram h;
+    h.add(100);
+    const Tick huge = (Tick{1} << 40) + 7;
+    h.add(huge);
+    EXPECT_EQ(h.maxNs(), huge);
+    EXPECT_EQ(h.percentileNs(100), huge);
+}
+
+TEST(LatencyHistogram, P100EqualsMaxAcrossMagnitudes)
+{
+    LatencyHistogram h;
+    Tick max = 0;
+    for (int shift = 0; shift < 63; shift += 3) {
+        const Tick v = (Tick{1} << shift) + 1;
+        h.add(v);
+        max = std::max(max, v);
+        EXPECT_EQ(h.percentileNs(100), max) << "shift=" << shift;
+    }
+}
+
+TEST(LatencyHistogram, MergeAfterReset)
+{
+    LatencyHistogram a, b;
+    a.add(10);
+    a.add(1u << 20);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.maxNs(), 0u);
+    EXPECT_EQ(a.percentileNs(50), 0u);
+    b.add(20);
+    b.add(40);
+    a.merge(b);
+    // The reset histogram must behave exactly like a fresh one: no
+    // stale max, count, or bucket contents bleed into the merge.
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.maxNs(), 40u);
+    EXPECT_EQ(a.percentileNs(100), 40u);
+    EXPECT_DOUBLE_EQ(a.meanNs(), 30.0);
 }
 
 TEST(Format, Bytes)
