@@ -36,6 +36,10 @@
  *                           and run to convergence after the drain
  *   --repair-bw-mb N        per-target-shard repair bandwidth budget
  *                           in MiB/s (default 200)
+ *   --repair-burst-kb N     token-bucket burst cap in KiB (0 =
+ *                           default of max(bandwidth, 8 MiB); small
+ *                           bursts keep a throttled repair's debt
+ *                           visible to the health sampler)
  *   --scrub-ms N            integrity-scrub cadence in milliseconds
  *                           (0 disables scrubbing; default 10 under
  *                           --repair)
@@ -58,6 +62,20 @@
  *   --metrics-out PATH      write a metrics snapshot (counters,
  *                           gauges, latency histograms) sampled
  *                           after the run, as one JSON document.
+ *
+ * Health & SLO knobs:
+ *   --health-interval-ms N  sample every metric every N ms of sim
+ *                           time on the DES spine and evaluate the
+ *                           SLO rules at each sample (0 disables;
+ *                           defaults to 1 when --health-out or
+ *                           --health-check is given)
+ *   --health-out PATH       write the time-series telemetry as
+ *                           JSONL (one row per sample: tick,
+ *                           metrics in registration order, windowed
+ *                           per-second rates in integer arithmetic)
+ *   --health-check          exit non-zero if any alert is still
+ *                           open at end of run — turns any campaign
+ *                           into an SLO regression test
  *
  * Determinism: the same flags (and RSSD_SMOKE setting) produce a
  * byte-identical report, including the JSON file — diff two runs to
@@ -90,9 +108,11 @@ const char *kUsage =
     "[--retention-check] [--replication R] [--crash-shard S] "
     "[--crash-at-ms T] [--join-at-ms T] [--leave-shard S] "
     "[--leave-at-ms T] [--replication-check] [--repair] "
-    "[--repair-bw-mb N] [--scrub-ms N] [--bitrot-at-ms T] "
+    "[--repair-bw-mb N] [--repair-burst-kb N] [--scrub-ms N] "
+    "[--bitrot-at-ms T] "
     "[--bitrot-device D] [--repair-check] [--json PATH] "
-    "[--trace-out PATH] [--metrics-out PATH]";
+    "[--trace-out PATH] [--metrics-out PATH] "
+    "[--health-interval-ms N] [--health-out PATH] [--health-check]";
 
 constexpr std::uint64_t kNoFlag = ~0ull;
 
@@ -143,6 +163,8 @@ main(int argc, char **argv)
     const bool replication_check = args.flag("--replication-check");
     const bool repair = args.flag("--repair");
     const std::uint64_t repair_bw_mb = args.u64("--repair-bw-mb", 200);
+    const std::uint64_t repair_burst_kb =
+        args.u64("--repair-burst-kb", 0);
     const std::uint64_t scrub_ms =
         args.u64("--scrub-ms", repair ? 10 : 0);
     const std::uint64_t bitrot_at_ms =
@@ -152,13 +174,23 @@ main(int argc, char **argv)
     const std::string json_path = args.str("--json", "");
     const std::string trace_path = args.str("--trace-out", "");
     const std::string metrics_path = args.str("--metrics-out", "");
+    std::uint64_t health_interval_ms =
+        args.u64("--health-interval-ms", 0);
+    const std::string health_path = args.str("--health-out", "");
+    const bool health_check = args.flag("--health-check");
     args.finish(kUsage);
+
+    if (health_interval_ms == 0 &&
+        (!health_path.empty() || health_check))
+        health_interval_ms = 1;
 
     if (repair) {
         cfg.repair.enabled = true;
         cfg.repair.bandwidthBytesPerSec = repair_bw_mb * units::MiB;
+        cfg.repair.burstBytes = repair_burst_kb * 1024;
         cfg.repair.scrubInterval = scrub_ms * units::MS;
     }
+    cfg.health.interval = health_interval_ms * units::MS;
     if (bitrot_at_ms != kNoFlag) {
         // Rot the second live copy-holder (mod live holders), a few
         // segments in — a non-primary copy so foreground ingest and
@@ -313,7 +345,49 @@ main(int argc, char **argv)
                         report.quarantinedAtEnd));
     }
 
+    if (report.health.enabled) {
+        std::printf("health: %llu samples @ %s, %llu alerts raised "
+                    "(%llu open), worst severity %s\n",
+                    static_cast<unsigned long long>(
+                        report.health.samples),
+                    formatTime(report.health.interval).c_str(),
+                    static_cast<unsigned long long>(
+                        report.health.alertsRaised),
+                    static_cast<unsigned long long>(
+                        report.health.alertsOpen),
+                    report.health.worstSeverity.c_str());
+        for (const fleet::HealthAlertReport &a :
+             report.health.alerts) {
+            const std::string end = a.open
+                ? "still OPEN"
+                : "cleared @ " + formatTime(a.clearedAt);
+            std::printf("  alert %s [%s] raised @ %s, %s "
+                        "(observed %llu)\n",
+                        a.rule.c_str(), a.severity.c_str(),
+                        formatTime(a.raisedAt).c_str(), end.c_str(),
+                        static_cast<unsigned long long>(a.observed));
+        }
+    }
+
     bool check_ok = true;
+    if (health_check) {
+        // The SLO acceptance gate: transient alerts that raised and
+        // cleared are reported but pass; an alert still open at end
+        // of run means the fleet finished unhealthy.
+        if (report.health.alertsOpen != 0) {
+            std::printf("health-check: FAIL (%llu alerts still open "
+                        "at end of run)\n",
+                        static_cast<unsigned long long>(
+                            report.health.alertsOpen));
+            check_ok = false;
+        } else {
+            std::printf("health-check: OK (%llu alerts raised, all "
+                        "cleared)\n",
+                        static_cast<unsigned long long>(
+                            report.health.alertsRaised));
+        }
+    }
+
     if (retention_check) {
         // The capacity-pressure acceptance gate: after a campaign
         // against GC-enabled shards, cluster-side forensics must
@@ -492,6 +566,10 @@ main(int argc, char **argv)
     if (!metrics_path.empty()) {
         writeTextFile(metrics_path, registry.snapshotJson(),
                       "metrics");
+    }
+    if (!health_path.empty()) {
+        writeTextFile(health_path, sched.healthTimeSeriesJsonl(),
+                      "health time series");
     }
     return report.allChainsOk && check_ok ? 0 : 1;
 }

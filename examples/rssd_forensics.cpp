@@ -22,6 +22,15 @@
  *                       evidence scanner's scan-cost counters under
  *                       "forensics."), sampled after the analysis
  *
+ * Health & SLO knobs (see rssd_fleet for details):
+ *   --health-interval-ms N  periodic time-series sampling + SLO rule
+ *                           evaluation on the DES spine (0 disables;
+ *                           defaults to 1 under --health-out or
+ *                           --health-check)
+ *   --health-out PATH       write the time-series telemetry JSONL
+ *   --health-check          exit non-zero if any SLO alert is still
+ *                           open when the campaign ends
+ *
  * Determinism: the same flags (and RSSD_SMOKE setting) produce a
  * byte-identical report; CI byte-compares two runs. The trace and
  * metrics files are byte-identical too.
@@ -47,7 +56,8 @@ const char *kUsage =
     "rssd_forensics [--devices N] [--shards M] [--scenario "
     "benign|outbreak|staggered|shard-flood] [--seed S] [--ops N] "
     "[--json PATH] [--check] [--trace-out PATH] "
-    "[--metrics-out PATH]";
+    "[--metrics-out PATH] [--health-interval-ms N] "
+    "[--health-out PATH] [--health-check]";
 
 void
 writeTextFile(const std::string &path, const std::string &text,
@@ -81,7 +91,16 @@ main(int argc, char **argv)
     const bool check = args.flag("--check");
     const std::string trace_path = args.str("--trace-out", "");
     const std::string metrics_path = args.str("--metrics-out", "");
+    std::uint64_t health_interval_ms =
+        args.u64("--health-interval-ms", 0);
+    const std::string health_path = args.str("--health-out", "");
+    const bool health_check = args.flag("--health-check");
     args.finish(kUsage);
+
+    if (health_interval_ms == 0 &&
+        (!health_path.empty() || health_check))
+        health_interval_ms = 1;
+    cfg.health.interval = health_interval_ms * units::MS;
 
     if (smoke) {
         cfg.opsPerDevice = std::max<std::uint64_t>(
@@ -111,7 +130,7 @@ main(int argc, char **argv)
     if (!metrics_path.empty())
         sched.registerMetrics(registry);
 
-    sched.run();
+    const fleet::FleetReport fleet_report = sched.run();
     const forensics::ForensicsReport report = sched.runForensics();
 
     // The scanner exists only after runForensics(); registering here
@@ -185,6 +204,33 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(restored),
                 worst_after * 100);
 
+    bool health_ok = true;
+    if (fleet_report.health.enabled) {
+        std::printf("health: %llu samples, %llu alerts raised "
+                    "(%llu open), worst severity %s\n",
+                    static_cast<unsigned long long>(
+                        fleet_report.health.samples),
+                    static_cast<unsigned long long>(
+                        fleet_report.health.alertsRaised),
+                    static_cast<unsigned long long>(
+                        fleet_report.health.alertsOpen),
+                    fleet_report.health.worstSeverity.c_str());
+    }
+    if (health_check) {
+        if (fleet_report.health.alertsOpen != 0) {
+            std::printf("health-check: FAIL (%llu alerts still open "
+                        "at end of run)\n",
+                        static_cast<unsigned long long>(
+                            fleet_report.health.alertsOpen));
+            health_ok = false;
+        } else {
+            std::printf("health-check: OK (%llu alerts raised, all "
+                        "cleared)\n",
+                        static_cast<unsigned long long>(
+                            fleet_report.health.alertsRaised));
+        }
+    }
+
     if (!json_path.empty())
         writeTextFile(json_path, report.toJson(), "ForensicsReport");
     if (!trace_path.empty())
@@ -192,6 +238,10 @@ main(int argc, char **argv)
     if (!metrics_path.empty()) {
         writeTextFile(metrics_path, registry.snapshotJson(),
                       "metrics");
+    }
+    if (!health_path.empty()) {
+        writeTextFile(health_path, sched.healthTimeSeriesJsonl(),
+                      "health time series");
     }
 
     if (check) {
@@ -201,7 +251,7 @@ main(int argc, char **argv)
         if (!ok)
             std::printf("--check FAILED: forensics conclusions "
                         "disagree with campaign ground truth\n");
-        return ok ? 0 : 1;
+        return ok && health_ok ? 0 : 1;
     }
-    return 0;
+    return health_ok ? 0 : 1;
 }

@@ -46,11 +46,13 @@ OffloadEngine::pump(Tick now, bool force)
 bool
 OffloadEngine::resubmit(Tick now)
 {
+    stats_.resubmits++;
     const log::SubmitResult result =
         sink_.submitSegment(pending_->sealed, now);
     if (!result.accepted) {
         retryAt_ = now + config_.remoteRetryDelay;
         stats_.remoteRejects++;
+        stats_.parks++;
         if (trace_ != nullptr) {
             trace_->instant("offload", "park", obs::kTrackDevices,
                             traceTid_, now,
@@ -187,6 +189,7 @@ OffloadEngine::sealOne(Tick now, bool force)
                                    seg.id};
         retryAt_ = now + config_.remoteRetryDelay;
         stats_.remoteRejects++;
+        stats_.parks++;
         if (trace_ != nullptr) {
             trace_->instant("offload", "park", obs::kTrackDevices,
                             traceTid_, seal_done,
@@ -229,6 +232,10 @@ OffloadEngine::registerMetrics(obs::MetricsRegistry &registry,
                      [this] { return stats_.segmentsAccepted; });
     registry.counter(prefix + "remoteRejects",
                      [this] { return stats_.remoteRejects; });
+    registry.counter(prefix + "parks",
+                     [this] { return stats_.parks; });
+    registry.counter(prefix + "resubmits",
+                     [this] { return stats_.resubmits; });
     registry.counter(prefix + "pagesOffloaded",
                      [this] { return stats_.pagesOffloaded; });
     registry.counter(prefix + "bytesSealed",

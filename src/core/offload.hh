@@ -34,6 +34,8 @@ struct OffloadStats
     std::uint64_t segmentsSealed = 0;
     std::uint64_t segmentsAccepted = 0;
     std::uint64_t remoteRejects = 0; ///< submits refused by the store
+    std::uint64_t parks = 0;     ///< segments parked after a refuse
+    std::uint64_t resubmits = 0; ///< re-offers of a parked segment
     std::uint64_t pagesOffloaded = 0;
     std::uint64_t entriesOffloaded = 0;
     std::uint64_t bytesRaw = 0;

@@ -46,6 +46,8 @@ emitDevice(JsonWriter &j, const DeviceReport &d)
     j.key("segmentsSealed"); j.u64(d.offload.segmentsSealed);
     j.key("segmentsAccepted"); j.u64(d.offload.segmentsAccepted);
     j.key("remoteRejects"); j.u64(d.offload.remoteRejects);
+    j.key("parks"); j.u64(d.offload.parks);
+    j.key("resubmits"); j.u64(d.offload.resubmits);
     j.key("pagesOffloaded"); j.u64(d.offload.pagesOffloaded);
     j.key("entriesOffloaded"); j.u64(d.offload.entriesOffloaded);
     j.key("bytesRaw"); j.u64(d.offload.bytesRaw);
@@ -177,6 +179,44 @@ FleetReport::toJson() const
     emitLatencyStage(j, "queueWait", queueWaitLatency);
     emitLatencyStage(j, "quorumWait", quorumWaitLatency);
     emitLatencyStage(j, "repairCopy", repairCopyLatency);
+    j.close('}');
+
+    j.key("health");
+    j.open('{');
+    j.key("enabled"); j.boolean(health.enabled);
+    j.key("intervalNs"); j.u64(health.interval);
+    j.key("samples"); j.u64(health.samples);
+    j.key("lastSampleAtNs"); j.u64(health.lastSampleAt);
+    j.key("alertsRaised"); j.u64(health.alertsRaised);
+    j.key("alertsOpen"); j.u64(health.alertsOpen);
+    j.key("worstSeverity"); j.str(health.worstSeverity);
+    j.key("rules");
+    j.open('[');
+    for (const HealthRuleReport &r : health.rules) {
+        j.elem();
+        j.open('{');
+        j.key("id"); j.str(r.id);
+        j.key("metric"); j.str(r.metric);
+        j.key("severity"); j.str(r.severity);
+        j.key("raised"); j.u64(r.raised);
+        j.key("open"); j.boolean(r.open);
+        j.close('}');
+    }
+    j.close(']');
+    j.key("alerts");
+    j.open('[');
+    for (const HealthAlertReport &a : health.alerts) {
+        j.elem();
+        j.open('{');
+        j.key("rule"); j.str(a.rule);
+        j.key("severity"); j.str(a.severity);
+        j.key("raisedAtNs"); j.u64(a.raisedAt);
+        j.key("clearedAtNs"); j.u64(a.clearedAt);
+        j.key("open"); j.boolean(a.open);
+        j.key("observed"); j.u64(a.observed);
+        j.close('}');
+    }
+    j.close(']');
     j.close('}');
 
     j.key("devices");

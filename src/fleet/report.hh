@@ -59,8 +59,13 @@ namespace rssd::fleet {
  *       backlog histogram); new top-level "latency" object with
  *       per-stage count/p50Ns/p99Ns/maxNs for the capsule
  *       lifecycle stages seal, queueWait, quorumWait, repairCopy.
+ *   7 — PR 9: fleet health — per-device "parks"/"resubmits"
+ *       (offload park/resubmit cycle counters); new top-level
+ *       "health" object (sampler cadence and sample count, per-rule
+ *       raise counts, the full edge-triggered alert sequence with
+ *       raise/clear ticks, worst severity, open count).
  */
-constexpr std::uint64_t kFleetReportSchema = 6;
+constexpr std::uint64_t kFleetReportSchema = 7;
 
 /** One device's slice of the fleet outcome. */
 struct DeviceReport
@@ -123,6 +128,45 @@ struct ShardReport
     bool chainOk = true;
 };
 
+/** One SLO rule's summary in the health block. */
+struct HealthRuleReport
+{
+    std::string id;
+    std::string metric;
+    std::string severity;
+    std::uint64_t raised = 0; ///< alerts this rule raised
+    bool open = false;        ///< still breaching at end of run
+};
+
+/** One raise(/clear) episode in the health block. */
+struct HealthAlertReport
+{
+    std::string rule;
+    std::string severity;
+    Tick raisedAt = 0;
+    Tick clearedAt = 0; ///< 0 while open
+    bool open = false;
+    std::uint64_t observed = 0;
+};
+
+/**
+ * The fleet health outcome: sampler cadence, per-rule raise counts
+ * and the full alert sequence. Plain strings and integers (no obs
+ * types) so the report stays a pure data object.
+ */
+struct HealthReport
+{
+    bool enabled = false;
+    Tick interval = 0;
+    std::uint64_t samples = 0;
+    Tick lastSampleAt = 0;
+    std::uint64_t alertsRaised = 0;
+    std::uint64_t alertsOpen = 0;
+    std::string worstSeverity = "info";
+    std::vector<HealthRuleReport> rules;
+    std::vector<HealthAlertReport> alerts;
+};
+
 struct FleetReport
 {
     // -- Config echo ----------------------------------------------------
@@ -174,6 +218,9 @@ struct FleetReport
     /** End-to-end shard backlog (arrival to ack, accepted only) —
      *  merged across shards for the totals' offload-ack view. */
     LatencyHistogram offloadAckLatency;
+
+    // -- Health & SLOs ---------------------------------------------------
+    HealthReport health;
 
     Tick makespan = 0; ///< latest device clock at completion
     bool allChainsOk = true;

@@ -162,6 +162,21 @@ FleetScheduler::FleetScheduler(const FleetConfig &config)
         a.attacker =
             std::make_unique<FleetAttacker>(params, attack_cfg);
     }
+
+    if (config_.health.interval > 0) {
+        // The health layer rides a private registry so the CLIs'
+        // own registries stay independent. Rules bind by metric
+        // name now — a rule naming an absent metric panics here,
+        // not silently at the first sample.
+        registerMetrics(healthRegistry_);
+        sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+            healthRegistry_);
+        std::vector<obs::HealthRule> rules =
+            config_.health.rules.empty() ? defaultHealthRules(config_)
+                                         : config_.health.rules;
+        monitor_ = std::make_unique<obs::HealthMonitor>(
+            *sampler_, std::move(rules));
+    }
 }
 
 FleetScheduler::~FleetScheduler() = default;
@@ -196,6 +211,8 @@ FleetScheduler::attachTrace(obs::TraceSink *sink)
     cluster_->attachTrace(sink);
     if (engine_)
         engine_->attachTrace(sink);
+    if (monitor_)
+        monitor_->attachTrace(sink);
     if (sink == nullptr)
         return;
     sink->setProcessName(obs::kTrackDevices, "devices");
@@ -223,6 +240,127 @@ FleetScheduler::registerMetrics(obs::MetricsRegistry &registry) const
     cluster_->registerMetrics(registry, "cluster.");
     if (engine_)
         engine_->registerMetrics(registry, "repair.");
+
+    // Fleet-wide offload aggregates: the health rules watch the
+    // fleet, not one device, so the park/resubmit/reject totals are
+    // summed across every actor at sample time.
+    registry.counter("fleet.offloadParks", [this] {
+        std::uint64_t n = 0;
+        for (const auto &actor : actors_)
+            n += actor->dev->offload().stats().parks;
+        return n;
+    });
+    registry.counter("fleet.offloadResubmits", [this] {
+        std::uint64_t n = 0;
+        for (const auto &actor : actors_)
+            n += actor->dev->offload().stats().resubmits;
+        return n;
+    });
+    registry.counter("fleet.remoteRejects", [this] {
+        std::uint64_t n = 0;
+        for (const auto &actor : actors_)
+            n += actor->dev->offload().stats().remoteRejects;
+        return n;
+    });
+}
+
+const std::string &
+FleetScheduler::healthTimeSeriesJsonl() const
+{
+    static const std::string kEmpty;
+    return sampler_ ? sampler_->jsonl() : kEmpty;
+}
+
+std::vector<obs::HealthRule>
+defaultHealthRules(const FleetConfig &config)
+{
+    using obs::Cmp;
+    using obs::HealthRule;
+    using obs::Severity;
+    using obs::Signal;
+
+    std::vector<HealthRule> rules;
+
+    // Quorum writes kept waiting: live replicas below the write
+    // quorum. Never happens on a healthy ring, so any sustained
+    // stall rate is a real incident.
+    {
+        HealthRule r;
+        r.id = "quorum_stall";
+        r.metric = "cluster.quorumStalls";
+        r.signal = Signal::Rate;
+        r.cmp = Cmp::Gt;
+        r.threshold = 0;
+        r.holdFor = 2 * units::MS;
+        r.severity = Severity::Warn;
+        rules.push_back(r);
+    }
+    // The remote store refusing segments: devices are parking
+    // sealed bytes and burning resubmit probes.
+    {
+        HealthRule r;
+        r.id = "offload_parked";
+        r.metric = "fleet.offloadParks";
+        r.signal = Signal::Rate;
+        r.cmp = Cmp::Gt;
+        r.threshold = 0;
+        r.holdFor = 2 * units::MS;
+        r.severity = Severity::Warn;
+        rules.push_back(r);
+    }
+    // An ingest queue pinned at its admission limit — the point
+    // where backpressure turns into rejects.
+    {
+        HealthRule r;
+        r.id = "shard_backlog";
+        r.metric = "cluster.pendingMax";
+        r.signal = Signal::Value;
+        r.cmp = Cmp::Ge;
+        r.threshold = config.cluster.maxPending;
+        r.holdFor = 2 * units::MS;
+        r.severity = Severity::Warn;
+        rules.push_back(r);
+    }
+    // Rejects persisting while retention GC runs: the steady state
+    // leaks work instead of absorbing it.
+    {
+        HealthRule r;
+        r.id = "gc_reject";
+        r.metric = "cluster.segmentsRejected";
+        r.signal = Signal::Rate;
+        r.cmp = Cmp::Gt;
+        r.threshold = 0;
+        r.holdFor = 2 * units::MS;
+        r.severity = Severity::Warn;
+        rules.push_back(r);
+    }
+    if (config.repair.enabled) {
+        // Repair debt outstanding longer than a few engine wakeups
+        // should be needed to start paying it down.
+        HealthRule r;
+        r.id = "repair_debt";
+        r.metric = "repair.oldestDebtAgeNs";
+        r.signal = Signal::Value;
+        r.cmp = Cmp::Gt;
+        r.threshold = 5 * config.repair.tickInterval;
+        r.holdFor = 0;
+        r.severity = Severity::Critical;
+        rules.push_back(r);
+    }
+    if (config.repair.enabled && config.repair.scrubInterval != 0) {
+        // Integrity scrubbing finding corrupted copies — silent
+        // data loss in progress.
+        HealthRule r;
+        r.id = "scrub_rot";
+        r.metric = "repair.scrubCorruptions";
+        r.signal = Signal::Rate;
+        r.cmp = Cmp::Gt;
+        r.threshold = 0;
+        r.holdFor = 0;
+        r.severity = Severity::Critical;
+        rules.push_back(r);
+    }
+    return rules;
 }
 
 namespace {
@@ -328,9 +466,23 @@ FleetScheduler::run()
     if (engine_)
         queue.push({config_.repair.tickInterval, engine_id});
 
+    // The health sampler is the last actor id on the spine: at a
+    // shared tick it observes *after* every device op, membership
+    // event and repair wakeup — one consistent cut per interval.
+    const std::uint32_t sampler_id = engine_id + 1;
+    if (sampler_)
+        queue.push({config_.health.interval, sampler_id});
+
     while (!queue.empty()) {
         const auto [at, id] = queue.top();
         queue.pop();
+        if (id == sampler_id && sampler_) {
+            sampler_->sample(at);
+            monitor_->evaluate(at);
+            if (active > 0)
+                queue.push({at + config_.health.interval, sampler_id});
+            continue;
+        }
         if (id == engine_id && engine_) {
             engine_->tick(at);
             if (active > 0)
@@ -394,6 +546,20 @@ FleetScheduler::run()
         for (const auto &actor : actors_)
             end = std::max(end, actor->clock.now());
         repairConvergedAt_ = engine_->drainAll(end);
+    }
+
+    // One final sample after the drains: the post-convergence state
+    // is what clears a raised repair_debt alert (the drain runs in
+    // virtual time with no sampler wakeups in between).
+    if (sampler_) {
+        Tick end = 0;
+        for (const auto &actor : actors_)
+            end = std::max(end, actor->clock.now());
+        Tick final_at = std::max(end, repairConvergedAt_);
+        if (final_at <= sampler_->lastSampleAt())
+            final_at = sampler_->lastSampleAt() + 1;
+        sampler_->sample(final_at);
+        monitor_->evaluate(final_at);
     }
 
     return aggregate();
@@ -622,6 +788,43 @@ FleetScheduler::aggregate()
     rep.degradedAtEnd = cluster_->degradedStreams().size();
     rep.quarantinedAtEnd = cluster_->quarantinedCopies();
     rep.repairConvergedAt = repairConvergedAt_;
+
+    rep.health.enabled = sampler_ != nullptr;
+    rep.health.interval = config_.health.interval;
+    if (sampler_) {
+        rep.health.samples = sampler_->samples();
+        rep.health.lastSampleAt = sampler_->lastSampleAt();
+    }
+    if (monitor_) {
+        const std::vector<obs::HealthRule> &rules = monitor_->rules();
+        rep.health.alertsRaised = monitor_->alerts().size();
+        rep.health.alertsOpen = monitor_->openCount();
+        rep.health.worstSeverity =
+            obs::severityName(monitor_->worstRaised());
+        for (std::size_t i = 0; i < rules.size(); i++) {
+            HealthRuleReport rr;
+            rr.id = rules[i].id;
+            rr.metric = rules[i].metric;
+            rr.severity = obs::severityName(rules[i].severity);
+            rr.raised = monitor_->raisedCount(i);
+            for (const obs::HealthAlert &alert : monitor_->alerts()) {
+                if (alert.rule == i && alert.open)
+                    rr.open = true;
+            }
+            rep.health.rules.push_back(std::move(rr));
+        }
+        for (const obs::HealthAlert &alert : monitor_->alerts()) {
+            HealthAlertReport ar;
+            ar.rule = rules[alert.rule].id;
+            ar.severity =
+                obs::severityName(rules[alert.rule].severity);
+            ar.raisedAt = alert.raisedAt;
+            ar.clearedAt = alert.open ? 0 : alert.clearedAt;
+            ar.open = alert.open;
+            ar.observed = alert.observed;
+            rep.health.alerts.push_back(std::move(ar));
+        }
+    }
     return rep;
 }
 

@@ -33,7 +33,9 @@
 #include "fleet/campaign.hh"
 #include "fleet/report.hh"
 #include "forensics/forensics.hh"
+#include "obs/health.hh"
 #include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "remote/backup_cluster.hh"
 #include "remote/repair_engine.hh"
@@ -72,6 +74,22 @@ struct BitRotEvent
     std::uint32_t replicaIdx = 0;
     /** Stored-segment index, clamped to the copy's current size. */
     std::uint64_t segmentIdx = 0;
+};
+
+/**
+ * The fleet health layer: a TimeSeriesSampler actor on the DES
+ * spine plus a HealthMonitor evaluating SLO rules at every sample.
+ * Disabled by default (interval == 0) — enabling it is read-only
+ * with respect to the simulation: the run, and every non-health
+ * byte of the FleetReport, is identical with health on or off.
+ */
+struct HealthConfig
+{
+    /** Sampling cadence in sim time; 0 disables the health layer. */
+    Tick interval = 0;
+
+    /** SLO rules; empty means defaultHealthRules(config). */
+    std::vector<obs::HealthRule> rules;
 };
 
 struct FleetConfig
@@ -129,6 +147,9 @@ struct FleetConfig
      */
     remote::RepairEngineConfig repair;
 
+    /** Periodic health telemetry + SLO alerting (off by default). */
+    HealthConfig health;
+
     /** Attach per-device online detectors and report their alarms. */
     bool attachDetectors = true;
 
@@ -141,6 +162,24 @@ struct FleetConfig
      */
     bool suspicionHolds = true;
 };
+
+/**
+ * The stock SLO rule set for a fleet shaped like @p config — the
+ * conditions this fleet can already get into, with thresholds that
+ * stay quiet on a healthy run:
+ *
+ *   quorum_stall   quorum writes kept waiting on a replica
+ *   offload_parked remote store refusing segments (park/resubmit)
+ *   shard_backlog  an ingest queue pinned at its admission limit
+ *   gc_reject      rejects persisting while retention GC runs
+ *   repair_debt    degraded replica sets outstanding too long
+ *   scrub_rot      integrity scrubbing finding corrupted copies
+ *
+ * Repair rules appear only when config.repair is enabled (their
+ * metrics exist only then; a rule naming an absent metric panics).
+ */
+std::vector<obs::HealthRule>
+defaultHealthRules(const FleetConfig &config);
 
 class FleetScheduler
 {
@@ -209,6 +248,23 @@ class FleetScheduler
      */
     void registerMetrics(obs::MetricsRegistry &registry) const;
 
+    // -- Health layer (config.health.interval > 0) ------------------------
+
+    /** The spine-driven sampler, nullptr when health is disabled. */
+    const obs::TimeSeriesSampler *healthSampler() const
+    {
+        return sampler_.get();
+    }
+
+    /** The SLO rule engine, nullptr when health is disabled. */
+    const obs::HealthMonitor *healthMonitor() const
+    {
+        return monitor_.get();
+    }
+
+    /** The accumulated time-series JSONL (empty when disabled). */
+    const std::string &healthTimeSeriesJsonl() const;
+
     /** Scanner created by runForensics() (nullptr before the first
      *  analysis pass) — lets CLIs register its scan-cost metrics. */
     forensics::EvidenceScanner *evidenceScanner()
@@ -232,6 +288,11 @@ class FleetScheduler
     std::unique_ptr<remote::BackupCluster> cluster_;
     std::unique_ptr<remote::RepairEngine> engine_;
     Tick repairConvergedAt_ = 0;
+    /** Health layer (config_.health.interval > 0): a private
+     *  registry sampled by the spine actor, rules bound over it. */
+    obs::MetricsRegistry healthRegistry_;
+    std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+    std::unique_ptr<obs::HealthMonitor> monitor_;
     /** Lazily created by runForensics(); kept so repeated analysis
      *  passes resume from the verified prefix. */
     std::unique_ptr<forensics::EvidenceScanner> scanner_;

@@ -1,0 +1,161 @@
+#include "obs/health.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rssd::obs {
+
+const char *
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warn:
+        return "warn";
+      case Severity::Critical:
+        return "critical";
+    }
+    return "unknown";
+}
+
+HealthMonitor::HealthMonitor(const TimeSeriesSampler &sampler,
+                             std::vector<HealthRule> rules)
+    : sampler_(sampler), rules_(std::move(rules))
+{
+    const MetricsRegistry &reg = sampler_.registry();
+    states_.resize(rules_.size());
+    for (std::size_t i = 0; i < rules_.size(); i++) {
+        const HealthRule &rule = rules_[i];
+        panicIf(rule.id.empty(), "HealthMonitor: rule with empty id");
+        const std::size_t idx = reg.indexOf(rule.metric);
+        panicIf(idx == MetricsRegistry::npos,
+                "HealthMonitor: rule \"" + rule.id +
+                    "\" references unknown metric \"" + rule.metric +
+                    "\"");
+        const InstrumentKind kind = reg.kindAt(idx);
+        panicIf(kind != InstrumentKind::Counter &&
+                    kind != InstrumentKind::Level,
+                "HealthMonitor: rule \"" + rule.id + "\" metric \"" +
+                    rule.metric + "\" is not an integer instrument");
+        panicIf(rule.signal == Signal::Rate &&
+                    kind != InstrumentKind::Counter,
+                "HealthMonitor: rule \"" + rule.id +
+                    "\" wants a rate over non-counter \"" +
+                    rule.metric + "\"");
+        states_[i].metricIdx = idx;
+    }
+}
+
+bool
+HealthMonitor::breached(const HealthRule &rule,
+                        std::uint64_t observed) const
+{
+    switch (rule.cmp) {
+      case Cmp::Gt:
+        return observed > rule.threshold;
+      case Cmp::Ge:
+        return observed >= rule.threshold;
+      case Cmp::Lt:
+        return observed < rule.threshold;
+      case Cmp::Le:
+        return observed <= rule.threshold;
+    }
+    return false;
+}
+
+void
+HealthMonitor::evaluate(Tick now)
+{
+    panicIf(sampler_.samples() == 0,
+            "HealthMonitor: evaluate() before first sample()");
+    const std::vector<MetricSample> &cur = sampler_.current();
+
+    for (std::size_t i = 0; i < rules_.size(); i++) {
+        const HealthRule &rule = rules_[i];
+        RuleState &st = states_[i];
+
+        const std::uint64_t observed =
+            rule.signal == Signal::Rate
+                ? sampler_.ratePerSec(st.metricIdx)
+                : cur[st.metricIdx].u64;
+
+        if (breached(rule, observed)) {
+            if (!st.breaching) {
+                st.breaching = true;
+                st.breachSince = now;
+            }
+            const bool held = now - st.breachSince >= rule.holdFor;
+            if (held && st.openAlert == kNoAlert) {
+                st.openAlert = alerts_.size();
+                HealthAlert alert;
+                alert.rule = i;
+                alert.raisedAt = now;
+                alert.observed = observed;
+                alerts_.push_back(alert);
+                if (trace_ != nullptr) {
+                    // rules_ is fixed after construction, so the
+                    // id's c_str() stays valid for the sink.
+                    trace_->instant(
+                        "health.raise", rule.id.c_str(), kTrackFleet,
+                        i, now,
+                        {{"severity",
+                          static_cast<std::uint64_t>(rule.severity)},
+                         {"observed", observed},
+                         {"threshold", rule.threshold}});
+                }
+            }
+        } else {
+            st.breaching = false;
+            if (st.openAlert != kNoAlert) {
+                HealthAlert &alert = alerts_[st.openAlert];
+                alert.open = false;
+                alert.clearedAt = now;
+                st.openAlert = kNoAlert;
+                if (trace_ != nullptr) {
+                    trace_->instant(
+                        "health.clear", rule.id.c_str(), kTrackFleet,
+                        i, now, {{"observed", observed}});
+                }
+            }
+        }
+    }
+}
+
+std::uint64_t
+HealthMonitor::raisedCount(std::size_t ruleIdx) const
+{
+    std::uint64_t n = 0;
+    for (const HealthAlert &alert : alerts_) {
+        if (alert.rule == ruleIdx)
+            n++;
+    }
+    return n;
+}
+
+std::size_t
+HealthMonitor::openCount() const
+{
+    std::size_t n = 0;
+    for (const HealthAlert &alert : alerts_) {
+        if (alert.open)
+            n++;
+    }
+    return n;
+}
+
+Severity
+HealthMonitor::worstRaised() const
+{
+    Severity worst = Severity::Info;
+    for (const HealthAlert &alert : alerts_) {
+        const Severity sev = rules_[alert.rule].severity;
+        if (static_cast<std::uint8_t>(sev) >
+            static_cast<std::uint8_t>(worst))
+            worst = sev;
+    }
+    return worst;
+}
+
+} // namespace rssd::obs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * HealthMonitor: declarative SLO rules over the time-series sampler,
+ * raising edge-triggered structured alerts.
+ *
+ * A HealthRule names one registry instrument, a predicate over its
+ * sampled value (or its windowed per-second rate, for counters), a
+ * debounce hold (the condition must persist for @c forMs of sim time
+ * before an alert raises — one noisy sample is not an incident) and
+ * a severity. The monitor is evaluated right after every
+ * TimeSeriesSampler::sample() on the DES spine:
+ *
+ *   breach starts  -> remember when
+ *   breach persists past forMs -> RAISE (once; edge-triggered)
+ *   breach ends    -> CLEAR the open alert (once)
+ *
+ * Alerts carry the raise/clear ticks, the rule id and the observed
+ * value at raise, are mirrored into the trace as instant events on
+ * the fleet track (cat "health.raise"/"health.clear"), counted per
+ * rule, and summarized in the FleetReport `health` block. Everything
+ * is integer state driven by sim ticks, so the alert sequence is as
+ * deterministic as the report itself.
+ *
+ * Rules bind to instruments by name at construction; a rule naming
+ * an unregistered metric, or asking for a Rate over a non-counter,
+ * panics immediately — a silently-dead SLO rule is worse than none.
+ */
+
+#ifndef RSSD_OBS_HEALTH_HH
+#define RSSD_OBS_HEALTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+#include "sim/units.hh"
+
+namespace rssd::obs {
+
+enum class Severity : std::uint8_t { Info = 0, Warn = 1, Critical = 2 };
+
+/** Fixed lowercase name, used in JSON and trace args. */
+const char *severityName(Severity sev);
+
+/** What a rule evaluates each sample. */
+enum class Signal : std::uint8_t {
+    Value, ///< the instrument's current u64 (Counter or Level)
+    Rate,  ///< windowed per-second rate (Counter only)
+};
+
+enum class Cmp : std::uint8_t { Gt, Ge, Lt, Le };
+
+struct HealthRule
+{
+    std::string id;     ///< stable rule name, e.g. "repair_debt"
+    std::string metric; ///< registry instrument to watch
+    Signal signal = Signal::Value;
+    Cmp cmp = Cmp::Gt;
+    std::uint64_t threshold = 0;
+    Tick holdFor = 0; ///< breach must persist this long to raise
+    Severity severity = Severity::Warn;
+};
+
+/** One raise(/clear) episode of a rule. */
+struct HealthAlert
+{
+    std::size_t rule = 0; ///< index into rules()
+    Tick raisedAt = 0;
+    Tick clearedAt = 0; ///< meaningful only when !open
+    bool open = true;
+    std::uint64_t observed = 0; ///< value that crossed the threshold
+};
+
+class HealthMonitor
+{
+  public:
+    /**
+     * Bind @p rules against @p sampler's registry. Panics if a rule
+     * names an unknown metric or a Rate over a non-Counter.
+     * @p sampler must outlive the monitor.
+     */
+    HealthMonitor(const TimeSeriesSampler &sampler,
+                  std::vector<HealthRule> rules);
+
+    /** Mirror raises/clears into @p sink (nullptr detaches). */
+    void attachTrace(TraceSink *sink) { trace_ = sink; }
+
+    /** Evaluate every rule against the sampler's current sample.
+     *  Call once per sample(), with the same tick. */
+    void evaluate(Tick now);
+
+    const std::vector<HealthRule> &rules() const { return rules_; }
+    const std::vector<HealthAlert> &alerts() const { return alerts_; }
+
+    /** Total raises of rule @p ruleIdx so far. */
+    std::uint64_t raisedCount(std::size_t ruleIdx) const;
+
+    /** Alerts still open (breach never ended). */
+    std::size_t openCount() const;
+
+    /** Highest severity among rules with any raise (Info if none). */
+    Severity worstRaised() const;
+
+  private:
+    struct RuleState
+    {
+        std::size_t metricIdx = 0;
+        bool breaching = false;
+        Tick breachSince = 0;
+        std::size_t openAlert = kNoAlert;
+    };
+    static constexpr std::size_t kNoAlert = ~std::size_t{0};
+
+    bool breached(const HealthRule &rule, std::uint64_t observed) const;
+
+    const TimeSeriesSampler &sampler_;
+    std::vector<HealthRule> rules_;
+    std::vector<RuleState> states_;
+    std::vector<HealthAlert> alerts_;
+    TraceSink *trace_ = nullptr;
+};
+
+} // namespace rssd::obs
+
+#endif // RSSD_OBS_HEALTH_HH

@@ -16,14 +16,27 @@ MetricsRegistry::claimName(const std::string &name)
 }
 
 void
-MetricsRegistry::counter(const std::string &name, U64Fn sample)
+MetricsRegistry::addU64(InstrumentKind kind, const std::string &name,
+                        U64Fn sample)
 {
     claimName(name);
     Instrument in;
-    in.kind = Kind::Counter;
+    in.kind = kind;
     in.name = name;
     in.u64 = std::move(sample);
     instruments_.push_back(std::move(in));
+}
+
+void
+MetricsRegistry::counter(const std::string &name, U64Fn sample)
+{
+    addU64(InstrumentKind::Counter, name, std::move(sample));
+}
+
+void
+MetricsRegistry::level(const std::string &name, U64Fn sample)
+{
+    addU64(InstrumentKind::Level, name, std::move(sample));
 }
 
 void
@@ -31,7 +44,7 @@ MetricsRegistry::gauge(const std::string &name, F64Fn sample)
 {
     claimName(name);
     Instrument in;
-    in.kind = Kind::Gauge;
+    in.kind = InstrumentKind::Gauge;
     in.name = name;
     in.f64 = std::move(sample);
     instruments_.push_back(std::move(in));
@@ -42,10 +55,59 @@ MetricsRegistry::histogram(const std::string &name, HistFn sample)
 {
     claimName(name);
     Instrument in;
-    in.kind = Kind::Histogram;
+    in.kind = InstrumentKind::Histogram;
     in.name = name;
     in.hist = std::move(sample);
     instruments_.push_back(std::move(in));
+}
+
+const std::string &
+MetricsRegistry::nameAt(std::size_t idx) const
+{
+    panicIf(idx >= instruments_.size(),
+            "MetricsRegistry: instrument index OOB");
+    return instruments_[idx].name;
+}
+
+InstrumentKind
+MetricsRegistry::kindAt(std::size_t idx) const
+{
+    panicIf(idx >= instruments_.size(),
+            "MetricsRegistry: instrument index OOB");
+    return instruments_[idx].kind;
+}
+
+std::size_t
+MetricsRegistry::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < instruments_.size(); i++) {
+        if (instruments_[i].name == name)
+            return i;
+    }
+    return npos;
+}
+
+void
+MetricsRegistry::sampleInto(std::vector<MetricSample> &out) const
+{
+    out.resize(instruments_.size());
+    for (std::size_t i = 0; i < instruments_.size(); i++) {
+        const Instrument &in = instruments_[i];
+        MetricSample &s = out[i];
+        s.kind = in.kind;
+        switch (in.kind) {
+          case InstrumentKind::Counter:
+          case InstrumentKind::Level:
+            s.u64 = in.u64();
+            break;
+          case InstrumentKind::Gauge:
+            s.f64 = in.f64();
+            break;
+          case InstrumentKind::Histogram:
+            s.hist = in.hist();
+            break;
+        }
+    }
 }
 
 std::string
@@ -61,13 +123,14 @@ MetricsRegistry::snapshotJson() const
     for (const Instrument &in : instruments_) {
         j.key(in.name.c_str());
         switch (in.kind) {
-          case Kind::Counter:
+          case InstrumentKind::Counter:
+          case InstrumentKind::Level:
             j.u64(in.u64());
             break;
-          case Kind::Gauge:
+          case InstrumentKind::Gauge:
             j.f64(in.f64());
             break;
-          case Kind::Histogram: {
+          case InstrumentKind::Histogram: {
             const LatencyHistogram h = in.hist();
             j.open('{');
             j.key("count"); j.u64(h.count());

@@ -16,6 +16,17 @@
  * the FleetScheduler and the forensics scanner all register their
  * instruments here (registerMetrics() methods), and callers render
  * one document via sim/json.hh.
+ *
+ * Determinism contract (documented, not libc luck — pinned by
+ * tests/obs/metrics_test.cc):
+ *  - duplicate or empty instrument names panic at registration time,
+ *    and the panic message names the offending instrument;
+ *  - integer instruments (counters, levels, histogram summaries)
+ *    render via the fixed "%llu" path;
+ *  - doubles (gauges, histogram meanNs) render via the pinned
+ *    "%.17g" format in sim::JsonWriter::f64() — 17 significant
+ *    digits round-trip every IEEE-754 double exactly, so two
+ *    identical samples always produce identical bytes.
  */
 
 #ifndef RSSD_OBS_METRICS_HH
@@ -31,6 +42,28 @@
 
 namespace rssd::obs {
 
+/** The four instrument kinds a registry can hold. */
+enum class InstrumentKind : std::uint8_t {
+    Counter,   ///< monotonic u64 (rates may be derived)
+    Level,     ///< point-in-time u64 (queue depth; no rate)
+    Gauge,     ///< point-in-time double
+    Histogram, ///< latency distribution snapshot
+};
+
+/**
+ * One instrument's sampled value — the structured form of a
+ * snapshotJson() cell, so the TimeSeriesSampler and HealthMonitor
+ * can read values without parsing JSON. Exactly one of u64 / f64 /
+ * hist is meaningful, per kind (u64 covers Counter and Level).
+ */
+struct MetricSample
+{
+    InstrumentKind kind = InstrumentKind::Counter;
+    std::uint64_t u64 = 0;
+    double f64 = 0.0;
+    LatencyHistogram hist;
+};
+
 class MetricsRegistry
 {
   public:
@@ -43,6 +76,10 @@ class MetricsRegistry
     /** Monotonic counter (emitted as a JSON integer). */
     void counter(const std::string &name, U64Fn sample);
 
+    /** Integer point-in-time value, e.g. a queue depth (emitted as
+     *  a JSON integer; never rate-derived — it may go down). */
+    void level(const std::string &name, U64Fn sample);
+
     /** Point-in-time value (emitted as a JSON number). */
     void gauge(const std::string &name, F64Fn sample);
 
@@ -52,6 +89,21 @@ class MetricsRegistry
 
     std::size_t size() const { return instruments_.size(); }
 
+    /** Instrument name / kind at registration index @p idx. */
+    const std::string &nameAt(std::size_t idx) const;
+    InstrumentKind kindAt(std::size_t idx) const;
+
+    /** Index of instrument @p name, or npos when unregistered. */
+    static constexpr std::size_t npos = ~std::size_t{0};
+    std::size_t indexOf(const std::string &name) const;
+
+    /**
+     * Sample every instrument into @p out (resized to size()),
+     * registration order. The structured twin of snapshotJson(),
+     * shared by the TimeSeriesSampler and HealthMonitor.
+     */
+    void sampleInto(std::vector<MetricSample> &out) const;
+
     /**
      * Sample every instrument and render one JSON document, keys in
      * registration order:
@@ -60,11 +112,9 @@ class MetricsRegistry
     std::string snapshotJson() const;
 
   private:
-    enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
-
     struct Instrument
     {
-        Kind kind;
+        InstrumentKind kind;
         std::string name;
         U64Fn u64;
         F64Fn f64;
@@ -72,6 +122,8 @@ class MetricsRegistry
     };
 
     void claimName(const std::string &name);
+    void addU64(InstrumentKind kind, const std::string &name,
+                U64Fn sample);
 
     std::vector<Instrument> instruments_;
     std::set<std::string> names_; ///< duplicate-registration guard

@@ -1,0 +1,112 @@
+#include "obs/timeseries.hh"
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace rssd::obs {
+
+namespace {
+
+/**
+ * Δcounter over Δtick, scaled to per-second, pure integer math.
+ * delta * SEC can overflow 64 bits (a byte counter moving GiB/s
+ * over a long window), so the multiply runs in 128 bits; the
+ * truncating division brings it back. dtick == 0 never reaches
+ * here (sample() panics on non-increasing ticks).
+ */
+std::uint64_t
+scaleRate(std::uint64_t delta, Tick dtick)
+{
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(delta) *
+        static_cast<unsigned __int128>(units::SEC);
+    return static_cast<std::uint64_t>(wide / static_cast<unsigned __int128>(dtick));
+}
+
+} // namespace
+
+void
+TimeSeriesSampler::sample(Tick now)
+{
+    panicIf(samples_ > 0 && now <= lastAt_,
+            "TimeSeriesSampler: non-increasing sample tick");
+
+    // Rotate: current values become the previous window's baseline.
+    prevU64_.resize(cur_.size());
+    for (std::size_t i = 0; i < cur_.size(); i++)
+        prevU64_[i] = cur_[i].u64;
+    prevAt_ = lastAt_;
+
+    registry_.sampleInto(cur_);
+    panicIf(samples_ > 0 && prevU64_.size() != cur_.size(),
+            "TimeSeriesSampler: registry grew after first sample");
+
+    const bool haveWindow = samples_ > 0;
+    const Tick dtick = haveWindow ? now - prevAt_ : 0;
+
+    sim::JsonWriter j(out_);
+    j.open('{');
+    j.key("schema"); j.u64(1);
+    j.key("tick"); j.u64(now);
+    j.key("seq"); j.u64(samples_);
+    j.key("metrics");
+    j.open('{');
+    for (std::size_t i = 0; i < cur_.size(); i++) {
+        const MetricSample &s = cur_[i];
+        j.key(registry_.nameAt(i).c_str());
+        switch (s.kind) {
+          case InstrumentKind::Counter:
+          case InstrumentKind::Level:
+            j.u64(s.u64);
+            break;
+          case InstrumentKind::Gauge:
+            j.f64(s.f64);
+            break;
+          case InstrumentKind::Histogram:
+            j.open('{');
+            j.key("count"); j.u64(s.hist.count());
+            j.key("meanNs"); j.f64(s.hist.meanNs());
+            j.key("p50Ns"); j.u64(s.hist.percentileNs(50));
+            j.key("p99Ns"); j.u64(s.hist.percentileNs(99));
+            j.key("maxNs"); j.u64(s.hist.maxNs());
+            j.close('}');
+            break;
+        }
+    }
+    j.close('}');
+    j.key("rates");
+    j.open('{');
+    for (std::size_t i = 0; i < cur_.size(); i++) {
+        if (cur_[i].kind != InstrumentKind::Counter)
+            continue;
+        j.key(registry_.nameAt(i).c_str());
+        if (!haveWindow || cur_[i].u64 < prevU64_[i]) {
+            j.u64(0);
+        } else {
+            j.u64(scaleRate(cur_[i].u64 - prevU64_[i], dtick));
+        }
+    }
+    j.close('}');
+    j.close('}');
+    out_ += '\n';
+
+    lastAt_ = now;
+    samples_++;
+}
+
+std::uint64_t
+TimeSeriesSampler::ratePerSec(std::size_t idx) const
+{
+    if (samples_ < 2 || idx >= cur_.size())
+        return 0;
+    if (cur_[idx].kind != InstrumentKind::Counter)
+        return 0;
+    if (cur_[idx].u64 < prevU64_[idx])
+        return 0;
+    const Tick dtick = lastAt_ - prevAt_;
+    if (dtick == 0)
+        return 0;
+    return scaleRate(cur_[idx].u64 - prevU64_[idx], dtick);
+}
+
+} // namespace rssd::obs

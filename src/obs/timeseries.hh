@@ -1,0 +1,92 @@
+/**
+ * @file
+ * TimeSeriesSampler: periodic, deterministic time-series telemetry
+ * over a MetricsRegistry.
+ *
+ * The PR 8 registry answers "what are the totals now?" — one
+ * snapshot, usually at end of run. That hides every transient: a
+ * quorum stall that resolves, a repair-debt spike the engine pays
+ * down, a shard backlog that grows for a simulated hour and then
+ * drains. The sampler turns the same instruments into a trajectory:
+ * the fleet spine calls sample(now) every healthInterval of *sim*
+ * time, and each call appends one JSONL row
+ *
+ *   {"schema":1,"tick":<Tick>,"seq":<n>,
+ *    "metrics":{<name>:<value>,...},
+ *    "rates":{<counter name>:<perSec>,...}}
+ *
+ * with keys in registration order. Rates are windowed derived
+ * quantities, Δcounter over Δtick scaled to per-second, computed in
+ * pure integer arithmetic (128-bit intermediate, truncating
+ * division) — no floating point touches the row except gauges and
+ * histogram means, which render via the pinned %.17g path. Same
+ * seed + config => byte-identical file; CI cmp-gates two runs.
+ *
+ * Rates exist only for Counter instruments. A counter that moves
+ * backwards between samples (a semantic bug in the provider) rates
+ * as 0 rather than underflowing; Level instruments (queue depths)
+ * are emitted as plain integers and never rate-derived.
+ */
+
+#ifndef RSSD_OBS_TIMESERIES_HH
+#define RSSD_OBS_TIMESERIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "sim/units.hh"
+
+namespace rssd::obs {
+
+class TimeSeriesSampler
+{
+  public:
+    /** @p registry must outlive the sampler and must not register
+     *  further instruments after the first sample() call. */
+    explicit TimeSeriesSampler(const MetricsRegistry &registry)
+        : registry_(registry)
+    {
+    }
+
+    /**
+     * Sample every instrument at sim time @p now and append one
+     * JSONL row. Calls must carry strictly increasing ticks (the
+     * DES spine guarantees it; a repeated tick panics — it would
+     * make the rate window zero-width).
+     */
+    void sample(Tick now);
+
+    std::uint64_t samples() const { return samples_; }
+    Tick lastSampleAt() const { return lastAt_; }
+
+    /** The accumulated JSONL document (one row per sample()). */
+    const std::string &jsonl() const { return out_; }
+
+    /** Most recent sampled values, registration order (empty before
+     *  the first sample()). */
+    const std::vector<MetricSample> &current() const { return cur_; }
+
+    /**
+     * Windowed rate of counter @p idx over the last sample window,
+     * in events (or bytes, etc.) per second, integer-truncated.
+     * Zero before the second sample and for non-Counter kinds.
+     */
+    std::uint64_t ratePerSec(std::size_t idx) const;
+
+    const MetricsRegistry &registry() const { return registry_; }
+
+  private:
+    const MetricsRegistry &registry_;
+    std::vector<MetricSample> cur_;
+    std::vector<std::uint64_t> prevU64_;
+    Tick prevAt_ = 0;
+    Tick lastAt_ = 0;
+    std::uint64_t samples_ = 0;
+    std::string out_;
+};
+
+} // namespace rssd::obs
+
+#endif // RSSD_OBS_TIMESERIES_HH

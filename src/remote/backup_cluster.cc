@@ -721,6 +721,33 @@ BackupCluster::shardDevices(ShardId shard) const
     return shardAt(shard).devices;
 }
 
+std::uint64_t
+BackupCluster::pendingDepth(ShardId shard) const
+{
+    const Shard &sh = shardAt(shard);
+    if (sh.status != ShardStatus::Live)
+        return 0;
+    return sh.inflight.size();
+}
+
+std::uint64_t
+BackupCluster::pendingDepthMax() const
+{
+    std::uint64_t worst = 0;
+    for (ShardId s = 0; s < shardCount(); s++)
+        worst = std::max(worst, pendingDepth(s));
+    return worst;
+}
+
+std::uint64_t
+BackupCluster::totalSegmentsRejected() const
+{
+    std::uint64_t n = 0;
+    for (const Shard &sh : shards_)
+        n += sh.stats.segmentsRejected;
+    return n;
+}
+
 // -- Observability --------------------------------------------------------
 
 void
@@ -751,6 +778,12 @@ BackupCluster::registerMetrics(obs::MetricsRegistry &registry,
                      [this] { return repl_.bytesMigrated; });
     registry.histogram(prefix + "quorumWait",
                        [this] { return quorumWait_; });
+    // Health signals: point-in-time depths are levels (they go
+    // down), the fleet-wide reject total is a plain counter.
+    registry.level(prefix + "pendingMax",
+                   [this] { return pendingDepthMax(); });
+    registry.counter(prefix + "segmentsRejected",
+                     [this] { return totalSegmentsRejected(); });
     // Shards registered after this call (live joins) are not
     // retro-registered; closures index shards_ because the vector
     // reallocates on join.
@@ -774,6 +807,9 @@ BackupCluster::registerMetrics(obs::MetricsRegistry &registry,
         });
         registry.histogram(shard + "queueWait", [this, i] {
             return shards_[i].stats.queueWait;
+        });
+        registry.level(shard + "pending", [this, i] {
+            return pendingDepth(static_cast<ShardId>(i));
         });
     }
 }

@@ -397,6 +397,21 @@ class BackupCluster
     const BackupStore &shardStore(ShardId shard) const;
     const ShardIngestStats &shardStats(ShardId shard) const;
 
+    /**
+     * Ingest segments admitted on @p shard whose service has not
+     * completed by the shard's latest arrival (the admission-window
+     * backlog; pruned lazily at arrivals, so this is an upper bound
+     * between them). 0 for non-live shards.
+     */
+    std::uint64_t pendingDepth(ShardId shard) const;
+
+    /** Deepest pendingDepth() across live shards — the health
+     *  layer's shard-backlog signal. */
+    std::uint64_t pendingDepthMax() const;
+
+    /** segmentsRejected summed over every shard (dead included). */
+    std::uint64_t totalSegmentsRejected() const;
+
     /** Devices pinned to @p shard (attachment order). */
     const std::vector<DeviceId> &shardDevices(ShardId shard) const;
 

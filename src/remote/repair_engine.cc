@@ -53,9 +53,12 @@ RepairEngine::takeBudget(ShardId target, Tick now, std::uint64_t wire)
 {
     Bucket &b = buckets_[target];
     // Burst cap: one second of budget (but never less than a few
-    // segments, so a tiny budget still makes progress).
-    const std::uint64_t cap = std::max<std::uint64_t>(
-        config_.bandwidthBytesPerSec, 8 * units::MiB);
+    // segments, so a tiny budget still makes progress) unless the
+    // config pins an explicit burst.
+    const std::uint64_t cap = config_.burstBytes != 0
+        ? config_.burstBytes
+        : std::max<std::uint64_t>(config_.bandwidthBytesPerSec,
+                                  8 * units::MiB);
     if (!b.init) {
         b.init = true;
         b.lastAt = now;
@@ -71,9 +74,13 @@ RepairEngine::takeBudget(ShardId target, Tick now, std::uint64_t wire)
                 units::SEC;
         b.bytes = std::min(cap, b.bytes + gain);
     }
-    if (b.bytes < wire)
+    // A segment wider than the burst cap is charged the full bucket
+    // instead — a pinned burst throttles the rate but can never
+    // starve a single copy forever.
+    const std::uint64_t cost = std::min(wire, cap);
+    if (b.bytes < cost)
         return false;
-    b.bytes -= wire;
+    b.bytes -= cost;
     return true;
 }
 
@@ -230,6 +237,7 @@ RepairEngine::repairStep(Tick now)
     for (const DeviceId device : order) {
         if (repairStream(device, now)) {
             queue_.erase(device);
+            queuedAt_.erase(device);
             stats_.streamsRepaired++;
             if (trace_ != nullptr) {
                 trace_->instant("repair", "stream-repaired",
@@ -383,6 +391,12 @@ RepairEngine::tick(Tick now)
 {
     if (!config_.enabled)
         return;
+    // Debt-age bookkeeping: streamDegraded() has no tick, so queued
+    // streams are stamped at the first wakeup that sees them (one
+    // tickInterval of slack at most).
+    lastNowAt_ = now;
+    for (const DeviceId d : queue_)
+        queuedAt_.emplace(d, now);
     if (scrubOn() && now >= nextScrubAt_) {
         scrubChunk(now);
         nextScrubAt_ = now + config_.scrubInterval;
@@ -412,6 +426,20 @@ RepairEngine::drainAll(Tick now)
     }
     draining_ = false;
     return t;
+}
+
+Tick
+RepairEngine::oldestDebtAgeNs() const
+{
+    if (queue_.empty())
+        return 0;
+    Tick oldest = lastNowAt_;
+    for (const DeviceId d : queue_) {
+        const auto it = queuedAt_.find(d);
+        if (it != queuedAt_.end())
+            oldest = std::min(oldest, it->second);
+    }
+    return lastNowAt_ - oldest;
 }
 
 void
@@ -444,8 +472,10 @@ RepairEngine::registerMetrics(obs::MetricsRegistry &registry,
                      [this] { return stats_.tailVoteQuarantines; });
     registry.counter(prefix + "quarantines",
                      [this] { return stats_.quarantines; });
-    registry.counter(prefix + "queueDepth",
-                     [this] { return queue_.size(); });
+    registry.level(prefix + "queueDepth",
+                   [this] { return queue_.size(); });
+    registry.level(prefix + "oldestDebtAgeNs",
+                   [this] { return oldestDebtAgeNs(); });
     registry.histogram(prefix + "copyLatency",
                        [this] { return copyLatency_; });
 }

@@ -60,6 +60,13 @@ struct RepairEngineConfig
     /** Per-target-shard repair bandwidth budget (token bucket). */
     std::uint64_t bandwidthBytesPerSec = 200 * units::MiB;
 
+    /** Token-bucket burst cap in bytes; 0 means the default of
+     *  max(bandwidthBytesPerSec, 8 MiB). A small burst makes a
+     *  throttled repair proceed at the steady rate instead of
+     *  absorbing the whole copy in the first wakeup — how the
+     *  health campaigns keep repair debt observable. */
+    std::uint64_t burstBytes = 0;
+
     /** Engine wakeup cadence on the fleet DES spine. */
     Tick tickInterval = 1 * units::MS;
 
@@ -136,6 +143,17 @@ class RepairEngine : public RepairObserver
 
     std::size_t queueDepth() const { return queue_.size(); }
 
+    /**
+     * Age of the oldest unpaid repair debt: sim time since the
+     * oldest still-queued stream was first seen by a tick(), 0 when
+     * the queue is empty. Streams degraded since the last wakeup
+     * count as age 0 (stamping happens at tick time — the observer
+     * hook carries no tick). This is the health layer's
+     * "repair_debt" signal: debt older than the bandwidth budget
+     * should have paid it off means repair is losing.
+     */
+    Tick oldestDebtAgeNs() const;
+
     const RepairStats &stats() const { return stats_; }
     const RepairEngineConfig &config() const { return config_; }
 
@@ -203,6 +221,11 @@ class RepairEngine : public RepairObserver
 
     /** Degraded streams awaiting repair (dedup by design). */
     std::set<DeviceId> queue_;
+
+    /** First tick() that saw each queued stream (debt-age stamps;
+     *  erased on dequeue). */
+    std::map<DeviceId, Tick> queuedAt_;
+    Tick lastNowAt_ = 0; ///< most recent tick() time
 
     std::map<ShardId, Bucket> buckets_;
 

@@ -209,13 +209,16 @@ TEST(FleetSim, GoldenReportDigest)
     //   8606a6...4eea  — schema 5 (PR 7: anti-entropy — "repair"
     //                    totals block, per-device replicasLive/
     //                    quarantinedCopies, per-shard quarantined)
-    //   current        — schema 6 (PR 8: latency attribution —
+    //   c2b205...2cb2b4 — schema 6 (PR 8: latency attribution —
     //                    totals offloadAckP50Ns/offloadAckP99Ns and
     //                    the per-stage "latency" block: seal,
     //                    queueWait, quorumWait, repairCopy)
+    //   current        — schema 7 (PR 9: fleet health — per-device
+    //                    parks/resubmits, top-level "health" block:
+    //                    sampler totals, SLO rules, alerts)
     EXPECT_EQ(digest,
-              "c2b2052af39fb78ad99d683d3e61867c5e5fb75c88183c46899"
-              "c6cce732cb2b4");
+              "88086b5f07a7060177d8cc50ffb11e8ae696d24ecf475d9c6ca"
+              "5d6c2d9daa728");
 }
 
 TEST(FleetSim, CrashMidOutbreakLosesNoEvidence)
@@ -264,8 +267,8 @@ TEST(FleetSim, CrashMidOutbreakLosesNoEvidence)
     // Zero evidence loss is pinned byte-for-byte: the crash run has
     // its own golden digest (same discipline as GoldenReportDigest).
     EXPECT_EQ(jsonDigest(rep),
-              "30b42d5cec0b82916e138b37d44c65636e9c4966e5022276011"
-              "9cfcd274f252d");
+              "ac4b6ff0bb3edb7700dbda9620d7c1106d69b71c651cdd511f8"
+              "a6c2c8cee8251");
 }
 
 } // namespace

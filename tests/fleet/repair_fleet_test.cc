@@ -117,13 +117,15 @@ TEST(FleetRepair, GoldenHealedReportDigest)
     //   30a007...42b0 — schema 5 (PR 7: anti-entropy — "repair"
     //             totals block, per-device replicasLive/
     //             quarantinedCopies, per-shard quarantined)
-    //   current — schema 6 (PR 8: latency attribution — totals
-    //             offloadAckP50Ns/offloadAckP99Ns and the per-stage
-    //             "latency" block: seal, queueWait, quorumWait,
-    //             repairCopy)
+    //   c2be22...3b3b40 — schema 6 (PR 8: latency attribution —
+    //             totals offloadAckP50Ns/offloadAckP99Ns and the
+    //             per-stage "latency" block: seal, queueWait,
+    //             quorumWait, repairCopy)
+    //   current — schema 7 (PR 9: fleet health — per-device
+    //             parks/resubmits, top-level "health" block)
     EXPECT_EQ(digest,
-              "c2be225db28b22b1d56d0afcd51048e4b7b5c2b04649d2a5243"
-              "b5a84ad3b3b40");
+              "447458e9b27287e9b1fdfaa61e160d6cc7371b8666d9143e4fd"
+              "b1aa182d3a576");
 }
 
 TEST(FleetRepair, RepairDisabledLeavesTheDebt)

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the fleet health layer's two obs units:
+ *
+ *  - TimeSeriesSampler: JSONL row shape, registration-order keys,
+ *    integer windowed rates (backwards counters rate as 0, Levels are
+ *    never rate-derived), byte-determinism of the accumulated file,
+ *    and the misuse panics (non-increasing tick, registry growth).
+ *
+ *  - HealthMonitor: edge-triggered raise/clear hysteresis, the
+ *    holdFor debounce (a transient breach shorter than the hold never
+ *    raises), severity ordering via worstRaised(), Rate-signal rules,
+ *    and the bind-time panics (unknown metric, Rate over non-Counter,
+ *    empty rule id).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/health.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "sim/units.hh"
+
+namespace rssd::obs {
+namespace {
+
+TEST(TimeSeries, RowShapeAndRegistrationOrder)
+{
+    std::uint64_t ops = 3;
+    std::uint64_t depth = 2;
+    MetricsRegistry r;
+    r.counter("zulu.ops", [&ops] { return ops; });
+    r.level("alpha.depth", [&depth] { return depth; });
+    r.gauge("mike.fill", [] { return 0.25; });
+
+    TimeSeriesSampler s(r);
+    EXPECT_EQ(s.samples(), 0u);
+    s.sample(1 * units::MS);
+    EXPECT_EQ(s.samples(), 1u);
+    EXPECT_EQ(s.lastSampleAt(), 1 * units::MS);
+
+    const std::string &row = s.jsonl();
+    EXPECT_EQ(row.rfind("{\"schema\":1,\"tick\":1000000,\"seq\":0,", 0),
+              0u)
+        << row;
+    // Registration order inside "metrics", not lexical order.
+    const std::size_t z = row.find("\"zulu.ops\":3");
+    const std::size_t a = row.find("\"alpha.depth\":2");
+    const std::size_t m = row.find("\"mike.fill\":0.25");
+    ASSERT_NE(z, std::string::npos) << row;
+    ASSERT_NE(a, std::string::npos) << row;
+    ASSERT_NE(m, std::string::npos) << row;
+    EXPECT_LT(z, a);
+    EXPECT_LT(a, m);
+    // Exactly one newline-terminated row per sample.
+    EXPECT_EQ(row.back(), '\n');
+    EXPECT_EQ(row.find('\n'), row.size() - 1);
+}
+
+TEST(TimeSeries, WindowedRatesAreIntegerPerSecond)
+{
+    std::uint64_t ops = 0;
+    std::uint64_t depth = 5;
+    MetricsRegistry r;
+    r.counter("ops", [&ops] { return ops; });
+    r.level("depth", [&depth] { return depth; });
+    TimeSeriesSampler s(r);
+
+    s.sample(1 * units::MS);
+    // No window yet: every rate is 0.
+    EXPECT_EQ(s.ratePerSec(0), 0u);
+
+    ops = 5; // +5 over the 1ms window -> 5000/sec
+    s.sample(2 * units::MS);
+    EXPECT_EQ(s.ratePerSec(0), 5000u);
+    // Levels are never rate-derived.
+    EXPECT_EQ(s.ratePerSec(1), 0u);
+    EXPECT_NE(s.jsonl().find("\"rates\":{\"ops\":5000}"),
+              std::string::npos)
+        << s.jsonl();
+
+    // A counter moving backwards (provider bug) rates as 0, not an
+    // underflowed huge number.
+    ops = 2;
+    s.sample(3 * units::MS);
+    EXPECT_EQ(s.ratePerSec(0), 0u);
+}
+
+TEST(TimeSeries, SameStateSameBytes)
+{
+    auto run = [](std::string &out) {
+        std::uint64_t ops = 0;
+        MetricsRegistry r;
+        r.counter("ops", [&ops] { return ops; });
+        r.gauge("fill", [] { return 0.1; });
+        TimeSeriesSampler s(r);
+        for (Tick t = 1; t <= 4; t++) {
+            ops += 7 * t;
+            s.sample(t * units::MS);
+        }
+        out = s.jsonl();
+    };
+    std::string a, b;
+    run(a);
+    run(b);
+    EXPECT_EQ(a, b);
+    // The gauge renders via the pinned %.17g path.
+    EXPECT_NE(a.find("\"fill\":0.10000000000000001"),
+              std::string::npos)
+        << a;
+}
+
+TEST(TimeSeries, MisusePanics)
+{
+    MetricsRegistry r;
+    r.counter("ops", [] { return std::uint64_t{1}; });
+    TimeSeriesSampler s(r);
+    s.sample(1 * units::MS);
+    // The rate window would be zero-width.
+    EXPECT_DEATH(s.sample(1 * units::MS), "increas");
+    // Registering after the first sample would shear the rows.
+    r.counter("late", [] { return std::uint64_t{0}; });
+    EXPECT_DEATH(s.sample(2 * units::MS), "grew");
+}
+
+/** A registry over one mutable counter and one mutable level, plus a
+ *  sampler/monitor pair — the fixture every rule test drives. */
+struct Harness
+{
+    std::uint64_t ops = 0;
+    std::uint64_t depth = 0;
+    MetricsRegistry registry;
+    TimeSeriesSampler sampler{makeRegistry()};
+    Tick now = 0;
+
+    const MetricsRegistry &makeRegistry()
+    {
+        registry.counter("ops", [this] { return ops; });
+        registry.level("depth", [this] { return depth; });
+        return registry;
+    }
+
+    /** Advance one 1ms step and evaluate @p mon. */
+    void step(HealthMonitor &mon)
+    {
+        now += 1 * units::MS;
+        sampler.sample(now);
+        mon.evaluate(now);
+    }
+};
+
+TEST(HealthMonitor, EdgeTriggeredRaiseAndClear)
+{
+    Harness h;
+    HealthMonitor mon(h.sampler, {{"deep", "depth", Signal::Value,
+                                   Cmp::Gt, 3, 0, Severity::Warn}});
+
+    h.step(mon); // depth 0: healthy
+    EXPECT_EQ(mon.alerts().size(), 0u);
+
+    h.depth = 5;
+    h.step(mon); // breach -> raise
+    ASSERT_EQ(mon.alerts().size(), 1u);
+    EXPECT_TRUE(mon.alerts()[0].open);
+    EXPECT_EQ(mon.alerts()[0].raisedAt, 2 * units::MS);
+    EXPECT_EQ(mon.alerts()[0].observed, 5u);
+    EXPECT_EQ(mon.openCount(), 1u);
+
+    h.depth = 9;
+    h.step(mon); // still breaching -> no second raise
+    EXPECT_EQ(mon.alerts().size(), 1u);
+
+    h.depth = 3;
+    h.step(mon); // back under -> clear
+    ASSERT_EQ(mon.alerts().size(), 1u);
+    EXPECT_FALSE(mon.alerts()[0].open);
+    EXPECT_EQ(mon.alerts()[0].clearedAt, 4 * units::MS);
+    EXPECT_EQ(mon.openCount(), 0u);
+
+    h.depth = 7;
+    h.step(mon); // second episode -> second alert
+    EXPECT_EQ(mon.alerts().size(), 2u);
+    EXPECT_EQ(mon.raisedCount(0), 2u);
+}
+
+TEST(HealthMonitor, HoldForDebouncesTransients)
+{
+    Harness h;
+    HealthMonitor mon(h.sampler,
+                      {{"deep", "depth", Signal::Value, Cmp::Ge, 1,
+                        2 * units::MS, Severity::Warn}});
+
+    // One noisy sample, then healthy again: never raises.
+    h.depth = 4;
+    h.step(mon);
+    h.depth = 0;
+    h.step(mon);
+    EXPECT_EQ(mon.alerts().size(), 0u);
+
+    // A sustained breach raises once the hold elapses: breach first
+    // seen at t=3ms, hold 2ms -> raise at t=5ms.
+    h.depth = 4;
+    h.step(mon); // 3ms: breach starts
+    EXPECT_EQ(mon.alerts().size(), 0u);
+    h.step(mon); // 4ms: held 1ms
+    EXPECT_EQ(mon.alerts().size(), 0u);
+    h.step(mon); // 5ms: held 2ms -> raise
+    ASSERT_EQ(mon.alerts().size(), 1u);
+    EXPECT_EQ(mon.alerts()[0].raisedAt, 5 * units::MS);
+}
+
+TEST(HealthMonitor, RateRulesWatchTheWindowedRate)
+{
+    Harness h;
+    HealthMonitor mon(h.sampler, {{"busy", "ops", Signal::Rate,
+                                   Cmp::Gt, 0, 0, Severity::Info}});
+
+    h.ops = 100;
+    h.step(mon); // first sample: no window yet, rate 0 -> healthy
+    EXPECT_EQ(mon.alerts().size(), 0u);
+
+    h.ops = 200;
+    h.step(mon); // +100/ms -> raise
+    ASSERT_EQ(mon.alerts().size(), 1u);
+    EXPECT_EQ(mon.alerts()[0].observed, 100 * 1000u);
+
+    h.step(mon); // flat window -> clear
+    EXPECT_FALSE(mon.alerts()[0].open);
+}
+
+TEST(HealthMonitor, WorstRaisedOrdersSeverities)
+{
+    Harness h;
+    HealthMonitor mon(
+        h.sampler,
+        {{"warnful", "depth", Signal::Value, Cmp::Ge, 1, 0,
+          Severity::Warn},
+         {"critical", "ops", Signal::Value, Cmp::Ge, 10, 0,
+          Severity::Critical}});
+
+    h.step(mon);
+    EXPECT_EQ(mon.worstRaised(), Severity::Info); // nothing raised
+    EXPECT_STREQ(severityName(mon.worstRaised()), "info");
+
+    h.depth = 1;
+    h.step(mon);
+    EXPECT_EQ(mon.worstRaised(), Severity::Warn);
+
+    h.ops = 10;
+    h.step(mon);
+    EXPECT_EQ(mon.worstRaised(), Severity::Critical);
+    EXPECT_STREQ(severityName(mon.worstRaised()), "critical");
+
+    // worstRaised() is sticky over history, not just open alerts.
+    h.depth = 0;
+    h.ops = 0;
+    h.step(mon);
+    EXPECT_EQ(mon.openCount(), 0u);
+    EXPECT_EQ(mon.worstRaised(), Severity::Critical);
+}
+
+TEST(HealthMonitor, BindTimePanics)
+{
+    Harness h;
+    EXPECT_DEATH(HealthMonitor(h.sampler,
+                               {{"r", "no.such.metric", Signal::Value,
+                                 Cmp::Gt, 0, 0, Severity::Warn}}),
+                 "no.such.metric");
+    EXPECT_DEATH(HealthMonitor(h.sampler,
+                               {{"r", "depth", Signal::Rate, Cmp::Gt,
+                                 0, 0, Severity::Warn}}),
+                 "[Rr]ate");
+    EXPECT_DEATH(HealthMonitor(h.sampler,
+                               {{"", "ops", Signal::Value, Cmp::Gt, 0,
+                                 0, Severity::Warn}}),
+                 "id");
+}
+
+} // namespace
+} // namespace rssd::obs

@@ -100,6 +100,62 @@ TEST(MetricsRegistry, DuplicateOrEmptyNamesPanic)
     EXPECT_DEATH(r.gauge("dup", [] { return 1.0; }), "duplicate");
     EXPECT_DEATH(r.counter("", [] { return std::uint64_t{0}; }),
                  "empty");
+    // The panic names the offending instrument — a duplicate in a
+    // 200-instrument fleet registry must be findable from the
+    // message alone.
+    EXPECT_DEATH(r.level("dup", [] { return std::uint64_t{2}; }),
+                 "\"dup\"");
+}
+
+TEST(MetricsRegistry, DoublesRenderViaThePinnedFormat)
+{
+    // The documented determinism contract: gauges and histogram
+    // means render via %.17g — 17 significant digits round-trip
+    // every IEEE-754 double, so identical samples give identical
+    // bytes. 0.1 is the canonical non-representable value.
+    MetricsRegistry r;
+    r.gauge("fill", [] { return 0.1; });
+    r.gauge("third", [] { return 1.0 / 3.0; });
+    r.gauge("whole", [] { return 2.0; });
+    const std::string json = r.snapshotJson();
+    EXPECT_NE(json.find("\"fill\":0.10000000000000001"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"third\":0.33333333333333331"),
+              std::string::npos)
+        << json;
+    // %g drops trailing zeros: exact values stay compact.
+    EXPECT_NE(json.find("\"whole\":2"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistry, IntrospectionSurfaceForTheHealthLayer)
+{
+    // nameAt/kindAt/indexOf/sampleInto feed the TimeSeriesSampler
+    // and HealthMonitor without JSON parsing.
+    std::uint64_t depth = 4;
+    MetricsRegistry r;
+    r.counter("ops", [] { return std::uint64_t{9}; });
+    r.level("depth", [&depth] { return depth; });
+    r.gauge("fill", [] { return 0.5; });
+
+    EXPECT_EQ(r.indexOf("ops"), 0u);
+    EXPECT_EQ(r.indexOf("depth"), 1u);
+    EXPECT_EQ(r.indexOf("missing"), MetricsRegistry::npos);
+    EXPECT_EQ(r.nameAt(1), "depth");
+    EXPECT_EQ(r.kindAt(0), InstrumentKind::Counter);
+    EXPECT_EQ(r.kindAt(1), InstrumentKind::Level);
+    EXPECT_EQ(r.kindAt(2), InstrumentKind::Gauge);
+
+    std::vector<MetricSample> out;
+    r.sampleInto(out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].u64, 9u);
+    EXPECT_EQ(out[1].u64, 4u);
+    EXPECT_DOUBLE_EQ(out[2].f64, 0.5);
+    // Levels are point-in-time: a later sample sees the new value.
+    depth = 1;
+    r.sampleInto(out);
+    EXPECT_EQ(out[1].u64, 1u);
 }
 
 TEST(MetricsRegistry, FleetRegistersTheInstrumentSurface)
