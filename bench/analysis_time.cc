@@ -61,7 +61,7 @@ main()
         attack.run(dev, clock, victim);
         dev.drainOffload();
 
-        const auto host_t0 = std::chrono::steady_clock::now();
+        const auto host_t0 = std::chrono::steady_clock::now(); // rssd-lint: allow(D1) wall-clock measures host-side analysis cost, never sim state
         const Tick t0 = clock.now();
         core::DeviceHistory history(dev);
         core::PostAttackAnalyzer analyzer(history);
@@ -69,7 +69,7 @@ main()
         const Tick elapsed = clock.now() - t0;
         const double host_ms =
             std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - host_t0)
+                std::chrono::steady_clock::now() - host_t0) // rssd-lint: allow(D1) wall-clock measures host-side analysis cost, never sim state
                 .count();
 
         panicIf(!report.finding.detected, "attack not found");

@@ -29,6 +29,7 @@ namespace rssd::bench {
 inline bool
 smoke()
 {
+    // rssd-lint: allow-next-line(D1) smoke switch scales iteration counts only; results are labeled non-comparable
     static const bool on = std::getenv("RSSD_SMOKE") != nullptr;
     return on;
 }
@@ -127,6 +128,7 @@ class JsonReport
   private:
     JsonReport()
     {
+        // rssd-lint: allow-next-line(D1) opt-in results file path; absent var keeps record() a no-op
         if (const char *path = std::getenv("RSSD_BENCH_JSON"))
             file_ = std::fopen(path, "a");
     }

@@ -49,7 +49,7 @@ main()
         // iteration verifies the full evidence set.
         const int kIters = bench::smoke() ? 2 : 10;
         std::uint64_t bytes = 0, segments = 0, entries = 0;
-        const auto t0 = std::chrono::steady_clock::now();
+        const auto t0 = std::chrono::steady_clock::now(); // rssd-lint: allow(D1) wall-clock measures bench throughput, never sim state
         for (int i = 0; i < kIters; i++) {
             forensics::EvidenceScanner scanner(sched.cluster());
             const forensics::ScanPassCost cost = scanner.scan();
@@ -59,7 +59,7 @@ main()
         }
         const double secs =
             std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
+                std::chrono::steady_clock::now() - t0) // rssd-lint: allow(D1) wall-clock measures bench throughput, never sim state
                 .count();
         const double mbps =
             secs > 0 ? bytes / secs / (1024.0 * 1024.0) : 0.0;

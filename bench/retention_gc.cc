@@ -75,7 +75,7 @@ main()
         std::uint64_t wire_bytes = 0;
         const std::uint64_t prunes_before =
             store.stats().segmentsPruned;
-        const auto t0 = std::chrono::steady_clock::now();
+        const auto t0 = std::chrono::steady_clock::now(); // rssd-lint: allow(D1) wall-clock measures bench throughput, never sim state
         for (std::uint64_t i = 0; i < kSegments; i++) {
             const std::uint32_t s =
                 static_cast<std::uint32_t>(i % kStreams);
@@ -89,7 +89,7 @@ main()
         }
         const double secs =
             std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
+                std::chrono::steady_clock::now() - t0) // rssd-lint: allow(D1) wall-clock measures bench throughput, never sim state
                 .count();
         const double mbps =
             secs > 0 ? wire_bytes / secs / (1024.0 * 1024.0) : 0.0;

@@ -134,6 +134,7 @@ int
 main(int argc, char **argv)
 {
     examples::ArgParser args(argc, argv);
+    // rssd-lint: allow-next-line(D1) smoke switch shrinks the campaign; every run at a given size/seed stays byte-identical
     const bool smoke = std::getenv("RSSD_SMOKE") != nullptr;
 
     fleet::FleetConfig cfg;

@@ -117,7 +117,7 @@ MetricsRegistry::snapshotJson() const
     out.reserve(64 + instruments_.size() * 48);
     sim::JsonWriter j(out);
     j.open('{');
-    j.key("schema"); j.u64(1);
+    j.key("schema"); j.u64(kMetricsSnapshotSchema);
     j.key("metrics");
     j.open('{');
     for (const Instrument &in : instruments_) {

@@ -42,6 +42,11 @@
 
 namespace rssd::obs {
 
+/** Layout version of the snapshotJson() document. Bump in lockstep
+ *  with any change to the snapshot's key set (rssd_lint rule D3
+ *  pins the pair via tools/manifests/obs_metrics.keys). */
+constexpr std::uint64_t kMetricsSnapshotSchema = 1;
+
 /** The four instrument kinds a registry can hold. */
 enum class InstrumentKind : std::uint8_t {
     Counter,   ///< monotonic u64 (rates may be derived)

@@ -46,7 +46,7 @@ TimeSeriesSampler::sample(Tick now)
 
     sim::JsonWriter j(out_);
     j.open('{');
-    j.key("schema"); j.u64(1);
+    j.key("schema"); j.u64(kTimeSeriesSchema);
     j.key("tick"); j.u64(now);
     j.key("seq"); j.u64(samples_);
     j.key("metrics");

@@ -40,6 +40,11 @@
 
 namespace rssd::obs {
 
+/** Layout version of the time-series JSONL row. Bump in lockstep
+ *  with any change to the row's key set (rssd_lint rule D3 pins the
+ *  pair via tools/manifests/obs_timeseries.keys). */
+constexpr std::uint64_t kTimeSeriesSchema = 1;
+
 class TimeSeriesSampler
 {
   public:

@@ -1,0 +1,15 @@
+// rssd_lint fixture: an allow annotation without a reason is itself
+// a finding (rule LINT) — an unexplained exception is exactly what
+// the linter exists to prevent. Deliberately bad — never compiled.
+
+#include <cstdlib>
+
+namespace rssd::bad {
+
+bool
+chaosEnabled()
+{
+    return std::getenv("RSSD_CHAOS") != nullptr; // rssd-lint: allow(D1)
+}
+
+} // namespace rssd::bad

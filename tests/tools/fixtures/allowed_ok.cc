@@ -1,0 +1,23 @@
+// rssd_lint fixture: the same violations as bad_d1.cc, but every
+// one carries a well-formed allow annotation with a reason — the
+// linter must exit clean and count them as suppressed.
+// Deliberately odd — never compiled.
+
+#include <cstdlib>
+
+namespace rssd::ok {
+
+bool
+chaosEnabled()
+{
+    // rssd-lint: allow-next-line(D1) fixture exercising next-line suppression
+    return std::getenv("RSSD_CHAOS") != nullptr;
+}
+
+bool
+chaosEnabledInline()
+{
+    return std::getenv("RSSD_CHAOS") != nullptr; // rssd-lint: allow(D1) fixture exercising same-line suppression
+}
+
+} // namespace rssd::ok

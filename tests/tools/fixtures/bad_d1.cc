@@ -1,0 +1,25 @@
+// rssd_lint fixture: every statement here is a D1 violation when the
+// file sits under src/. Deliberately bad — never compiled, never
+// scanned as part of the live tree (tests/tools/fixtures is
+// excluded); the fixture suite copies it into a sandbox root.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace rssd::bad {
+
+unsigned long
+wallClockSeed()
+{
+    auto now = std::chrono::system_clock::now();            // D1
+    (void)now;
+    std::random_device rd;                                  // D1
+    std::srand(static_cast<unsigned>(std::time(nullptr)));  // D1 x2
+    if (std::getenv("RSSD_CHAOS") != nullptr)               // D1
+        return static_cast<unsigned long>(rand());          // D1
+    return rd();
+}
+
+} // namespace rssd::bad

@@ -1,0 +1,35 @@
+// rssd_lint fixture: unordered-container iteration inside a JSON
+// emission TU — the exact latent bug class that breaks golden
+// digests. Deliberately bad — never compiled.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/json.hh"
+
+namespace rssd::bad {
+
+struct Emitter
+{
+    std::unordered_map<int, int> counts_;
+    std::unordered_set<std::string> names_;
+
+    std::string
+    toJson() const
+    {
+        std::string out;
+        sim::JsonWriter j(out);
+        j.open('{');
+        for (const auto &[k, v] : counts_) {                // D2
+            j.elem();
+            j.u64(static_cast<unsigned long long>(k + v));
+        }
+        for (auto it = names_.begin(); it != names_.end(); ++it) // D2
+            j.str(*it);
+        j.close('}');
+        return out;
+    }
+};
+
+} // namespace rssd::bad

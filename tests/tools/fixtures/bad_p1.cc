@@ -1,0 +1,25 @@
+// rssd_lint fixture: panicIf messages that build std::string
+// temporaries — evaluated on every call even when the condition is
+// false, the allocation bug the PR 2 hot-path work paid 4x for.
+// Lands under src/log/ in the sandbox so the hot-path scoping
+// applies. Deliberately bad — never compiled.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace rssd::bad {
+
+void
+checkField(std::uint64_t got, std::uint64_t want,
+           const std::string &name)
+{
+    panicIf(got != want,
+            "segment field " + name + " mismatch");          // P1
+    panicIf(got > want,
+            std::string("segment: overrun at ") +
+                std::to_string(got));                        // P1
+}
+
+} // namespace rssd::bad
